@@ -1,0 +1,263 @@
+// Package specctrl's root benchmark harness: one benchmark per paper
+// table and figure, so `go test -bench=.` regenerates every evaluation
+// artifact (at bench scale; use cmd/simctrl for full-scale runs), plus
+// micro-benchmarks of the simulator core.
+package specctrl
+
+import (
+	"testing"
+
+	"specctrl/internal/bpred"
+	"specctrl/internal/conf"
+	"specctrl/internal/experiments"
+	"specctrl/internal/pipeline"
+	"specctrl/internal/workload"
+)
+
+// benchParams returns experiment parameters sized for benchmarking: big
+// enough to be representative, small enough to iterate.
+func benchParams() experiments.Params {
+	p := experiments.DefaultParams()
+	p.MaxCommitted = 200_000
+	return p
+}
+
+func BenchmarkTable1(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Table1(benchParams()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTable2(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Table2(benchParams()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTable3(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Table3(benchParams()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTable4(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Table4(benchParams()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig1(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		_ = experiments.Fig1(benchParams())
+	}
+}
+
+func BenchmarkFig3(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Fig3(benchParams()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig4(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Fig45(benchParams(), experiments.GshareSpec()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig5(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Fig45(benchParams(), experiments.McFarlingSpec()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig6(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.FigDistance(benchParams(), experiments.GshareSpec(), false); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig7(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.FigDistance(benchParams(), experiments.McFarlingSpec(), false); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig8(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.FigDistance(benchParams(), experiments.GshareSpec(), true); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig9(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.FigDistance(benchParams(), experiments.McFarlingSpec(), true); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkMisest(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Misest(benchParams()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkBoost(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Boost(benchParams(), experiments.GshareSpec(), 3); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkPipelineThroughput measures raw simulation speed: committed
+// instructions per wall-clock second across the suite on gshare.
+func BenchmarkPipelineThroughput(b *testing.B) {
+	w, err := workload.ByName("gcc")
+	if err != nil {
+		b.Fatal(err)
+	}
+	prog := w.Build(1 << 30)
+	cfg := pipeline.DefaultConfig()
+	cfg.MaxCommitted = uint64(b.N)
+	cfg.MaxCycles = 0
+	sim := pipeline.New(cfg, prog, bpred.NewGshare(12), conf.NewJRS(conf.DefaultJRS))
+	b.ResetTimer()
+	st, err := sim.Run()
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportMetric(float64(st.Committed+st.WrongPath)/float64(b.N), "instr/op")
+}
+
+func BenchmarkMetricsCmp(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.MetricsCmp(benchParams()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkCIR(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.CIR(benchParams()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkJRSMcf(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.JRSMcf(benchParams()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTuned(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Tuned(benchParams()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAblationWidth(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.AblationWidth(benchParams()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAblationSpecHistory(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.AblationSpecHistory(benchParams()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAblationGating(b *testing.B) {
+	p := benchParams()
+	p.MaxCommitted = 60_000
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.AblationGating(p); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAblationIndirect(b *testing.B) {
+	p := benchParams()
+	p.MaxCommitted = 60_000
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.AblationIndirect(p); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAblationDepth(b *testing.B) {
+	p := benchParams()
+	p.MaxCommitted = 60_000
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.AblationDepth(p); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkPatterns(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Patterns(benchParams()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSMTStudy(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.SMTStudy(benchParams()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkEagerStudy(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.EagerStudy(benchParams()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAUCStudy(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.AUCStudy(benchParams()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

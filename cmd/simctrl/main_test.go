@@ -1,0 +1,50 @@
+package main
+
+import (
+	"strings"
+	"testing"
+
+	"specctrl/internal/experiments"
+)
+
+func TestOrderCoversRegistry(t *testing.T) {
+	seen := map[string]bool{}
+	for _, name := range order {
+		if _, ok := registry[name]; !ok {
+			t.Errorf("order entry %q missing from registry", name)
+		}
+		if seen[name] {
+			t.Errorf("order entry %q duplicated", name)
+		}
+		seen[name] = true
+	}
+	for name := range registry {
+		if !seen[name] {
+			t.Errorf("registry entry %q missing from -exp all order", name)
+		}
+	}
+}
+
+func TestRegistryDescriptions(t *testing.T) {
+	for name, e := range registry {
+		if e.desc == "" || e.fn == nil {
+			t.Errorf("registry entry %q incomplete", name)
+		}
+	}
+}
+
+func TestAnalyticExperimentRuns(t *testing.T) {
+	// fig1 and cost are pure computation: run them through the registry
+	// path end-to-end.
+	p := experiments.TestParams()
+	for _, name := range []string{"fig1", "cost"} {
+		r, err := registry[name].fn(p)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		out := r.Render()
+		if !strings.Contains(out, "\n") || len(out) < 100 {
+			t.Errorf("%s render suspiciously small:\n%s", name, out)
+		}
+	}
+}

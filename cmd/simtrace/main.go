@@ -1,0 +1,143 @@
+// Command simtrace works with workload programs and branch traces:
+// disassemble a benchmark, record a speculative branch trace (the
+// paper's §3.1 instrumentation) to a compact binary file, or summarize
+// a recorded trace without re-simulating.
+//
+// Usage:
+//
+//	simtrace -w compress -dis                     # disassemble
+//	simtrace -w gcc -record /tmp/gcc.trc -committed 500000
+//	simtrace -summarize /tmp/gcc.trc
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"specctrl/internal/bpred"
+	"specctrl/internal/conf"
+	"specctrl/internal/isa"
+	"specctrl/internal/pipeline"
+	"specctrl/internal/trace"
+	"specctrl/internal/workload"
+)
+
+func main() {
+	var (
+		wname     = flag.String("w", "", "workload name (see -listw)")
+		listw     = flag.Bool("listw", false, "list workloads")
+		dis       = flag.Bool("dis", false, "disassemble the workload")
+		record    = flag.String("record", "", "simulate and write the branch trace to this file")
+		summarize = flag.String("summarize", "", "read a trace file and print its summary")
+		committed = flag.Uint64("committed", 500_000, "committed instructions for -record")
+		iters     = flag.Int("iters", 1<<30, "workload outer iterations")
+		pred      = flag.String("pred", "gshare", "predictor for -record: gshare|mcfarling|sag")
+	)
+	flag.Parse()
+
+	switch {
+	case *listw:
+		for _, w := range workload.Suite() {
+			fmt.Printf("%-9s %s\n", w.Name, w.Description)
+		}
+	case *summarize != "":
+		if err := doSummarize(*summarize); err != nil {
+			fail(err)
+		}
+	case *dis:
+		w, err := workload.ByName(*wname)
+		if err != nil {
+			fail(err)
+		}
+		p := w.Build(*iters)
+		fmt.Printf("%s: %d instructions, %d data words\n\n",
+			p.Name, len(p.Code), len(p.Data))
+		fmt.Print(isa.Disassemble(p, nil))
+	case *record != "":
+		if err := doRecord(*wname, *pred, *record, *committed, *iters); err != nil {
+			fail(err)
+		}
+	default:
+		fmt.Fprintln(os.Stderr, "simtrace: nothing to do (try -listw, -dis, -record, -summarize)")
+		flag.Usage()
+		os.Exit(2)
+	}
+}
+
+func fail(err error) {
+	fmt.Fprintf(os.Stderr, "simtrace: %v\n", err)
+	os.Exit(1)
+}
+
+func newPredictor(name string) (bpred.Predictor, error) {
+	switch name {
+	case "gshare":
+		return bpred.NewGshare(12), nil
+	case "mcfarling":
+		return bpred.NewMcFarling(12), nil
+	case "sag":
+		return bpred.NewSAg(11, 13), nil
+	}
+	return nil, fmt.Errorf("unknown predictor %q", name)
+}
+
+func doRecord(wname, predName, path string, committed uint64, iters int) error {
+	w, err := workload.ByName(wname)
+	if err != nil {
+		return err
+	}
+	pred, err := newPredictor(predName)
+	if err != nil {
+		return err
+	}
+	cfg := pipeline.DefaultConfig()
+	cfg.MaxCommitted = committed
+	cfg.RecordEvents = true
+	sim := pipeline.New(cfg, w.Build(iters), pred, conf.NewJRS(conf.DefaultJRS))
+	st, err := sim.Run()
+	if err != nil {
+		return err
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := trace.Write(f, st.Events); err != nil {
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	info, err := os.Stat(path)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("wrote %d events (%d bytes, %.1f B/event) to %s\n",
+		len(st.Events), info.Size(), float64(info.Size())/float64(len(st.Events)), path)
+	return nil
+}
+
+func doSummarize(path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	events, err := trace.Read(f)
+	if err != nil {
+		return err
+	}
+	s := trace.Summarize(events)
+	fmt.Printf("events      %d\n", s.Events)
+	fmt.Printf("committed   %d\n", s.Committed)
+	fmt.Printf("wrong-path  %d\n", s.WrongPath)
+	if s.Committed > 0 {
+		fmt.Printf("mispredict  %d (%.1f%%)\n", s.Mispredict,
+			100*float64(s.Mispredict)/float64(s.Committed))
+		fmt.Printf("low-conf    %d (%.1f%%)\n", s.LowConf,
+			100*float64(s.LowConf)/float64(s.Committed))
+	}
+	return nil
+}

@@ -1,0 +1,50 @@
+// Powergating: demonstrate pipeline gating (§2.2 "Power conservation"):
+// stall fetch while too many low-confidence branches are in flight, and
+// measure how much wrong-path work disappears versus how much slower the
+// program runs, across gating thresholds.
+//
+//	go run ./examples/powergating
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"specctrl/internal/bpred"
+	"specctrl/internal/conf"
+	"specctrl/internal/gating"
+	"specctrl/internal/isa"
+	"specctrl/internal/pipeline"
+	"specctrl/internal/workload"
+)
+
+func main() {
+	names := []string{"compress", "gcc", "go", "perl"}
+	progs := map[string]*isa.Program{}
+	for _, n := range names {
+		w, err := workload.ByName(n)
+		if err != nil {
+			log.Fatal(err)
+		}
+		progs[n] = w.Build(1 << 30)
+	}
+
+	pcfg := pipeline.DefaultConfig()
+	pcfg.MaxCommitted = 500_000
+
+	newPred := func() bpred.Predictor { return bpred.NewGshare(12) }
+	newEst := func() conf.Estimator { return conf.NewJRS(conf.DefaultJRS) }
+
+	for thr := 1; thr <= 3; thr++ {
+		res, err := gating.EvaluateSuite(
+			gating.Config{Threshold: thr, Pipeline: pcfg},
+			progs, newPred, newEst, names)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println(res.Render())
+	}
+	fmt.Println("Reading the table: 'extra-work' is wrong-path instructions per")
+	fmt.Println("committed instruction; gating trades a small slowdown for a large")
+	fmt.Println("reduction — the trade sharpens as the estimator's PVN rises.")
+}

@@ -1,0 +1,60 @@
+// Smtfetch: demonstrate the SMT fetch-policy application (§2.2 "SMT"):
+// two hardware threads share one fetch port; the confidence-directed
+// policy skips threads with unresolved low-confidence branches and wins
+// aggregate throughput over round-robin, because it stops feeding fetch
+// slots to threads that are probably on the wrong path.
+//
+//	go run ./examples/smtfetch
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"specctrl/internal/bpred"
+	"specctrl/internal/conf"
+	"specctrl/internal/isa"
+	"specctrl/internal/pipeline"
+	"specctrl/internal/smt"
+	"specctrl/internal/workload"
+)
+
+func threads(names ...string) []*isa.Program {
+	var out []*isa.Program
+	for _, n := range names {
+		w, err := workload.ByName(n)
+		if err != nil {
+			log.Fatal(err)
+		}
+		out = append(out, w.Build(1<<30))
+	}
+	return out
+}
+
+func main() {
+	cfg := smt.Config{
+		CycleBudget: 500_000,
+		Pipeline:    pipeline.DefaultConfig(),
+	}
+	newPred := func() bpred.Predictor { return bpred.NewGshare(12) }
+	newEst := func() conf.Estimator { return conf.NewJRS(conf.DefaultJRS) }
+
+	fmt.Println("-- predictable + hostile thread mix (m88ksim, go) --")
+	c, err := smt.Compare(cfg, threads("m88ksim", "go"), newPred, newEst)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(c.Render())
+
+	fmt.Println("-- four-thread mix --")
+	c4, err := smt.Compare(cfg, threads("compress", "gcc", "perl", "go"), newPred, newEst)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(c4.Render())
+	fmt.Println("With four threads each thread fetches at most every fourth cycle,")
+	fmt.Println("so its branches usually resolve before its next turn and the")
+	fmt.Println("confidence policy degenerates to round-robin — confidence-directed")
+	fmt.Println("fetch matters most when threads are fetch-hungry (few threads, or")
+	fmt.Println("deep resolve latency).")
+}

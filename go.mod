@@ -1,0 +1,3 @@
+module specctrl
+
+go 1.22

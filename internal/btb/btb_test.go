@@ -1,0 +1,175 @@
+package btb
+
+import (
+	"testing"
+	"testing/quick"
+
+	"specctrl/internal/rng"
+)
+
+func TestBTBMissThenHit(t *testing.T) {
+	b := NewBTB(64, 2)
+	if _, hit := b.Lookup(100); hit {
+		t.Error("cold lookup hit")
+	}
+	b.Update(100, 555)
+	target, hit := b.Lookup(100)
+	if !hit || target != 555 {
+		t.Errorf("lookup = (%d,%v), want (555,true)", target, hit)
+	}
+}
+
+func TestBTBUpdateRefreshesTarget(t *testing.T) {
+	b := NewBTB(64, 2)
+	b.Update(100, 1)
+	b.Update(100, 2)
+	if target, hit := b.Lookup(100); !hit || target != 2 {
+		t.Errorf("refresh failed: (%d,%v)", target, hit)
+	}
+}
+
+func TestBTBNoFalseHits(t *testing.T) {
+	// Full-PC tags: PCs mapping to the same set must never alias.
+	b := NewBTB(16, 2)
+	b.Update(8, 1) // set 8%8 = 0
+	if _, hit := b.Lookup(16); hit {
+		t.Error("aliased PC hit")
+	}
+}
+
+func TestBTBLRUEviction(t *testing.T) {
+	b := NewBTB(16, 2) // 8 sets, 2 ways
+	// Three PCs in set 0: 0, 8, 16.
+	b.Update(0, 10)
+	b.Update(8, 20)
+	b.Lookup(0) // 0 is MRU
+	b.Update(16, 30)
+	if _, hit := b.Lookup(0); !hit {
+		t.Error("MRU entry evicted")
+	}
+	if _, hit := b.Lookup(8); hit {
+		t.Error("LRU entry survived")
+	}
+}
+
+func TestBTBStats(t *testing.T) {
+	b := NewBTB(16, 1)
+	b.Lookup(1)
+	b.Update(1, 2)
+	b.Lookup(1)
+	h, m := b.Stats()
+	if h != 1 || m != 1 {
+		t.Errorf("stats = (%d,%d), want (1,1)", h, m)
+	}
+}
+
+func TestBTBPanicsOnBadGeometry(t *testing.T) {
+	for _, f := range []func(){
+		func() { NewBTB(0, 1) },
+		func() { NewBTB(10, 3) },
+		func() { NewBTB(24, 2) }, // 12 sets
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("bad geometry accepted")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestRASLIFO(t *testing.T) {
+	r := NewRAS(8)
+	r.Push(1)
+	r.Push(2)
+	r.Push(3)
+	for _, want := range []int64{3, 2, 1} {
+		got, ok := r.Pop()
+		if !ok || got != want {
+			t.Fatalf("pop = (%d,%v), want %d", got, ok, want)
+		}
+	}
+	if _, ok := r.Pop(); ok {
+		t.Error("pop from empty stack succeeded")
+	}
+}
+
+func TestRASWrapOverwritesOldest(t *testing.T) {
+	r := NewRAS(2)
+	r.Push(1)
+	r.Push(2)
+	r.Push(3) // overwrites 1
+	if v, _ := r.Pop(); v != 3 {
+		t.Errorf("pop = %d, want 3", v)
+	}
+	if v, _ := r.Pop(); v != 2 {
+		t.Errorf("pop = %d, want 2", v)
+	}
+	// The third pop returns the overwritten slot's current content (3),
+	// not the lost 1 — hardware-accurate wrap behaviour.
+	if v, ok := r.Pop(); !ok || v != 3 {
+		t.Errorf("wrapped pop = (%d,%v)", v, ok)
+	}
+}
+
+func TestRASCheckpointRestore(t *testing.T) {
+	r := NewRAS(8)
+	r.Push(10)
+	ckpt := r.Checkpoint()
+	r.Push(20)
+	r.Push(30)
+	r.Restore(ckpt)
+	if v, ok := r.Pop(); !ok || v != 10 {
+		t.Errorf("after restore pop = (%d,%v), want (10,true)", v, ok)
+	}
+}
+
+func TestRASBalancedCallsProperty(t *testing.T) {
+	// Balanced call/return sequences within the stack depth always
+	// predict perfectly.
+	f := func(seed uint64, depth8 uint8) bool {
+		g := rng.New(seed)
+		depth := 1 + int(depth8%8)
+		r := NewRAS(16)
+		var shadow []int64
+		for i := 0; i < 200; i++ {
+			if len(shadow) < depth && (len(shadow) == 0 || g.Bool(0.5)) {
+				addr := int64(g.Intn(10000))
+				r.Push(addr)
+				shadow = append(shadow, addr)
+			} else {
+				want := shadow[len(shadow)-1]
+				shadow = shadow[:len(shadow)-1]
+				got, ok := r.Pop()
+				if !ok || got != want {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRASPanicsOnBadDepth(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("depth 0 accepted")
+		}
+	}()
+	NewRAS(0)
+}
+
+func BenchmarkBTBLookupUpdate(b *testing.B) {
+	btb := NewBTB(512, 4)
+	for i := 0; i < b.N; i++ {
+		pc := int64(i & 0x3ff)
+		if _, hit := btb.Lookup(pc); !hit {
+			btb.Update(pc, pc*2)
+		}
+	}
+}

@@ -1,0 +1,167 @@
+// Package cache models set-associative L1 caches with LRU replacement.
+//
+// The pipeline simulator uses two instances — an instruction cache probed
+// at fetch and a data cache probed by loads and stores — purely as timing
+// models: a probe returns the access latency (hit latency or hit latency
+// plus miss penalty) and updates replacement state. Data contents live in
+// internal/mem; the cache tracks only tags, matching how timing-first
+// simulators such as sim-outorder structure their hierarchies.
+//
+// Addresses are in words; BlockWords sets the words per cache block.
+package cache
+
+import "fmt"
+
+// Config describes one cache.
+type Config struct {
+	Name        string // for reports, e.g. "L1I"
+	SizeWords   int    // total capacity in words
+	BlockWords  int    // words per block (power of two)
+	Assoc       int    // ways per set
+	HitLatency  int    // cycles for a hit
+	MissPenalty int    // extra cycles for a miss
+}
+
+// Validate checks the configuration for internal consistency.
+func (c Config) Validate() error {
+	switch {
+	case c.SizeWords <= 0 || c.BlockWords <= 0 || c.Assoc <= 0:
+		return fmt.Errorf("cache %s: non-positive geometry", c.Name)
+	case c.BlockWords&(c.BlockWords-1) != 0:
+		return fmt.Errorf("cache %s: block size %d not a power of two", c.Name, c.BlockWords)
+	case c.SizeWords%(c.BlockWords*c.Assoc) != 0:
+		return fmt.Errorf("cache %s: size %d not divisible by block*assoc", c.Name, c.SizeWords)
+	case c.HitLatency < 1 || c.MissPenalty < 0:
+		return fmt.Errorf("cache %s: invalid latencies", c.Name)
+	}
+	sets := c.SizeWords / (c.BlockWords * c.Assoc)
+	if sets&(sets-1) != 0 {
+		return fmt.Errorf("cache %s: set count %d not a power of two", c.Name, sets)
+	}
+	return nil
+}
+
+type way struct {
+	valid bool
+	tag   int64
+	lru   uint64 // last-touched tick; larger = more recent
+}
+
+// Cache is a set-associative cache timing model.
+type Cache struct {
+	cfg       Config
+	sets      [][]way
+	setMask   int64
+	blockBits uint
+	tick      uint64
+
+	hits, misses uint64
+}
+
+// New builds a cache from cfg. It panics on invalid configurations, which
+// are programming errors (configurations are static).
+func New(cfg Config) *Cache {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	nsets := cfg.SizeWords / (cfg.BlockWords * cfg.Assoc)
+	sets := make([][]way, nsets)
+	backing := make([]way, nsets*cfg.Assoc)
+	for i := range sets {
+		sets[i] = backing[i*cfg.Assoc : (i+1)*cfg.Assoc]
+	}
+	blockBits := uint(0)
+	for 1<<blockBits < cfg.BlockWords {
+		blockBits++
+	}
+	return &Cache{
+		cfg:       cfg,
+		sets:      sets,
+		setMask:   int64(nsets - 1),
+		blockBits: blockBits,
+	}
+}
+
+// Access probes the cache at the given word address, updating replacement
+// state and filling on a miss. It returns the access latency in cycles
+// and whether the access hit.
+func (c *Cache) Access(addr int64) (latency int, hit bool) {
+	c.tick++
+	block := addr >> c.blockBits
+	set := c.sets[block&c.setMask]
+	tag := block >> uint(popcount(uint64(c.setMask)))
+	for i := range set {
+		if set[i].valid && set[i].tag == tag {
+			set[i].lru = c.tick
+			c.hits++
+			return c.cfg.HitLatency, true
+		}
+	}
+	// Miss: fill an invalid way if one exists, else evict the LRU way.
+	victim := -1
+	for i := range set {
+		if !set[i].valid {
+			victim = i
+			break
+		}
+	}
+	if victim < 0 {
+		victim = 0
+		for i := 1; i < len(set); i++ {
+			if set[i].lru < set[victim].lru {
+				victim = i
+			}
+		}
+	}
+	set[victim] = way{valid: true, tag: tag, lru: c.tick}
+	c.misses++
+	return c.cfg.HitLatency + c.cfg.MissPenalty, false
+}
+
+// Stats returns cumulative hit and miss counts.
+func (c *Cache) Stats() (hits, misses uint64) { return c.hits, c.misses }
+
+// MissRate returns misses / accesses, or 0 before any access.
+func (c *Cache) MissRate() float64 {
+	total := c.hits + c.misses
+	if total == 0 {
+		return 0
+	}
+	return float64(c.misses) / float64(total)
+}
+
+// Config returns the cache's configuration.
+func (c *Cache) Config() Config { return c.cfg }
+
+// Reset clears contents and statistics.
+func (c *Cache) Reset() {
+	for i := range c.sets {
+		for j := range c.sets[i] {
+			c.sets[i][j] = way{}
+		}
+	}
+	c.hits, c.misses, c.tick = 0, 0, 0
+}
+
+func popcount(x uint64) int {
+	n := 0
+	for x != 0 {
+		x &= x - 1
+		n++
+	}
+	return n
+}
+
+// Default configurations matching the paper's simulator (§3.1): a 64 kB
+// L1 data cache and an effectively 64 kB L1 instruction cache, 2-cycle
+// access latency. Sizes are expressed in 8-byte words.
+var (
+	// DefaultL1D is the paper's 64 kB data cache: 8192 words, 4-way,
+	// 8-word blocks.
+	DefaultL1D = Config{Name: "L1D", SizeWords: 8192, BlockWords: 8, Assoc: 4,
+		HitLatency: 2, MissPenalty: 20}
+	// DefaultL1I is the paper's instruction cache (64 kB effective):
+	// 8192 words, 2-way, 8-word blocks.
+	DefaultL1I = Config{Name: "L1I", SizeWords: 8192, BlockWords: 8, Assoc: 2,
+		HitLatency: 2, MissPenalty: 20}
+)

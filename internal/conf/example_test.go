@@ -1,0 +1,54 @@
+package conf_test
+
+import (
+	"fmt"
+
+	"specctrl/internal/bpred"
+	"specctrl/internal/conf"
+)
+
+// A JRS miss distance counter reaches high confidence only after a run
+// of correct predictions, and one misprediction resets it.
+func ExampleJRS() {
+	jrs := conf.NewJRS(conf.JRSConfig{Entries: 1024, Bits: 4, Threshold: 3, Enhanced: true})
+	info := bpred.Info{Pred: true, Hist: 0b1011}
+	pc := int64(0x40)
+
+	fmt.Println("cold:", jrs.Estimate(pc, info))
+	for i := 0; i < 3; i++ {
+		jrs.Resolve(pc, info, true)
+	}
+	fmt.Println("after 3 correct:", jrs.Estimate(pc, info))
+	jrs.Resolve(pc, info, false)
+	fmt.Println("after a misprediction:", jrs.Estimate(pc, info))
+	// Output:
+	// cold: false
+	// after 3 correct: true
+	// after a misprediction: false
+}
+
+// The saturating-counters estimator costs no extra hardware: it reads
+// the strength of the predictor's own 2-bit counter.
+func ExampleSatCounters() {
+	est := conf.SatCounters{}
+	weak := bpred.Info{C1: 2}   // weakly taken
+	strong := bpred.Info{C1: 3} // strongly taken
+	fmt.Println(est.Estimate(0, weak), est.Estimate(0, strong))
+	// Output:
+	// false true
+}
+
+// The misprediction-distance estimator is a single global counter: a
+// branch is high confidence only when enough branches have been fetched
+// since the last detected misprediction.
+func ExampleDistance() {
+	d := conf.NewDistance(2)
+	info := bpred.Info{}
+	for i := 0; i < 4; i++ {
+		fmt.Print(d.Estimate(0, info), " ")
+	}
+	d.Resolve(0, info, false) // misprediction detected: reset
+	fmt.Println(d.Estimate(0, info))
+	// Output:
+	// false false false true false
+}

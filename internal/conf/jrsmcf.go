@@ -1,0 +1,116 @@
+package conf
+
+import (
+	"fmt"
+
+	"specctrl/internal/bpred"
+)
+
+// JRSMcFarlingVariant selects how the two MDC tables combine.
+type JRSMcFarlingVariant int
+
+const (
+	// BothTables signals high confidence only when both MDC tables are
+	// at or above the threshold — the conservative combination.
+	BothTables JRSMcFarlingVariant = iota
+	// MetaSelected consults the MDC table mirroring the component the
+	// McFarling meta-predictor chose for this branch.
+	MetaSelected
+)
+
+// String names the variant.
+func (v JRSMcFarlingVariant) String() string {
+	if v == BothTables {
+		return "both"
+	}
+	return "meta"
+}
+
+// JRSMcFarling is the estimator the paper sketches as future work (§5):
+// "a confidence estimator similar to the JRS mechanism designed to
+// better exploit the structure of the McFarling two-level branch
+// predictor". The paper's own data motivates it: the JRS estimator works
+// best when its indexing structure matches the predictor's (§3.5), and
+// the McFarling predictor has *two* indexing structures — pc^history
+// (gshare component) and pc alone (bimodal component).
+//
+// JRSMcFarling therefore keeps two resetting MDC tables, one per
+// component indexing scheme. Both train on every resolved branch
+// (increment on correct, reset on incorrect); Estimate combines them per
+// the configured variant.
+type JRSMcFarling struct {
+	cfg     JRSConfig
+	variant JRSMcFarlingVariant
+	gTable  []uint16 // indexed like the gshare component
+	bTable  []uint16 // indexed like the bimodal component
+	max     uint16
+}
+
+// NewJRSMcFarling builds the two-table estimator; each table has
+// cfg.Entries counters of cfg.Bits bits. It panics on invalid
+// configuration.
+func NewJRSMcFarling(cfg JRSConfig, variant JRSMcFarlingVariant) *JRSMcFarling {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	return &JRSMcFarling{
+		cfg:     cfg,
+		variant: variant,
+		gTable:  make([]uint16, cfg.Entries),
+		bTable:  make([]uint16, cfg.Entries),
+		max:     uint16(1<<cfg.Bits - 1),
+	}
+}
+
+// Name implements Estimator.
+func (j *JRSMcFarling) Name() string {
+	return fmt.Sprintf("JRSmcf(%s,t=%d)", j.variant, j.cfg.Threshold)
+}
+
+func (j *JRSMcFarling) gIndex(pc int64, info bpred.Info) int {
+	idx := uint64(pc) ^ info.Hist
+	if j.cfg.Enhanced {
+		idx = uint64(pc) ^ (info.Hist<<1 | b2u(info.Pred))
+	}
+	return int(idx & uint64(j.cfg.Entries-1))
+}
+
+func (j *JRSMcFarling) bIndex(pc int64, info bpred.Info) int {
+	idx := uint64(pc)
+	if j.cfg.Enhanced {
+		idx = idx<<1 | b2u(info.Pred)
+	}
+	return int(idx & uint64(j.cfg.Entries-1))
+}
+
+// Estimate implements Estimator.
+func (j *JRSMcFarling) Estimate(pc int64, info bpred.Info) bool {
+	g := int(j.gTable[j.gIndex(pc, info)])
+	b := int(j.bTable[j.bIndex(pc, info)])
+	switch j.variant {
+	case MetaSelected:
+		// Meta counter's taken half selects the gshare component.
+		if info.Meta.Taken() {
+			return g >= j.cfg.Threshold
+		}
+		return b >= j.cfg.Threshold
+	default: // BothTables
+		return g >= j.cfg.Threshold && b >= j.cfg.Threshold
+	}
+}
+
+// Resolve implements Estimator: both tables learn from every branch, as
+// both McFarling components do.
+func (j *JRSMcFarling) Resolve(pc int64, info bpred.Info, correct bool) {
+	gi, bi := j.gIndex(pc, info), j.bIndex(pc, info)
+	if !correct {
+		j.gTable[gi], j.bTable[bi] = 0, 0
+		return
+	}
+	if j.gTable[gi] < j.max {
+		j.gTable[gi]++
+	}
+	if j.bTable[bi] < j.max {
+		j.bTable[bi]++
+	}
+}

@@ -1,0 +1,95 @@
+package conf
+
+import (
+	"fmt"
+	"math/bits"
+
+	"specctrl/internal/bpred"
+)
+
+// PatternHistory is the estimator implied by Lick et al's dual-path work:
+// a small fixed set of branch history patterns is designated high
+// confidence and every other pattern is low confidence. The confident
+// patterns are the ones they observed leading to correct predictions
+// under a per-branch-history (PAs/SAg) predictor:
+//
+//   - always taken            (111...1)
+//   - almost always taken     (exactly one 0)
+//   - always not-taken        (000...0)
+//   - almost always not-taken (exactly one 1)
+//   - alternating             (1010...  or 0101...)
+//
+// The estimator inspects the history value the predictor used for the
+// prediction (Info.Hist): per-branch history under SAg, the global
+// history register under gshare/McFarling. The paper shows it is only
+// competitive when the history is per-branch — global histories exhibit
+// no dominant patterns — and our measurements must reproduce that.
+type PatternHistory struct {
+	// HistBits is the history register length to classify.
+	HistBits uint
+}
+
+// NewPatternHistory returns a pattern estimator for histBits-long
+// histories. It panics when histBits is zero or exceeds 64.
+func NewPatternHistory(histBits uint) PatternHistory {
+	if histBits == 0 || histBits > 64 {
+		panic(fmt.Sprintf("conf: pattern history bits %d out of range", histBits))
+	}
+	return PatternHistory{HistBits: histBits}
+}
+
+// Name implements Estimator.
+func (p PatternHistory) Name() string { return "HistPat" }
+
+// Estimate implements Estimator.
+func (p PatternHistory) Estimate(pc int64, info bpred.Info) bool {
+	return p.Confident(info.Hist)
+}
+
+// Confident reports whether the history pattern belongs to the fixed
+// high-confidence set.
+func (p PatternHistory) Confident(hist uint64) bool {
+	m := uint64(1)<<p.HistBits - 1
+	h := hist & m
+	ones := uint(bits.OnesCount64(h))
+	switch ones {
+	case 0, p.HistBits: // always not-taken / always taken
+		return true
+	case 1, p.HistBits - 1: // almost always (exactly one odd bit)
+		return true
+	}
+	// Alternating patterns: 0101... and 1010...
+	alt0 := uint64(0x5555555555555555) & m
+	alt1 := uint64(0xaaaaaaaaaaaaaaaa) & m
+	return h == alt0 || h == alt1
+}
+
+// Resolve implements Estimator (stateless).
+func (p PatternHistory) Resolve(pc int64, info bpred.Info, correct bool) {}
+
+// Static is the profile-based estimator: an offline pass records each
+// branch site's prediction accuracy under the underlying predictor, and
+// sites at or above the threshold are permanently high confidence. The
+// profile must come from a predictor simulation (or hardware performance
+// feedback), not a plain outcome profile — see internal/profile.
+type Static struct {
+	// HighConfidence holds the branch-site PCs whose profiled accuracy
+	// met the threshold.
+	HighConfidence map[int64]bool
+	// Threshold is recorded for reporting only (e.g. 0.90).
+	Threshold float64
+}
+
+// Name implements Estimator.
+func (s Static) Name() string {
+	return fmt.Sprintf("Static(>%.0f%%)", s.Threshold*100)
+}
+
+// Estimate implements Estimator. Branch sites absent from the profile
+// (never seen in training) default to low confidence.
+func (s Static) Estimate(pc int64, info bpred.Info) bool {
+	return s.HighConfidence[pc]
+}
+
+// Resolve implements Estimator (static).
+func (s Static) Resolve(pc int64, info bpred.Info, correct bool) {}

@@ -1,0 +1,103 @@
+package conf
+
+import (
+	"sort"
+
+	"specctrl/internal/bpred"
+)
+
+// PatternProfiler is an analysis probe, not a hardware proposal: it
+// rides along as an Estimator (always reporting high confidence) and
+// accumulates, per branch-history pattern, how often predictions under
+// that pattern were correct. It reproduces the measurement behind the
+// paper's §3.2 observation — Lick et al's confident-pattern set works
+// for per-branch (PAs/SAg) histories because a few patterns dominate
+// and predict well, while "there appear to be no dominant patterns in
+// the global history register when using a gshare predictor".
+type PatternProfiler struct {
+	// HistBits masks the history to the predictor's length.
+	HistBits uint
+	counts   map[uint64]*PatternStats
+}
+
+// PatternStats aggregates one history pattern's outcomes.
+type PatternStats struct {
+	Pattern        uint64
+	Correct, Total uint64
+}
+
+// Accuracy returns the pattern's prediction accuracy.
+func (p PatternStats) Accuracy() float64 {
+	if p.Total == 0 {
+		return 0
+	}
+	return float64(p.Correct) / float64(p.Total)
+}
+
+// NewPatternProfiler returns a profiler for histBits-long histories.
+func NewPatternProfiler(histBits uint) *PatternProfiler {
+	if histBits == 0 || histBits > 64 {
+		panic("conf: pattern profiler bits out of range")
+	}
+	return &PatternProfiler{HistBits: histBits, counts: map[uint64]*PatternStats{}}
+}
+
+// Name implements Estimator.
+func (p *PatternProfiler) Name() string { return "PatternProfiler" }
+
+// Estimate implements Estimator (neutral: always high confidence).
+func (p *PatternProfiler) Estimate(pc int64, info bpred.Info) bool { return true }
+
+// Resolve implements Estimator: accumulate the pattern's outcome.
+func (p *PatternProfiler) Resolve(pc int64, info bpred.Info, correct bool) {
+	h := info.Hist & (uint64(1)<<p.HistBits - 1)
+	s := p.counts[h]
+	if s == nil {
+		s = &PatternStats{Pattern: h}
+		p.counts[h] = s
+	}
+	s.Total++
+	if correct {
+		s.Correct++
+	}
+}
+
+// Top returns the n most frequent patterns, most frequent first.
+func (p *PatternProfiler) Top(n int) []PatternStats {
+	all := make([]PatternStats, 0, len(p.counts))
+	for _, s := range p.counts {
+		all = append(all, *s)
+	}
+	sort.Slice(all, func(i, j int) bool {
+		if all[i].Total != all[j].Total {
+			return all[i].Total > all[j].Total
+		}
+		return all[i].Pattern < all[j].Pattern
+	})
+	if n > len(all) {
+		n = len(all)
+	}
+	return all[:n]
+}
+
+// Dominance summarizes how concentrated and how trustworthy the pattern
+// distribution is: the branch fraction covered by the top n patterns,
+// and the accuracy over exactly that covered fraction.
+func (p *PatternProfiler) Dominance(n int) (coverage, accuracy float64) {
+	top := p.Top(n)
+	var total, covered, correct uint64
+	for _, s := range p.counts {
+		total += s.Total
+	}
+	for _, s := range top {
+		covered += s.Total
+		correct += s.Correct
+	}
+	if total == 0 || covered == 0 {
+		return 0, 0
+	}
+	return float64(covered) / float64(total), float64(correct) / float64(covered)
+}
+
+// Patterns returns the number of distinct patterns observed.
+func (p *PatternProfiler) Patterns() int { return len(p.counts) }

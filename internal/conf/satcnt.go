@@ -1,0 +1,77 @@
+package conf
+
+import "specctrl/internal/bpred"
+
+// SatCounters is the "saturating counters" estimator (Smith): a branch is
+// high confidence when the 2-bit counter that produced its prediction is
+// in a saturated (strong) state. It reuses the predictor's own state and
+// therefore costs no additional hardware. Use it with single-counter
+// predictors (bimodal, gshare, SAg) whose counter arrives in Info.C1.
+type SatCounters struct{}
+
+// Name implements Estimator.
+func (SatCounters) Name() string { return "SatCnt" }
+
+// Estimate implements Estimator.
+func (SatCounters) Estimate(pc int64, info bpred.Info) bool {
+	return info.C1.Strong()
+}
+
+// Resolve implements Estimator (stateless).
+func (SatCounters) Resolve(pc int64, info bpred.Info, correct bool) {}
+
+// McFarlingVariant selects how the two component counters of a McFarling
+// predictor combine into a confidence estimate (§3.3.1). The transitional
+// counter states count as "weak"; saturated states as "strong".
+type McFarlingVariant int
+
+const (
+	// BothStrong signals high confidence only when both component
+	// predictors are strongly biased in the same direction. Higher SPEC
+	// and PVP; fewer branches marked high confidence.
+	BothStrong McFarlingVariant = iota
+	// EitherStrong signals low confidence only when both component
+	// predictors are weak. Higher SENS; more branches marked high
+	// confidence.
+	EitherStrong
+)
+
+// String returns the paper's name for the variant.
+func (v McFarlingVariant) String() string {
+	if v == BothStrong {
+		return "Both Strong"
+	}
+	return "Either Strong"
+}
+
+// SatCountersMcFarling is the saturating-counters estimator adapted to
+// the McFarling combining predictor, using the strength of both component
+// counters (Info.C1 = gshare, Info.C2 = bimodal). The meta predictor is
+// deliberately ignored: the paper found meta-based variants had lower
+// SPEC and PVN.
+type SatCountersMcFarling struct {
+	Variant McFarlingVariant
+}
+
+// Name implements Estimator.
+func (s SatCountersMcFarling) Name() string {
+	if s.Variant == BothStrong {
+		return "SatCnt(both)"
+	}
+	return "SatCnt(either)"
+}
+
+// Estimate implements Estimator.
+func (s SatCountersMcFarling) Estimate(pc int64, info bpred.Info) bool {
+	s1, s2 := info.C1.Strong(), info.C2.Strong()
+	switch s.Variant {
+	case BothStrong:
+		// Both strong and agreeing in direction.
+		return s1 && s2 && info.P1 == info.P2
+	default: // EitherStrong
+		return s1 || s2
+	}
+}
+
+// Resolve implements Estimator (stateless).
+func (s SatCountersMcFarling) Resolve(pc int64, info bpred.Info, correct bool) {}

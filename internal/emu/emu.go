@@ -1,0 +1,257 @@
+// Package emu implements the architectural (functional) emulator for the
+// simulated ISA.
+//
+// The emulator executes a Program sequentially and precisely, one
+// instruction per Step, with no timing model. It serves three roles:
+//
+//   - oracle: the pipeline simulator checks its committed instruction
+//     stream against a lockstep emulator run;
+//   - profiler: the static confidence estimator's training pass runs a
+//     predictor over the emulator's branch stream;
+//   - workload validation: tests execute workloads to completion and check
+//     their architectural effects.
+//
+// Step semantics mirror internal/isa exactly; the pipeline simulator
+// shares this implementation via Exec so the two can never diverge.
+package emu
+
+import (
+	"errors"
+	"fmt"
+
+	"specctrl/internal/isa"
+	"specctrl/internal/mem"
+)
+
+// ErrHalted is returned by Step once the machine has executed a HALT.
+var ErrHalted = errors.New("emu: machine halted")
+
+// MemOp describes the memory access performed by an instruction, if any.
+// The pipeline simulator uses it to route loads and stores through its
+// speculative store buffer and cache model.
+type MemOp struct {
+	IsLoad  bool
+	IsStore bool
+	Addr    int64
+	Value   int64 // value stored (for stores) or loaded (for loads)
+}
+
+// Result describes the architectural effect of executing one instruction.
+type Result struct {
+	NextPC int64
+	// Taken is meaningful only for conditional branches.
+	Taken bool
+	Mem   MemOp
+	// WroteReg is the destination register actually written (Zero if
+	// none); Value is the value written.
+	WroteReg isa.Reg
+	Value    int64
+	Halted   bool
+}
+
+// State is a machine state: registers and PC. Memory lives separately so
+// that different execution models can share or fork it independently.
+type State struct {
+	Regs [isa.NumRegs]int64
+	PC   int64
+}
+
+// LoadStore abstracts data memory for Exec. *mem.Memory implements it; the
+// pipeline supplies a store-buffer-aware wrapper.
+type LoadStore interface {
+	Read(addr int64) int64
+	Write(addr int64, v int64)
+}
+
+// Exec executes instruction in against state s and memory m, updating
+// both, and returns the architectural effect. It is the single source of
+// truth for instruction semantics.
+func Exec(s *State, m LoadStore, in isa.Instruction) Result {
+	r := Result{NextPC: s.PC + 1}
+	set := func(rd isa.Reg, v int64) {
+		if rd != isa.Zero {
+			s.Regs[rd] = v
+		}
+		r.WroteReg = rd
+		r.Value = v
+	}
+	ra, rb := s.Regs[in.Ra], s.Regs[in.Rb]
+	imm := int64(in.Imm)
+
+	switch in.Op {
+	case isa.OpNop:
+	case isa.OpHalt:
+		r.Halted = true
+		r.NextPC = s.PC
+
+	case isa.OpAdd:
+		set(in.Rd, ra+rb)
+	case isa.OpSub:
+		set(in.Rd, ra-rb)
+	case isa.OpAnd:
+		set(in.Rd, ra&rb)
+	case isa.OpOr:
+		set(in.Rd, ra|rb)
+	case isa.OpXor:
+		set(in.Rd, ra^rb)
+	case isa.OpShl:
+		set(in.Rd, ra<<(uint64(rb)&63))
+	case isa.OpShr:
+		set(in.Rd, int64(uint64(ra)>>(uint64(rb)&63)))
+	case isa.OpMul:
+		set(in.Rd, ra*rb)
+	case isa.OpDiv:
+		if rb == 0 {
+			set(in.Rd, 0)
+		} else {
+			set(in.Rd, ra/rb)
+		}
+	case isa.OpRem:
+		if rb == 0 {
+			set(in.Rd, 0)
+		} else {
+			set(in.Rd, ra%rb)
+		}
+	case isa.OpSlt:
+		set(in.Rd, boolToInt(ra < rb))
+	case isa.OpSltu:
+		set(in.Rd, boolToInt(uint64(ra) < uint64(rb)))
+
+	case isa.OpAddi:
+		set(in.Rd, ra+imm)
+	case isa.OpAndi:
+		set(in.Rd, ra&imm)
+	case isa.OpOri:
+		set(in.Rd, ra|imm)
+	case isa.OpXori:
+		set(in.Rd, ra^imm)
+	case isa.OpShli:
+		set(in.Rd, ra<<(uint64(imm)&63))
+	case isa.OpShri:
+		set(in.Rd, int64(uint64(ra)>>(uint64(imm)&63)))
+	case isa.OpMuli:
+		set(in.Rd, ra*imm)
+	case isa.OpSlti:
+		set(in.Rd, boolToInt(ra < imm))
+	case isa.OpLui:
+		set(in.Rd, imm<<16)
+
+	case isa.OpLd:
+		v := m.Read(ra + imm)
+		set(in.Rd, v)
+		r.Mem = MemOp{IsLoad: true, Addr: ra + imm, Value: v}
+	case isa.OpSt:
+		m.Write(ra+imm, rb)
+		r.Mem = MemOp{IsStore: true, Addr: ra + imm, Value: rb}
+
+	case isa.OpBeq, isa.OpBne, isa.OpBlt, isa.OpBge:
+		taken := false
+		switch in.Op {
+		case isa.OpBeq:
+			taken = ra == rb
+		case isa.OpBne:
+			taken = ra != rb
+		case isa.OpBlt:
+			taken = ra < rb
+		case isa.OpBge:
+			taken = ra >= rb
+		}
+		r.Taken = taken
+		if taken {
+			r.NextPC = s.PC + 1 + imm
+		}
+
+	case isa.OpJal:
+		set(in.Rd, s.PC+1)
+		r.NextPC = s.PC + 1 + imm
+	case isa.OpJalr:
+		// Read ra before the link write in case Rd == Ra.
+		target := ra + imm
+		set(in.Rd, s.PC+1)
+		r.NextPC = target
+
+	default:
+		panic(fmt.Sprintf("emu: unhandled opcode %v", in.Op))
+	}
+
+	s.PC = r.NextPC
+	return r
+}
+
+func boolToInt(b bool) int64 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+// Machine couples a program, a state and a memory into a runnable
+// functional machine.
+type Machine struct {
+	Prog   *isa.Program
+	State  State
+	Mem    *mem.Memory
+	halted bool
+
+	// Executed counts instructions retired, and CondBranches counts the
+	// conditional branches among them.
+	Executed     uint64
+	CondBranches uint64
+}
+
+// NewMachine returns a machine loaded with p, its data image applied, PC
+// at the entry point.
+func NewMachine(p *isa.Program) *Machine {
+	return &Machine{
+		Prog:  p,
+		State: State{PC: p.Entry},
+		Mem:   mem.NewFromImage(p.Data),
+	}
+}
+
+// Halted reports whether the machine has executed HALT.
+func (m *Machine) Halted() bool { return m.halted }
+
+// Fetch returns the instruction at pc. Out-of-range PCs decode as HALT,
+// so runaway wrong-path execution self-terminates harmlessly.
+func (m *Machine) Fetch(pc int64) isa.Instruction {
+	if pc < 0 || pc >= int64(len(m.Prog.Code)) {
+		return isa.Instruction{Op: isa.OpHalt}
+	}
+	return m.Prog.Code[pc]
+}
+
+// Step executes one instruction. It returns the executed instruction, its
+// effect, and ErrHalted if the machine had already halted.
+func (m *Machine) Step() (isa.Instruction, Result, error) {
+	if m.halted {
+		return isa.Instruction{}, Result{}, ErrHalted
+	}
+	in := m.Fetch(m.State.PC)
+	res := Exec(&m.State, m.Mem, in)
+	m.Executed++
+	if in.Op.IsCondBranch() {
+		m.CondBranches++
+	}
+	if res.Halted {
+		m.halted = true
+	}
+	return in, res, nil
+}
+
+// Run executes until HALT or until maxInstructions have retired
+// (0 = unlimited). It returns the number of instructions executed and an
+// error if the limit was hit before the program halted.
+func (m *Machine) Run(maxInstructions uint64) (uint64, error) {
+	start := m.Executed
+	for !m.halted {
+		if maxInstructions > 0 && m.Executed-start >= maxInstructions {
+			return m.Executed - start, fmt.Errorf("emu: %s did not halt within %d instructions",
+				m.Prog.Name, maxInstructions)
+		}
+		if _, _, err := m.Step(); err != nil {
+			return m.Executed - start, err
+		}
+	}
+	return m.Executed - start, nil
+}

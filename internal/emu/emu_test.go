@@ -1,0 +1,318 @@
+package emu
+
+import (
+	"testing"
+	"testing/quick"
+
+	"specctrl/internal/isa"
+	"specctrl/internal/mem"
+)
+
+// run assembles the body into a program, runs it to completion, and
+// returns the machine.
+func run(t *testing.T, build func(b *isa.Builder)) *Machine {
+	t.Helper()
+	b := isa.NewBuilder("test")
+	build(b)
+	p, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := NewMachine(p)
+	if _, err := m.Run(1_000_000); err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestArithmetic(t *testing.T) {
+	m := run(t, func(b *isa.Builder) {
+		b.Li(1, 10).Li(2, 3)
+		b.Add(3, 1, 2)   // 13
+		b.Sub(4, 1, 2)   // 7
+		b.Mul(5, 1, 2)   // 30
+		b.Div(6, 1, 2)   // 3
+		b.Rem(7, 1, 2)   // 1
+		b.Slt(8, 2, 1)   // 1
+		b.Slt(9, 1, 2)   // 0
+		b.Sltu(10, 1, 2) // 0
+		b.Halt()
+	})
+	want := map[isa.Reg]int64{3: 13, 4: 7, 5: 30, 6: 3, 7: 1, 8: 1, 9: 0, 10: 0}
+	for r, v := range want {
+		if got := m.State.Regs[r]; got != v {
+			t.Errorf("r%d = %d, want %d", r, got, v)
+		}
+	}
+}
+
+func TestLogicAndShifts(t *testing.T) {
+	m := run(t, func(b *isa.Builder) {
+		b.Li(1, 0b1100).Li(2, 0b1010)
+		b.And(3, 1, 2) // 0b1000
+		b.Or(4, 1, 2)  // 0b1110
+		b.Xor(5, 1, 2) // 0b0110
+		b.Li(6, 2)
+		b.Shl(7, 1, 6) // 0b110000
+		b.Shr(8, 1, 6) // 0b11
+		b.Shli(9, 1, 1)
+		b.Shri(10, 1, 1)
+		b.Halt()
+	})
+	want := map[isa.Reg]int64{3: 8, 4: 14, 5: 6, 7: 48, 8: 3, 9: 24, 10: 6}
+	for r, v := range want {
+		if got := m.State.Regs[r]; got != v {
+			t.Errorf("r%d = %d, want %d", r, got, v)
+		}
+	}
+}
+
+func TestDivRemByZero(t *testing.T) {
+	m := run(t, func(b *isa.Builder) {
+		b.Li(1, 7)
+		b.Div(2, 1, isa.Zero)
+		b.Rem(3, 1, isa.Zero)
+		b.Halt()
+	})
+	if m.State.Regs[2] != 0 || m.State.Regs[3] != 0 {
+		t.Error("div/rem by zero should yield 0")
+	}
+}
+
+func TestShiftBeyond63Masked(t *testing.T) {
+	m := run(t, func(b *isa.Builder) {
+		b.Li(1, 1).Li(2, 64) // shift amount 64 masks to 0
+		b.Shl(3, 1, 2)
+		b.Halt()
+	})
+	if m.State.Regs[3] != 1 {
+		t.Errorf("1 << 64 (masked) = %d, want 1", m.State.Regs[3])
+	}
+}
+
+func TestZeroRegisterImmutable(t *testing.T) {
+	m := run(t, func(b *isa.Builder) {
+		b.Li(0, 99) // write to r0 must be discarded
+		b.Add(0, 0, 0)
+		b.Halt()
+	})
+	if m.State.Regs[0] != 0 {
+		t.Errorf("r0 = %d, want 0", m.State.Regs[0])
+	}
+}
+
+func TestLuiAndImmediates(t *testing.T) {
+	m := run(t, func(b *isa.Builder) {
+		b.Lui(1, 3)       // 3 << 16
+		b.Ori(1, 1, 0x21) // | 0x21
+		b.Slti(2, 1, 1<<20)
+		b.Muli(3, 1, 2)
+		b.Halt()
+	})
+	want := int64(3<<16 | 0x21)
+	if m.State.Regs[1] != want {
+		t.Errorf("lui/ori = %d, want %d", m.State.Regs[1], want)
+	}
+	if m.State.Regs[2] != 1 {
+		t.Error("slti failed")
+	}
+	if m.State.Regs[3] != want*2 {
+		t.Error("muli failed")
+	}
+}
+
+func TestLoadStore(t *testing.T) {
+	m := run(t, func(b *isa.Builder) {
+		b.Word(100, 55)
+		b.Li(1, 100)
+		b.Ld(2, 1, 0) // r2 = 55
+		b.St(2, 1, 1) // mem[101] = 55
+		b.Ld(3, 1, 1) // r3 = 55
+		b.Halt()
+	})
+	if m.State.Regs[2] != 55 || m.State.Regs[3] != 55 {
+		t.Error("load/store round trip failed")
+	}
+	if m.Mem.Read(101) != 55 {
+		t.Error("store not visible in memory")
+	}
+}
+
+func TestBranchesEachDirection(t *testing.T) {
+	m := run(t, func(b *isa.Builder) {
+		b.Li(1, 5).Li(2, 5).Li(3, 6)
+		b.Beq(1, 2, "t1")
+		b.Li(10, 1) // skipped
+		b.Label("t1")
+		b.Bne(1, 3, "t2")
+		b.Li(11, 1) // skipped
+		b.Label("t2")
+		b.Blt(1, 3, "t3")
+		b.Li(12, 1) // skipped
+		b.Label("t3")
+		b.Bge(3, 1, "t4")
+		b.Li(13, 1) // skipped
+		b.Label("t4")
+		// Not-taken cases:
+		b.Beq(1, 3, "bad")
+		b.Bne(1, 2, "bad")
+		b.Blt(3, 1, "bad")
+		b.Bge(1, 3, "bad")
+		b.Li(20, 7)
+		b.Halt()
+		b.Label("bad")
+		b.Li(21, 1)
+		b.Halt()
+	})
+	for _, r := range []isa.Reg{10, 11, 12, 13, 21} {
+		if m.State.Regs[r] != 0 {
+			t.Errorf("r%d = %d, want 0 (wrong branch direction)", r, m.State.Regs[r])
+		}
+	}
+	if m.State.Regs[20] != 7 {
+		t.Error("fallthrough path not reached")
+	}
+}
+
+func TestCallRet(t *testing.T) {
+	m := run(t, func(b *isa.Builder) {
+		b.Li(1, 1)
+		b.Call("double")
+		b.Call("double")
+		b.Halt()
+		b.Label("double")
+		b.Add(1, 1, 1)
+		b.Ret()
+	})
+	if m.State.Regs[1] != 4 {
+		t.Errorf("after two doublings r1 = %d, want 4", m.State.Regs[1])
+	}
+}
+
+func TestJalrReadsBaseBeforeLink(t *testing.T) {
+	// jalr rd==ra: target must use the pre-link value.
+	b := isa.NewBuilder("t")
+	b.LiLabel(5, "target")
+	b.Jalr(5, 5, 0)
+	b.Li(1, 1) // skipped
+	b.Halt()
+	b.Label("target")
+	b.Li(2, 2)
+	b.Halt()
+	p := b.MustBuild()
+	m := NewMachine(p)
+	if _, err := m.Run(100); err != nil {
+		t.Fatal(err)
+	}
+	if m.State.Regs[2] != 2 || m.State.Regs[1] != 0 {
+		t.Error("jalr with rd==ra jumped to wrong target")
+	}
+}
+
+func TestLoopExecution(t *testing.T) {
+	m := run(t, func(b *isa.Builder) {
+		b.Li(1, 0).Li(2, 100)
+		b.Label("loop")
+		b.Addi(1, 1, 1)
+		b.Blt(1, 2, "loop")
+		b.Halt()
+	})
+	if m.State.Regs[1] != 100 {
+		t.Errorf("loop counter = %d, want 100", m.State.Regs[1])
+	}
+	if m.CondBranches != 100 {
+		t.Errorf("CondBranches = %d, want 100", m.CondBranches)
+	}
+}
+
+func TestOutOfRangePCHalts(t *testing.T) {
+	b := isa.NewBuilder("t")
+	b.Nop() // falls off the end
+	p := b.MustBuild()
+	m := NewMachine(p)
+	if _, err := m.Run(10); err != nil {
+		t.Fatalf("machine did not self-halt: %v", err)
+	}
+	if !m.Halted() {
+		t.Error("machine not halted after running off code end")
+	}
+}
+
+func TestStepAfterHalt(t *testing.T) {
+	b := isa.NewBuilder("t")
+	b.Halt()
+	m := NewMachine(b.MustBuild())
+	if _, _, err := m.Step(); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := m.Step(); err != ErrHalted {
+		t.Errorf("Step after halt: err = %v, want ErrHalted", err)
+	}
+}
+
+func TestRunLimit(t *testing.T) {
+	b := isa.NewBuilder("t")
+	b.Label("spin").Jump("spin")
+	m := NewMachine(b.MustBuild())
+	n, err := m.Run(500)
+	if err == nil {
+		t.Error("Run on infinite loop returned nil error")
+	}
+	if n != 500 {
+		t.Errorf("executed %d, want 500", n)
+	}
+}
+
+// TestExecPureALUDeterminism property: executing the same ALU instruction
+// from the same state always yields identical results and never touches
+// memory.
+func TestExecPureALUDeterminism(t *testing.T) {
+	ops := []isa.Op{isa.OpAdd, isa.OpSub, isa.OpAnd, isa.OpOr, isa.OpXor,
+		isa.OpShl, isa.OpShr, isa.OpMul, isa.OpDiv, isa.OpRem, isa.OpSlt, isa.OpSltu}
+	f := func(opIdx uint8, rd, ra, rb uint8, a, bv int64) bool {
+		in := isa.Instruction{
+			Op: ops[int(opIdx)%len(ops)],
+			Rd: isa.Reg(rd%31) + 1, // avoid r0 so the write is observable
+			Ra: isa.Reg(ra % isa.NumRegs),
+			Rb: isa.Reg(rb % isa.NumRegs),
+		}
+		mk := func() (*State, *mem.Memory) {
+			s := &State{}
+			s.Regs[in.Ra] = a
+			s.Regs[in.Rb] = bv
+			s.Regs[0] = 0
+			return s, mem.New()
+		}
+		s1, m1 := mk()
+		s2, m2 := mk()
+		r1 := Exec(s1, m1, in)
+		r2 := Exec(s2, m2, in)
+		_, w1 := m1.Stats()
+		reads1, _ := m1.Stats()
+		_ = reads1
+		if w1 != 0 {
+			return false
+		}
+		return r1 == r2 && *s1 == *s2
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 1000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkEmulatorLoop(b *testing.B) {
+	bb := isa.NewBuilder("bench")
+	bb.Li(1, 0)
+	bb.Li(2, 1<<30)
+	bb.Label("loop")
+	bb.Addi(1, 1, 1)
+	bb.Blt(1, 2, "loop")
+	bb.Halt()
+	m := NewMachine(bb.MustBuild())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := m.Step(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,166 @@
+// Package experiments reproduces every table and figure in the paper's
+// evaluation. Each experiment has a driver returning structured results
+// plus a Render method producing a paper-style text table; cmd/simctrl
+// exposes them on the command line and bench_test.go regenerates them as
+// Go benchmarks.
+//
+// Experiment index (see DESIGN.md for the full mapping):
+//
+//	Table1   program characteristics and speculation ratios
+//	Table2   four estimators × three predictors, suite means
+//	Table3   Both-Strong vs Either-Strong on McFarling, per benchmark
+//	Table4   misprediction-distance estimator vs the others
+//	Fig1     analytic PVP/PVN parameter curves
+//	Fig3     JRS base vs enhanced threshold sweep (gshare)
+//	Fig4/5   JRS design space (entries × threshold) on gshare/McFarling
+//	Fig6..9  precise/perceived misprediction distance curves
+//	Misest   confidence mis-estimation clustering (§4.1)
+//	Boost    consecutive-low-confidence boosting (§4.2)
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"specctrl/internal/bpred"
+	"specctrl/internal/conf"
+	"specctrl/internal/pipeline"
+	"specctrl/internal/profile"
+	"specctrl/internal/workload"
+)
+
+// Params scales and configures every experiment.
+type Params struct {
+	// MaxCommitted caps committed instructions per simulation run.
+	MaxCommitted uint64
+	// BuildIters is the workload outer-iteration count; it must be
+	// large enough that no program halts before MaxCommitted.
+	BuildIters int
+	// Predictor geometries (paper defaults in DefaultParams).
+	GshareBits  uint
+	McFBits     uint
+	SAgBHTBits  uint
+	SAgHistBits uint
+	// StaticThreshold is the static estimator's profile threshold.
+	StaticThreshold float64
+	// Pipeline is the simulator configuration.
+	Pipeline pipeline.Config
+	// Progress, when non-nil, receives one line per simulation run.
+	Progress func(msg string)
+}
+
+// DefaultParams returns the paper's configuration at a laptop-scale run
+// length (raise MaxCommitted for tighter confidence intervals).
+func DefaultParams() Params {
+	cfg := pipeline.DefaultConfig()
+	cfg.MaxCycles = 4_000_000_000
+	return Params{
+		MaxCommitted:    2_000_000,
+		BuildIters:      1 << 30,
+		GshareBits:      12, // 4096-entry gshare
+		McFBits:         12,
+		SAgBHTBits:      11, // 2048 histories
+		SAgHistBits:     13, // 8192 counters
+		StaticThreshold: 0.90,
+		Pipeline:        cfg,
+	}
+}
+
+// TestParams returns a reduced configuration for unit tests.
+func TestParams() Params {
+	p := DefaultParams()
+	p.MaxCommitted = 120_000
+	return p
+}
+
+func (p Params) progress(format string, args ...interface{}) {
+	if p.Progress != nil {
+		p.Progress(fmt.Sprintf(format, args...))
+	}
+}
+
+// PredictorSpec names a predictor configuration and builds fresh
+// instances of it (every run needs untrained tables).
+type PredictorSpec struct {
+	Name string
+	New  func(p Params) bpred.Predictor
+	// HistBits is the history length the pattern estimator should
+	// classify for this predictor.
+	HistBits func(p Params) uint
+}
+
+// GshareSpec is the paper's speculative gshare configuration.
+func GshareSpec() PredictorSpec {
+	return PredictorSpec{
+		Name:     "gshare",
+		New:      func(p Params) bpred.Predictor { return bpred.NewGshare(p.GshareBits) },
+		HistBits: func(p Params) uint { return p.GshareBits },
+	}
+}
+
+// McFarlingSpec is the paper's speculative McFarling configuration.
+func McFarlingSpec() PredictorSpec {
+	return PredictorSpec{
+		Name:     "mcfarling",
+		New:      func(p Params) bpred.Predictor { return bpred.NewMcFarling(p.McFBits) },
+		HistBits: func(p Params) uint { return p.McFBits },
+	}
+}
+
+// SAgSpec is the paper's non-speculative SAg configuration.
+func SAgSpec() PredictorSpec {
+	return PredictorSpec{
+		Name:     "sag",
+		New:      func(p Params) bpred.Predictor { return bpred.NewSAg(p.SAgBHTBits, p.SAgHistBits) },
+		HistBits: func(p Params) uint { return p.SAgHistBits },
+	}
+}
+
+// AllPredictors returns the three specs in the paper's column order.
+func AllPredictors() []PredictorSpec {
+	return []PredictorSpec{GshareSpec(), McFarlingSpec(), SAgSpec()}
+}
+
+// SatCntFor returns the saturating-counters estimator variant matching
+// the predictor (§3.3.1: McFarling uses the two-component variant).
+func SatCntFor(spec PredictorSpec, variant conf.McFarlingVariant) conf.Estimator {
+	if spec.Name == "mcfarling" {
+		return conf.SatCountersMcFarling{Variant: variant}
+	}
+	return conf.SatCounters{}
+}
+
+// runOne simulates one workload on one predictor with the given
+// estimators and returns the statistics.
+func (p Params) runOne(w workload.Workload, spec PredictorSpec, record bool, ests ...conf.Estimator) (*pipeline.Stats, error) {
+	cfg := p.Pipeline
+	cfg.MaxCommitted = p.MaxCommitted
+	cfg.RecordEvents = record
+	sim := pipeline.New(cfg, w.Build(p.BuildIters), spec.New(p), ests...)
+	p.progress("run %-9s on %-9s (%d estimators)", w.Name, spec.Name, len(ests))
+	return sim.Run()
+}
+
+// staticFor runs the profiling pass and builds the static estimator for
+// one (workload, predictor) pair.
+func (p Params) staticFor(w workload.Workload, spec PredictorSpec) (conf.Static, error) {
+	cfg := p.Pipeline
+	cfg.MaxCommitted = p.MaxCommitted
+	p.progress("profile %-9s on %-9s", w.Name, spec.Name)
+	return profile.Collect(cfg, w.Build(p.BuildIters), spec.New(p),
+		profile.Options{Threshold: p.StaticThreshold})
+}
+
+// suite returns the benchmark suite (indirection point for tests).
+func suite() []workload.Workload { return workload.Suite() }
+
+// pct formats a ratio as a percentage column.
+func pct(v float64) string { return fmt.Sprintf("%3.0f%%", v*100) }
+
+// pct1 formats a ratio as a percentage with one decimal.
+func pct1(v float64) string { return fmt.Sprintf("%5.1f%%", v*100) }
+
+// header renders an underlined table title.
+func header(title string) string {
+	return title + "\n" + strings.Repeat("=", len(title)) + "\n"
+}

@@ -1,0 +1,80 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"specctrl/internal/metrics"
+)
+
+// Fig1Point is one point of a parametric curve in the PVP-PVN plane.
+type Fig1Point struct {
+	Varied   float64 // value of the swept parameter
+	PVP, PVN float64
+}
+
+// Fig1Curve is one line of the paper's Figure 1: two of {SENS, SPEC,
+// accuracy} held fixed while the third sweeps 0..1; markers at deciles.
+type Fig1Curve struct {
+	Label  string
+	Points []Fig1Point
+}
+
+// Fig1Result holds the figure's curves.
+type Fig1Result struct {
+	Curves []Fig1Curve
+}
+
+// Fig1 generates the paper's analytic curves. No simulation is involved:
+// the curves are the Bayes identities linking PVP and PVN to sensitivity,
+// specificity and prediction accuracy, plotted for the representative
+// parameter values the paper uses.
+func Fig1(p Params) *Fig1Result {
+	res := &Fig1Result{}
+	step := 0.1
+	sweep := func(label string, f func(v float64) (pvp, pvn float64)) {
+		c := Fig1Curve{Label: label}
+		for v := step; v < 1.0+1e-9; v += step {
+			pvp, pvn := f(v)
+			c.Points = append(c.Points, Fig1Point{Varied: v, PVP: pvp, PVN: pvn})
+		}
+		res.Curves = append(res.Curves, c)
+	}
+	// Vary SPEC at fixed (SENS, p) pairs.
+	for _, cfg := range []struct{ sens, acc float64 }{{0.7, 0.7}, {0.7, 0.9}} {
+		cfg := cfg
+		sweep(fmt.Sprintf("SENS=%.0f%% p=%.0f%% vary SPEC", cfg.sens*100, cfg.acc*100),
+			func(v float64) (float64, float64) {
+				return metrics.AnalyticPVP(cfg.sens, v, cfg.acc),
+					metrics.AnalyticPVN(cfg.sens, v, cfg.acc)
+			})
+	}
+	// Vary SENS at fixed (SPEC, p) pairs.
+	for _, cfg := range []struct{ spec, acc float64 }{{0.7, 0.7}, {0.7, 0.9}, {0.99, 0.9}} {
+		cfg := cfg
+		sweep(fmt.Sprintf("SPEC=%.0f%% p=%.0f%% vary SENS", cfg.spec*100, cfg.acc*100),
+			func(v float64) (float64, float64) {
+				return metrics.AnalyticPVP(v, cfg.spec, cfg.acc),
+					metrics.AnalyticPVN(v, cfg.spec, cfg.acc)
+			})
+	}
+	// Vary accuracy at fixed (SENS, SPEC).
+	sweep("SENS=70% SPEC=70% vary p", func(v float64) (float64, float64) {
+		return metrics.AnalyticPVP(0.7, 0.7, v), metrics.AnalyticPVN(0.7, 0.7, v)
+	})
+	return res
+}
+
+// Render prints each curve as decile-marked (param, PVP, PVN) rows.
+func (r *Fig1Result) Render() string {
+	var b strings.Builder
+	b.WriteString(header("Figure 1: parametric PVP/PVN curves (analytic)"))
+	for _, c := range r.Curves {
+		fmt.Fprintf(&b, "%s\n", c.Label)
+		fmt.Fprintf(&b, "  %6s %6s %6s\n", "param", "pvp", "pvn")
+		for _, pt := range c.Points {
+			fmt.Fprintf(&b, "  %5.0f%% %5.1f%% %5.1f%%\n", pt.Varied*100, pt.PVP*100, pt.PVN*100)
+		}
+	}
+	return b.String()
+}

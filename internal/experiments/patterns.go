@@ -1,0 +1,98 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"specctrl/internal/conf"
+)
+
+// PatternsRow summarizes one predictor's history-pattern distribution
+// over the suite.
+type PatternsRow struct {
+	Predictor string
+	// Distinct is the mean number of distinct history patterns seen.
+	Distinct float64
+	// Coverage8/Accuracy8 describe the top-8 most frequent patterns:
+	// the branch fraction they cover and the prediction accuracy over
+	// that fraction (suite means).
+	Coverage8 float64
+	Accuracy8 float64
+	// LickCoverage/LickAccuracy do the same for Lick et al's fixed
+	// confident-pattern set (all/almost-all-taken, all/almost-all-not,
+	// alternating).
+	LickCoverage float64
+	LickAccuracy float64
+}
+
+// PatternsResult reproduces the measurement behind §3.2's observation:
+// per-branch (SAg) histories concentrate in a few highly accurate
+// patterns, so a fixed pattern set makes a good estimator; global
+// (gshare) histories spread thin, so the same set covers almost nothing.
+type PatternsResult struct {
+	Rows []PatternsRow
+}
+
+// Patterns profiles history-pattern dominance under gshare and SAg.
+func Patterns(p Params) (*PatternsResult, error) {
+	res := &PatternsResult{}
+	for _, spec := range []PredictorSpec{GshareSpec(), SAgSpec()} {
+		bits := spec.HistBits(p)
+		var row PatternsRow
+		row.Predictor = spec.Name
+		lick := conf.NewPatternHistory(bits)
+		n := 0.0
+		for _, w := range suite() {
+			prof := NewPatternCollector(bits)
+			st, err := p.runOne(w, spec, false, prof.Profiler, lick)
+			if err != nil {
+				return nil, fmt.Errorf("patterns %s/%s: %w", w.Name, spec.Name, err)
+			}
+			cov, acc := prof.Profiler.Dominance(8)
+			row.Distinct += float64(prof.Profiler.Patterns())
+			row.Coverage8 += cov
+			row.Accuracy8 += acc
+			// Lick set coverage/accuracy from the estimator quadrant:
+			// coverage = fraction marked HC; accuracy over that set = PVP.
+			q := st.Confidence[1].CommittedQ
+			row.LickCoverage += float64(q.Chc+q.Ihc) / float64(q.Total())
+			row.LickAccuracy += q.PVP()
+			n++
+		}
+		row.Distinct /= n
+		row.Coverage8 /= n
+		row.Accuracy8 /= n
+		row.LickCoverage /= n
+		row.LickAccuracy /= n
+		res.Rows = append(res.Rows, row)
+	}
+	return res, nil
+}
+
+// PatternCollector wraps a PatternProfiler for use in runOne.
+type PatternCollector struct {
+	Profiler *conf.PatternProfiler
+}
+
+// NewPatternCollector builds a collector for histBits-long histories.
+func NewPatternCollector(histBits uint) PatternCollector {
+	return PatternCollector{Profiler: conf.NewPatternProfiler(histBits)}
+}
+
+// Render prints the dominance table.
+func (r *PatternsResult) Render() string {
+	var b strings.Builder
+	b.WriteString(header("History-pattern dominance (§3.2): why the pattern estimator needs per-branch history"))
+	fmt.Fprintf(&b, "%-9s %9s | %7s %7s | %9s %9s\n",
+		"predictor", "patterns", "top8cov", "top8acc", "lick-cov", "lick-acc")
+	for _, row := range r.Rows {
+		fmt.Fprintf(&b, "%-9s %9.0f | %6.1f%% %6.1f%% | %8.1f%% %8.1f%%\n",
+			row.Predictor, row.Distinct, row.Coverage8*100, row.Accuracy8*100,
+			row.LickCoverage*100, row.LickAccuracy*100)
+	}
+	b.WriteString("\nReading: under SAg a handful of per-branch patterns cover most branches\n")
+	b.WriteString("at high accuracy, so a fixed confident-pattern set works; under gshare\n")
+	b.WriteString("the global history disperses over thousands of patterns and the same\n")
+	b.WriteString("set covers almost nothing — the paper's §3.2 observation.\n")
+	return b.String()
+}

@@ -1,0 +1,112 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"specctrl/internal/conf"
+	"specctrl/internal/metrics"
+)
+
+// Table4Row is one (estimator, predictor) suite-mean row of the paper's
+// Table 4, which positions the misprediction-distance estimator against
+// JRS, saturating counters and static profiling.
+type Table4Row struct {
+	Estimator string
+	Threshold string
+	Predictor string
+	Metrics   metrics.Metrics
+}
+
+// Table4Result is the full table.
+type Table4Result struct {
+	Rows []Table4Row
+}
+
+// Table4 runs, per workload, one gshare simulation and one McFarling
+// simulation carrying every estimator in the table (JRS, saturating
+// counters, distance thresholds 1..7), plus the static profiling pass,
+// plus a SAg run for the history-pattern reference row.
+func Table4(p Params) (*Table4Result, error) {
+	const distMax = 7
+	type key struct{ est, pred string }
+	perApp := map[key][]metrics.Quadrant{}
+	rowOrder := []key{}
+	addQ := func(k key, q metrics.Quadrant) {
+		if _, seen := perApp[k]; !seen {
+			rowOrder = append(rowOrder, k)
+		}
+		perApp[k] = append(perApp[k], q)
+	}
+
+	for _, w := range suite() {
+		for _, spec := range []PredictorSpec{GshareSpec(), McFarlingSpec()} {
+			static, err := p.staticFor(w, spec)
+			if err != nil {
+				return nil, fmt.Errorf("table4 static %s/%s: %w", w.Name, spec.Name, err)
+			}
+			ests := []conf.Estimator{
+				conf.NewJRS(conf.JRSConfig{Entries: 4096, Bits: 4, Threshold: 15, Enhanced: true}),
+				SatCntFor(spec, conf.BothStrong),
+				static,
+			}
+			names := []key{
+				{"JRS >=15", spec.Name},
+				{"Satur. Cntrs", spec.Name},
+				{"Static >90%", spec.Name},
+			}
+			for d := 1; d <= distMax; d++ {
+				ests = append(ests, conf.NewDistance(d))
+				names = append(names, key{fmt.Sprintf("Distance >%d", d), spec.Name})
+			}
+			st, err := p.runOne(w, spec, false, ests...)
+			if err != nil {
+				return nil, fmt.Errorf("table4 %s/%s: %w", w.Name, spec.Name, err)
+			}
+			for i, k := range names {
+				addQ(k, st.Confidence[i].CommittedQ)
+			}
+		}
+		// History-pattern reference row on SAg.
+		sag := SAgSpec()
+		st, err := p.runOne(w, sag, false, conf.NewPatternHistory(sag.HistBits(p)))
+		if err != nil {
+			return nil, fmt.Errorf("table4 %s/sag: %w", w.Name, err)
+		}
+		addQ(key{"Hist. Pattern", "sag"}, st.Confidence[0].CommittedQ)
+	}
+
+	res := &Table4Result{}
+	for _, k := range rowOrder {
+		res.Rows = append(res.Rows, Table4Row{
+			Estimator: k.est,
+			Predictor: k.pred,
+			Metrics:   metrics.AggregateNormalized(perApp[k]).Compute(),
+		})
+	}
+	return res, nil
+}
+
+// Find returns the row for the given estimator label and predictor.
+func (r *Table4Result) Find(estimator, predictor string) (Table4Row, bool) {
+	for _, row := range r.Rows {
+		if row.Estimator == estimator && row.Predictor == predictor {
+			return row, true
+		}
+	}
+	return Table4Row{}, false
+}
+
+// Render produces the paper-style text table.
+func (r *Table4Result) Render() string {
+	var b strings.Builder
+	b.WriteString(header("Table 4: misprediction distance as confidence estimator (suite means)"))
+	fmt.Fprintf(&b, "%-14s %-10s %5s %5s %5s %5s\n",
+		"estimator", "predictor", "sens", "spec", "pvp", "pvn")
+	for _, row := range r.Rows {
+		m := row.Metrics
+		fmt.Fprintf(&b, "%-14s %-10s %s %s %s %s\n",
+			row.Estimator, row.Predictor, pct(m.Sens), pct(m.Spec), pct(m.PVP), pct(m.PVN))
+	}
+	return b.String()
+}

@@ -1,0 +1,146 @@
+// Package gating implements pipeline gating, the power-conservation
+// application of confidence estimation the paper motivates (§2.2,
+// "Power conservation", and its companion ISCA'98 paper by Manne et al.).
+//
+// Mechanism: the front end counts in-flight *low-confidence* branches;
+// when the count reaches the gating threshold, instruction fetch is
+// gated (stalled) until a branch resolves. Gating trades a small
+// slowdown for a large reduction in *extra work* — wrong-path
+// instructions that would be fetched, decoded and executed only to be
+// squashed. The confidence estimator's SPEC and PVN govern the trade:
+// high SPEC exposes more gating opportunities, high PVN keeps the
+// slowdown low because the gated paths really were doomed.
+package gating
+
+import (
+	"fmt"
+	"strings"
+
+	"specctrl/internal/bpred"
+	"specctrl/internal/conf"
+	"specctrl/internal/isa"
+	"specctrl/internal/pipeline"
+)
+
+// Config parameterizes a gating run.
+type Config struct {
+	// Threshold gates fetch while the number of in-flight
+	// low-confidence branches is >= Threshold. Manne et al. found small
+	// thresholds (1-2) effective.
+	Threshold int
+	// Pipeline is the underlying machine configuration.
+	Pipeline pipeline.Config
+}
+
+// Validate checks the configuration.
+func (c Config) Validate() error {
+	if c.Threshold < 1 {
+		return fmt.Errorf("gating: threshold %d < 1", c.Threshold)
+	}
+	return c.Pipeline.Validate()
+}
+
+// Result compares a gated run against its ungated baseline on the same
+// program, predictor configuration and estimator configuration.
+type Result struct {
+	Baseline *pipeline.Stats
+	Gated    *pipeline.Stats
+}
+
+// ExtraWorkReduction returns the fraction of wrong-path instructions
+// eliminated by gating.
+func (r *Result) ExtraWorkReduction() float64 {
+	if r.Baseline.WrongPath == 0 {
+		return 0
+	}
+	return 1 - float64(r.Gated.WrongPath)/float64(r.Baseline.WrongPath)
+}
+
+// Slowdown returns the relative execution-time increase of the gated run
+// (cycles per committed instruction, so capped runs compare fairly).
+func (r *Result) Slowdown() float64 {
+	base := float64(r.Baseline.Cycles) / float64(r.Baseline.Committed)
+	gated := float64(r.Gated.Cycles) / float64(r.Gated.Committed)
+	return gated/base - 1
+}
+
+// Run executes the baseline and the gated simulation. newPred and newEst
+// must build fresh instances (tables start cold in both runs).
+func Run(cfg Config, prog *isa.Program, newPred func() bpred.Predictor, newEst func() conf.Estimator) (*Result, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	base := pipeline.New(cfg.Pipeline, prog, newPred(), newEst())
+	baseStats, err := base.Run()
+	if err != nil {
+		return nil, fmt.Errorf("gating baseline: %w", err)
+	}
+
+	sim := pipeline.New(cfg.Pipeline, prog, newPred(), newEst())
+	for {
+		allow := sim.PendingLowConf() < cfg.Threshold
+		done, err := sim.Tick(allow)
+		if err != nil {
+			return nil, fmt.Errorf("gating run: %w", err)
+		}
+		if done {
+			break
+		}
+	}
+	return &Result{Baseline: baseStats, Gated: sim.Finish()}, nil
+}
+
+// SuiteRow is one benchmark's gating outcome.
+type SuiteRow struct {
+	Name               string
+	BaselineExtraWork  float64 // wrong-path / committed instructions
+	GatedExtraWork     float64
+	ExtraWorkReduction float64
+	Slowdown           float64
+	GatedCycles        uint64
+}
+
+// SuiteResult aggregates gating over a set of workloads.
+type SuiteResult struct {
+	Estimator string
+	Threshold int
+	Rows      []SuiteRow
+}
+
+// EvaluateSuite runs gating over the given programs.
+func EvaluateSuite(cfg Config, progs map[string]*isa.Program, newPred func() bpred.Predictor, newEst func() conf.Estimator, order []string) (*SuiteResult, error) {
+	res := &SuiteResult{Estimator: newEst().Name(), Threshold: cfg.Threshold}
+	for _, name := range order {
+		prog, ok := progs[name]
+		if !ok {
+			return nil, fmt.Errorf("gating: missing program %q", name)
+		}
+		r, err := Run(cfg, prog, newPred, newEst)
+		if err != nil {
+			return nil, fmt.Errorf("gating %s: %w", name, err)
+		}
+		res.Rows = append(res.Rows, SuiteRow{
+			Name:               name,
+			BaselineExtraWork:  float64(r.Baseline.WrongPath) / float64(r.Baseline.Committed),
+			GatedExtraWork:     float64(r.Gated.WrongPath) / float64(r.Gated.Committed),
+			ExtraWorkReduction: r.ExtraWorkReduction(),
+			Slowdown:           r.Slowdown(),
+			GatedCycles:        r.Gated.GatedCycles,
+		})
+	}
+	return res, nil
+}
+
+// Render prints the gating table.
+func (r *SuiteResult) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Pipeline gating: estimator %s, threshold %d\n", r.Estimator, r.Threshold)
+	fmt.Fprintf(&b, "%-9s %11s %11s %10s %9s\n",
+		"app", "extra-work", "gated-ew", "reduction", "slowdown")
+	for _, row := range r.Rows {
+		fmt.Fprintf(&b, "%-9s %10.1f%% %10.1f%% %9.1f%% %8.2f%%\n",
+			row.Name, row.BaselineExtraWork*100, row.GatedExtraWork*100,
+			row.ExtraWorkReduction*100, row.Slowdown*100)
+	}
+	return b.String()
+}

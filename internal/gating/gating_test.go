@@ -1,0 +1,153 @@
+package gating
+
+import (
+	"strings"
+	"testing"
+
+	"specctrl/internal/bpred"
+	"specctrl/internal/conf"
+	"specctrl/internal/isa"
+	"specctrl/internal/pipeline"
+	"specctrl/internal/workload"
+)
+
+func pcfg() pipeline.Config {
+	c := pipeline.DefaultConfig()
+	c.MaxCommitted = 150_000
+	c.MaxCycles = 20_000_000
+	return c
+}
+
+func buildProg(t *testing.T, name string) *isa.Program {
+	t.Helper()
+	w, err := workload.ByName(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return w.Build(1 << 30)
+}
+
+func newGshare() bpred.Predictor { return bpred.NewGshare(12) }
+
+func newJRS() conf.Estimator { return conf.NewJRS(conf.DefaultJRS) }
+
+func TestGatingReducesExtraWork(t *testing.T) {
+	// On a hostile workload (go), gating at the threshold-2 operating
+	// point must remove a substantial share of wrong-path work at a
+	// modest slowdown (the Manne et al. trade-off).
+	cfg := Config{Threshold: 2, Pipeline: pcfg()}
+	r, err := Run(cfg, buildProg(t, "go"), newGshare, newJRS)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if red := r.ExtraWorkReduction(); red < 0.15 {
+		t.Errorf("extra-work reduction %.3f, want >= 15%%", red)
+	}
+	if slow := r.Slowdown(); slow > 0.15 {
+		t.Errorf("slowdown %.3f too high", slow)
+	}
+	if r.Gated.GatedCycles == 0 {
+		t.Error("no cycles were actually gated")
+	}
+	// The aggressive threshold-1 point trades much more slowdown for
+	// much more reduction.
+	r1, err := Run(Config{Threshold: 1, Pipeline: pcfg()}, buildProg(t, "go"), newGshare, newJRS)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.ExtraWorkReduction() <= r.ExtraWorkReduction() {
+		t.Error("threshold 1 should remove more extra work than threshold 2")
+	}
+}
+
+func TestGatingPreservesArchitecturalWork(t *testing.T) {
+	// Gating changes timing only: committed counts must match.
+	cfg := Config{Threshold: 1, Pipeline: pcfg()}
+	r, err := Run(cfg, buildProg(t, "compress"), newGshare, newJRS)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Both runs cap at MaxCommitted; committed work must agree within a
+	// fetch group.
+	diff := int64(r.Gated.Committed) - int64(r.Baseline.Committed)
+	if diff < -8 || diff > 8 {
+		t.Errorf("committed work differs: baseline %d gated %d",
+			r.Baseline.Committed, r.Gated.Committed)
+	}
+}
+
+func TestHigherThresholdGatesLess(t *testing.T) {
+	prog := buildProg(t, "go")
+	r1, err := Run(Config{Threshold: 1, Pipeline: pcfg()}, prog, newGshare, newJRS)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r3, err := Run(Config{Threshold: 3, Pipeline: pcfg()}, prog, newGshare, newJRS)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r3.Gated.GatedCycles >= r1.Gated.GatedCycles {
+		t.Errorf("threshold 3 gated %d cycles, threshold 1 gated %d; want fewer",
+			r3.Gated.GatedCycles, r1.Gated.GatedCycles)
+	}
+	if r3.Slowdown() > r1.Slowdown()+0.01 {
+		t.Errorf("threshold 3 slowdown %.3f should not exceed threshold 1 %.3f",
+			r3.Slowdown(), r1.Slowdown())
+	}
+}
+
+func TestBetterEstimatorGatesBetter(t *testing.T) {
+	// Gating with AlwaysLC gates on every branch — big slowdown.
+	// Gating with a real estimator must hurt much less per unit of
+	// extra work removed.
+	prog := buildProg(t, "compress")
+	blind, err := Run(Config{Threshold: 1, Pipeline: pcfg()}, prog, newGshare,
+		func() conf.Estimator { return conf.Always{High: false} })
+	if err != nil {
+		t.Fatal(err)
+	}
+	jrs, err := Run(Config{Threshold: 1, Pipeline: pcfg()}, prog, newGshare, newJRS)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if jrs.Slowdown() >= blind.Slowdown() {
+		t.Errorf("JRS slowdown %.3f should beat AlwaysLC %.3f",
+			jrs.Slowdown(), blind.Slowdown())
+	}
+}
+
+func TestEvaluateSuite(t *testing.T) {
+	progs := map[string]*isa.Program{}
+	order := []string{"compress", "go"}
+	for _, n := range order {
+		progs[n] = buildProg(t, n)
+	}
+	res, err := EvaluateSuite(Config{Threshold: 1, Pipeline: pcfg()}, progs, newGshare, newJRS, order)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 2 {
+		t.Fatalf("suite rows = %d", len(res.Rows))
+	}
+	out := res.Render()
+	if !strings.Contains(out, "compress") || !strings.Contains(out, "reduction") {
+		t.Errorf("render incomplete:\n%s", out)
+	}
+}
+
+func TestEvaluateSuiteMissingProgram(t *testing.T) {
+	_, err := EvaluateSuite(Config{Threshold: 1, Pipeline: pcfg()},
+		map[string]*isa.Program{}, newGshare, newJRS, []string{"compress"})
+	if err == nil {
+		t.Error("missing program not reported")
+	}
+}
+
+func TestConfigValidate(t *testing.T) {
+	if err := (Config{Threshold: 0, Pipeline: pcfg()}).Validate(); err == nil {
+		t.Error("threshold 0 accepted")
+	}
+	if err := (Config{Threshold: 1, Pipeline: pipeline.Config{}}).Validate(); err == nil {
+		t.Error("invalid pipeline accepted")
+	}
+}

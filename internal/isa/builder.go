@@ -1,0 +1,338 @@
+package isa
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Builder assembles a Program incrementally. It supports named labels with
+// forward references (fixed up in Build), initial data placement, and
+// convenience emitters for every instruction. Emitters return the builder
+// so short sequences can be chained.
+//
+// All control-flow emitters take label names rather than raw displacements;
+// Build resolves them to PC-relative offsets (branches, JAL) as required by
+// the encoding.
+type Builder struct {
+	name   string
+	code   []Instruction
+	data   map[int64]int64
+	labels map[string]int64
+	// fixups maps code index -> label whose resolved PC-relative
+	// displacement must be written into the Imm field.
+	fixups map[int]string
+	// absFixups maps code index -> label whose absolute code address
+	// must be written into the Imm field (for computed jumps via Li).
+	absFixups map[int]string
+	errs      []error
+}
+
+// NewBuilder returns an empty Builder for a program with the given name.
+func NewBuilder(name string) *Builder {
+	return &Builder{
+		name:      name,
+		data:      make(map[int64]int64),
+		labels:    make(map[string]int64),
+		fixups:    make(map[int]string),
+		absFixups: make(map[int]string),
+	}
+}
+
+// PC returns the address that the next emitted instruction will occupy.
+func (b *Builder) PC() int64 { return int64(len(b.code)) }
+
+// Label defines name at the current PC. Redefinition is an error reported
+// by Build.
+func (b *Builder) Label(name string) *Builder {
+	if _, ok := b.labels[name]; ok {
+		b.errs = append(b.errs, fmt.Errorf("isa: label %q redefined", name))
+		return b
+	}
+	b.labels[name] = b.PC()
+	return b
+}
+
+// Word places value at the given word address in the initial data image.
+func (b *Builder) Word(addr, value int64) *Builder {
+	b.data[addr] = value
+	return b
+}
+
+// Words places a run of values starting at addr.
+func (b *Builder) Words(addr int64, values ...int64) *Builder {
+	for i, v := range values {
+		b.data[addr+int64(i)] = v
+	}
+	return b
+}
+
+func (b *Builder) emit(in Instruction) *Builder {
+	b.code = append(b.code, in)
+	return b
+}
+
+// Nop emits a no-op.
+func (b *Builder) Nop() *Builder { return b.emit(Instruction{Op: OpNop}) }
+
+// Halt emits a machine stop.
+func (b *Builder) Halt() *Builder { return b.emit(Instruction{Op: OpHalt}) }
+
+// --- register-register ALU ---
+
+// Add emits rd = ra + rb.
+func (b *Builder) Add(rd, ra, rb Reg) *Builder {
+	return b.emit(Instruction{Op: OpAdd, Rd: rd, Ra: ra, Rb: rb})
+}
+
+// Sub emits rd = ra - rb.
+func (b *Builder) Sub(rd, ra, rb Reg) *Builder {
+	return b.emit(Instruction{Op: OpSub, Rd: rd, Ra: ra, Rb: rb})
+}
+
+// And emits rd = ra & rb.
+func (b *Builder) And(rd, ra, rb Reg) *Builder {
+	return b.emit(Instruction{Op: OpAnd, Rd: rd, Ra: ra, Rb: rb})
+}
+
+// Or emits rd = ra | rb.
+func (b *Builder) Or(rd, ra, rb Reg) *Builder {
+	return b.emit(Instruction{Op: OpOr, Rd: rd, Ra: ra, Rb: rb})
+}
+
+// Xor emits rd = ra ^ rb.
+func (b *Builder) Xor(rd, ra, rb Reg) *Builder {
+	return b.emit(Instruction{Op: OpXor, Rd: rd, Ra: ra, Rb: rb})
+}
+
+// Shl emits rd = ra << rb.
+func (b *Builder) Shl(rd, ra, rb Reg) *Builder {
+	return b.emit(Instruction{Op: OpShl, Rd: rd, Ra: ra, Rb: rb})
+}
+
+// Shr emits rd = ra >> rb (logical).
+func (b *Builder) Shr(rd, ra, rb Reg) *Builder {
+	return b.emit(Instruction{Op: OpShr, Rd: rd, Ra: ra, Rb: rb})
+}
+
+// Mul emits rd = ra * rb.
+func (b *Builder) Mul(rd, ra, rb Reg) *Builder {
+	return b.emit(Instruction{Op: OpMul, Rd: rd, Ra: ra, Rb: rb})
+}
+
+// Div emits rd = ra / rb (0 when rb is 0).
+func (b *Builder) Div(rd, ra, rb Reg) *Builder {
+	return b.emit(Instruction{Op: OpDiv, Rd: rd, Ra: ra, Rb: rb})
+}
+
+// Rem emits rd = ra % rb (0 when rb is 0).
+func (b *Builder) Rem(rd, ra, rb Reg) *Builder {
+	return b.emit(Instruction{Op: OpRem, Rd: rd, Ra: ra, Rb: rb})
+}
+
+// Slt emits rd = (ra < rb) signed.
+func (b *Builder) Slt(rd, ra, rb Reg) *Builder {
+	return b.emit(Instruction{Op: OpSlt, Rd: rd, Ra: ra, Rb: rb})
+}
+
+// Sltu emits rd = (ra < rb) unsigned.
+func (b *Builder) Sltu(rd, ra, rb Reg) *Builder {
+	return b.emit(Instruction{Op: OpSltu, Rd: rd, Ra: ra, Rb: rb})
+}
+
+// --- register-immediate ALU ---
+
+// Addi emits rd = ra + imm.
+func (b *Builder) Addi(rd, ra Reg, imm int32) *Builder {
+	return b.emit(Instruction{Op: OpAddi, Rd: rd, Ra: ra, Imm: imm})
+}
+
+// Andi emits rd = ra & imm.
+func (b *Builder) Andi(rd, ra Reg, imm int32) *Builder {
+	return b.emit(Instruction{Op: OpAndi, Rd: rd, Ra: ra, Imm: imm})
+}
+
+// Ori emits rd = ra | imm.
+func (b *Builder) Ori(rd, ra Reg, imm int32) *Builder {
+	return b.emit(Instruction{Op: OpOri, Rd: rd, Ra: ra, Imm: imm})
+}
+
+// Xori emits rd = ra ^ imm.
+func (b *Builder) Xori(rd, ra Reg, imm int32) *Builder {
+	return b.emit(Instruction{Op: OpXori, Rd: rd, Ra: ra, Imm: imm})
+}
+
+// Shli emits rd = ra << imm.
+func (b *Builder) Shli(rd, ra Reg, imm int32) *Builder {
+	return b.emit(Instruction{Op: OpShli, Rd: rd, Ra: ra, Imm: imm})
+}
+
+// Shri emits rd = ra >> imm (logical).
+func (b *Builder) Shri(rd, ra Reg, imm int32) *Builder {
+	return b.emit(Instruction{Op: OpShri, Rd: rd, Ra: ra, Imm: imm})
+}
+
+// Muli emits rd = ra * imm.
+func (b *Builder) Muli(rd, ra Reg, imm int32) *Builder {
+	return b.emit(Instruction{Op: OpMuli, Rd: rd, Ra: ra, Imm: imm})
+}
+
+// Slti emits rd = (ra < imm) signed.
+func (b *Builder) Slti(rd, ra Reg, imm int32) *Builder {
+	return b.emit(Instruction{Op: OpSlti, Rd: rd, Ra: ra, Imm: imm})
+}
+
+// Lui emits rd = imm << 16.
+func (b *Builder) Lui(rd Reg, imm int32) *Builder {
+	return b.emit(Instruction{Op: OpLui, Rd: rd, Imm: imm})
+}
+
+// Li emits rd = imm (a pseudo-instruction; an Addi from the zero register).
+func (b *Builder) Li(rd Reg, imm int32) *Builder {
+	return b.Addi(rd, Zero, imm)
+}
+
+// LiLabel emits rd = address-of(label) as a pseudo-instruction; resolved
+// at Build time to the absolute code address of the label.
+func (b *Builder) LiLabel(rd Reg, label string) *Builder {
+	b.absFixups[len(b.code)] = label
+	return b.emit(Instruction{Op: OpAddi, Rd: rd, Ra: Zero})
+}
+
+// Mov emits rd = ra.
+func (b *Builder) Mov(rd, ra Reg) *Builder { return b.Addi(rd, ra, 0) }
+
+// --- memory ---
+
+// Ld emits rd = mem[ra + imm].
+func (b *Builder) Ld(rd, ra Reg, imm int32) *Builder {
+	return b.emit(Instruction{Op: OpLd, Rd: rd, Ra: ra, Imm: imm})
+}
+
+// St emits mem[ra + imm] = rb.
+func (b *Builder) St(rb, ra Reg, imm int32) *Builder {
+	return b.emit(Instruction{Op: OpSt, Rb: rb, Ra: ra, Imm: imm})
+}
+
+// --- control flow (label-targeted) ---
+
+func (b *Builder) branch(op Op, ra, rb Reg, label string) *Builder {
+	b.fixups[len(b.code)] = label
+	return b.emit(Instruction{Op: op, Ra: ra, Rb: rb})
+}
+
+// Beq emits a branch to label when ra == rb.
+func (b *Builder) Beq(ra, rb Reg, label string) *Builder {
+	return b.branch(OpBeq, ra, rb, label)
+}
+
+// Bne emits a branch to label when ra != rb.
+func (b *Builder) Bne(ra, rb Reg, label string) *Builder {
+	return b.branch(OpBne, ra, rb, label)
+}
+
+// Blt emits a branch to label when ra < rb (signed).
+func (b *Builder) Blt(ra, rb Reg, label string) *Builder {
+	return b.branch(OpBlt, ra, rb, label)
+}
+
+// Bge emits a branch to label when ra >= rb (signed).
+func (b *Builder) Bge(ra, rb Reg, label string) *Builder {
+	return b.branch(OpBge, ra, rb, label)
+}
+
+// Jump emits an unconditional jump to label (JAL discarding the link).
+func (b *Builder) Jump(label string) *Builder {
+	b.fixups[len(b.code)] = label
+	return b.emit(Instruction{Op: OpJal, Rd: Zero})
+}
+
+// Call emits a JAL to label, writing the return address to RA.
+func (b *Builder) Call(label string) *Builder {
+	b.fixups[len(b.code)] = label
+	return b.emit(Instruction{Op: OpJal, Rd: RA})
+}
+
+// Ret emits a return through RA.
+func (b *Builder) Ret() *Builder {
+	return b.emit(Instruction{Op: OpJalr, Rd: Zero, Ra: RA})
+}
+
+// Jalr emits an indirect jump to ra + imm, linking into rd.
+func (b *Builder) Jalr(rd, ra Reg, imm int32) *Builder {
+	return b.emit(Instruction{Op: OpJalr, Rd: rd, Ra: ra, Imm: imm})
+}
+
+// Build resolves all label references and returns the finished Program.
+// It fails if any label is undefined or redefined, or if a displacement
+// overflows the immediate field.
+func (b *Builder) Build() (*Program, error) {
+	if len(b.errs) > 0 {
+		return nil, b.errs[0]
+	}
+	for idx, label := range b.fixups {
+		target, ok := b.labels[label]
+		if !ok {
+			return nil, fmt.Errorf("isa: undefined label %q", label)
+		}
+		disp := target - int64(idx) - 1
+		if disp > 1<<30 || disp < -(1<<30) {
+			return nil, fmt.Errorf("isa: displacement to %q overflows", label)
+		}
+		b.code[idx].Imm = int32(disp)
+	}
+	for idx, label := range b.absFixups {
+		target, ok := b.labels[label]
+		if !ok {
+			return nil, fmt.Errorf("isa: undefined label %q", label)
+		}
+		b.code[idx].Imm = int32(target)
+	}
+	data := make(map[int64]int64, len(b.data))
+	for k, v := range b.data {
+		data[k] = v
+	}
+	code := make([]Instruction, len(b.code))
+	copy(code, b.code)
+	return &Program{Name: b.name, Code: code, Data: data}, nil
+}
+
+// MustBuild is Build that panics on error; intended for statically known
+// correct programs such as the built-in workloads.
+func (b *Builder) MustBuild() *Program {
+	p, err := b.Build()
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+// Disassemble renders the program's code with addresses and label names,
+// one instruction per line. Useful for debugging workload generators.
+func Disassemble(p *Program, labels map[string]int64) string {
+	// Invert the label map for annotation.
+	byAddr := make(map[int64][]string)
+	for name, addr := range labels {
+		byAddr[addr] = append(byAddr[addr], name)
+	}
+	for _, names := range byAddr {
+		sort.Strings(names)
+	}
+	out := ""
+	for i, in := range p.Code {
+		for _, name := range byAddr[int64(i)] {
+			out += fmt.Sprintf("%s:\n", name)
+		}
+		out += fmt.Sprintf("  %4d: %s\n", i, in)
+	}
+	return out
+}
+
+// Labels returns a copy of the builder's label table; valid before or
+// after Build.
+func (b *Builder) Labels() map[string]int64 {
+	m := make(map[string]int64, len(b.labels))
+	for k, v := range b.labels {
+		m[k] = v
+	}
+	return m
+}

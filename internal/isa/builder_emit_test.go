@@ -1,0 +1,119 @@
+package isa
+
+import "testing"
+
+// TestEveryEmitter drives each Builder emitter once and checks the
+// emitted opcode and operand routing, so a mis-wired emitter fails here
+// rather than deep inside a workload.
+func TestEveryEmitter(t *testing.T) {
+	b := NewBuilder("emitters")
+	b.Label("top")
+	b.Nop()
+	b.Add(1, 2, 3)
+	b.Sub(1, 2, 3)
+	b.And(1, 2, 3)
+	b.Or(1, 2, 3)
+	b.Xor(1, 2, 3)
+	b.Shl(1, 2, 3)
+	b.Shr(1, 2, 3)
+	b.Mul(1, 2, 3)
+	b.Div(1, 2, 3)
+	b.Rem(1, 2, 3)
+	b.Slt(1, 2, 3)
+	b.Sltu(1, 2, 3)
+	b.Addi(1, 2, 7)
+	b.Andi(1, 2, 7)
+	b.Ori(1, 2, 7)
+	b.Xori(1, 2, 7)
+	b.Shli(1, 2, 7)
+	b.Shri(1, 2, 7)
+	b.Muli(1, 2, 7)
+	b.Slti(1, 2, 7)
+	b.Lui(1, 7)
+	b.Li(1, 7)
+	b.Mov(1, 2)
+	b.Ld(1, 2, 7)
+	b.St(3, 2, 7)
+	b.Beq(1, 2, "top")
+	b.Bne(1, 2, "top")
+	b.Blt(1, 2, "top")
+	b.Bge(1, 2, "top")
+	b.Jump("top")
+	b.Call("top")
+	b.Ret()
+	b.Jalr(1, 2, 7)
+	b.Halt()
+	p := b.MustBuild()
+
+	want := []struct {
+		op         Op
+		rd, ra, rb Reg
+		imm        int32
+	}{
+		{OpNop, 0, 0, 0, 0},
+		{OpAdd, 1, 2, 3, 0},
+		{OpSub, 1, 2, 3, 0},
+		{OpAnd, 1, 2, 3, 0},
+		{OpOr, 1, 2, 3, 0},
+		{OpXor, 1, 2, 3, 0},
+		{OpShl, 1, 2, 3, 0},
+		{OpShr, 1, 2, 3, 0},
+		{OpMul, 1, 2, 3, 0},
+		{OpDiv, 1, 2, 3, 0},
+		{OpRem, 1, 2, 3, 0},
+		{OpSlt, 1, 2, 3, 0},
+		{OpSltu, 1, 2, 3, 0},
+		{OpAddi, 1, 2, 0, 7},
+		{OpAndi, 1, 2, 0, 7},
+		{OpOri, 1, 2, 0, 7},
+		{OpXori, 1, 2, 0, 7},
+		{OpShli, 1, 2, 0, 7},
+		{OpShri, 1, 2, 0, 7},
+		{OpMuli, 1, 2, 0, 7},
+		{OpSlti, 1, 2, 0, 7},
+		{OpLui, 1, 0, 0, 7},
+		{OpAddi, 1, Zero, 0, 7}, // Li
+		{OpAddi, 1, 2, 0, 0},    // Mov
+		{OpLd, 1, 2, 0, 7},
+		{OpSt, 0, 2, 3, 7},
+	}
+	for i, w := range want {
+		in := p.Code[i]
+		if in.Op != w.op || in.Rd != w.rd || in.Ra != w.ra || in.Rb != w.rb || in.Imm != w.imm {
+			t.Errorf("instr %d = %v, want op=%v rd=%d ra=%d rb=%d imm=%d",
+				i, in, w.op, w.rd, w.ra, w.rb, w.imm)
+		}
+	}
+	// Branch/jump block: all target "top" (address 0), so displacement
+	// is -(idx+1).
+	base := len(want)
+	branchOps := []Op{OpBeq, OpBne, OpBlt, OpBge, OpJal, OpJal}
+	for i, op := range branchOps {
+		in := p.Code[base+i]
+		if in.Op != op {
+			t.Errorf("control %d: op = %v, want %v", i, in.Op, op)
+		}
+		if in.Imm != int32(-(base+i)-1) {
+			t.Errorf("control %d: displacement %d, want %d", i, in.Imm, -(base+i)-1)
+		}
+	}
+	// Call links into RA; Jump discards.
+	if p.Code[base+4].Rd != Zero || p.Code[base+5].Rd != RA {
+		t.Error("Jump/Call link registers wrong")
+	}
+	// Ret and explicit Jalr.
+	ret := p.Code[base+6]
+	if ret.Op != OpJalr || ret.Rd != Zero || ret.Ra != RA {
+		t.Errorf("Ret = %v", ret)
+	}
+	jalr := p.Code[base+7]
+	if jalr.Op != OpJalr || jalr.Rd != 1 || jalr.Ra != 2 || jalr.Imm != 7 {
+		t.Errorf("Jalr = %v", jalr)
+	}
+	if p.Code[base+8].Op != OpHalt {
+		t.Error("missing halt")
+	}
+	if b.PC() != int64(len(p.Code)) {
+		t.Errorf("PC() = %d, want %d", b.PC(), len(p.Code))
+	}
+}

@@ -1,0 +1,49 @@
+package metrics_test
+
+import (
+	"fmt"
+
+	"specctrl/internal/metrics"
+)
+
+// The paper's worked example (§2.1): 100 branches, 80 predicted
+// correctly; the estimator says high confidence for 61 of the correct
+// and 2 of the incorrect predictions.
+func ExampleQuadrant() {
+	q := metrics.Quadrant{Chc: 61, Ihc: 2, Clc: 19, Ilc: 18}
+	fmt.Println(q.Compute())
+	fmt.Printf("accuracy %.0f%%\n", q.Accuracy()*100)
+	// Output:
+	// sens= 76% spec= 90% pvp= 97% pvn= 49%
+	// accuracy 80%
+}
+
+// Suite-level metrics must be recomputed from aggregated quadrants, as
+// the paper prescribes — never averaged from per-benchmark ratios.
+func ExampleAggregateNormalized() {
+	perBenchmark := []metrics.Quadrant{
+		{Chc: 700, Ihc: 20, Clc: 180, Ilc: 100},
+		{Chc: 8200, Ihc: 130, Clc: 900, Ilc: 770},
+	}
+	m := metrics.AggregateNormalized(perBenchmark).Compute()
+	fmt.Printf("suite PVN %.1f%%\n", m.PVN*100)
+	// Output:
+	// suite PVN 39.6%
+}
+
+// The Bayes identities behind Figure 1 connect PVP and PVN to
+// sensitivity, specificity and prediction accuracy.
+func ExampleAnalyticPVN() {
+	pvn := metrics.AnalyticPVN(0.70, 0.96, 0.90)
+	fmt.Printf("PVN %.1f%%\n", pvn*100)
+	// Output:
+	// PVN 26.2%
+}
+
+// Boosting (§4.2): requiring two consecutive low-confidence events
+// lifts a 30% PVN toward 51% under the Bernoulli approximation.
+func ExampleBoostedPVN() {
+	fmt.Printf("%.0f%%\n", metrics.BoostedPVN(0.30, 2)*100)
+	// Output:
+	// 51%
+}

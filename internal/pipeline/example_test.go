@@ -1,0 +1,38 @@
+package pipeline_test
+
+import (
+	"fmt"
+	"log"
+
+	"specctrl/internal/bpred"
+	"specctrl/internal/conf"
+	"specctrl/internal/pipeline"
+	"specctrl/internal/workload"
+)
+
+// Run one benchmark on gshare with two estimators attached and read the
+// committed-branch quadrants. Estimators observe the run without
+// influencing it, so any number can share one simulation.
+func Example() {
+	w, err := workload.ByName("m88ksim")
+	if err != nil {
+		log.Fatal(err)
+	}
+	cfg := pipeline.DefaultConfig()
+	cfg.MaxCommitted = 200_000
+
+	sim := pipeline.New(cfg, w.Build(1<<30), bpred.NewGshare(12),
+		conf.NewJRS(conf.DefaultJRS), conf.SatCounters{})
+	st, err := sim.Run()
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, cs := range st.Confidence {
+		fmt.Println(cs.Name, cs.CommittedQ.Compute())
+	}
+	fmt.Printf("mispredict rate %.1f%%\n", st.MispredictRate()*100)
+	// Output:
+	// JRS+(t=15) sens= 88% spec=100% pvp=100% pvn=  8%
+	// SatCnt sens= 99% spec=  2% pvp= 99% pvn=  2%
+	// mispredict rate 1.0%
+}

@@ -1,0 +1,831 @@
+// Package pipeline implements the execution-driven pipeline simulator the
+// experiments run on — the repository's substitute for the paper's
+// extended SimpleScalar sim-outorder (§3.1).
+//
+// # Model
+//
+// The simulator fetches down *predicted* paths: after a mispredicted
+// branch it keeps fetching and functionally executing wrong-path
+// instructions on forked architectural state until the branch resolves,
+// then squashes the wrong path, rolls the state back, and resumes at the
+// correct target after a recovery penalty. This wrong-path awareness is
+// what the paper calls "pipeline-level simulation" and is essential to
+// its observations: the simulator knows the outcome of every branch at
+// decode — even branches that never commit — so it can record prediction
+// and confidence events for committed and uncommitted branches alike, and
+// both the precise and the perceived misprediction distance.
+//
+// Timing is approximate but mechanistic: a parameterized fetch width, an
+// L1 I-cache probed at fetch and an L1 D-cache probed by loads/stores
+// (misses stall the front end), a fixed fetch-to-resolve depth for
+// branches, and the paper's extra misprediction recovery penalty
+// (3 cycles by default) on top of the natural refill delay.
+//
+// Like SimpleScalar, the simulator exploits oracle knowledge for
+// structure, not for policy: predictions and confidence estimates are
+// made by the real mechanisms under test; the oracle outcome only decides
+// when the machine will discover a misprediction.
+//
+// # Event ordering contract
+//
+// For every fetched conditional branch, in fetch order:
+// Predictor.Predict then Estimator.Estimate. For every branch that
+// reaches resolution (equivalently, in this in-order-resolve model, every
+// committed branch), in program order: Predictor.Resolve,
+// Estimator.Resolve, and Predictor.Recover if mispredicted. Squashed
+// branches are never resolved, matching hardware where the enclosing
+// squash kills them first.
+package pipeline
+
+import (
+	"fmt"
+
+	"specctrl/internal/bpred"
+	"specctrl/internal/btb"
+	"specctrl/internal/cache"
+	"specctrl/internal/conf"
+	"specctrl/internal/emu"
+	"specctrl/internal/isa"
+	"specctrl/internal/mem"
+	"specctrl/internal/metrics"
+)
+
+// Config parameterizes the simulator.
+type Config struct {
+	// FetchWidth is the maximum instructions fetched per cycle.
+	FetchWidth int
+	// ResolveDelay is the number of cycles between fetching a
+	// conditional branch and resolving it (the fetch-to-execute depth
+	// of the 5-stage pipe).
+	ResolveDelay int
+	// ExtraMispredictPenalty is added on top of the natural redirect
+	// delay when recovering from a misprediction; the paper uses 3.
+	ExtraMispredictPenalty int
+	// ICache and DCache configure the L1 caches.
+	ICache, DCache cache.Config
+	// RecordEvents retains the full per-branch event trace in
+	// Stats.Events (costs memory on long runs).
+	RecordEvents bool
+	// CollectSiteStats accumulates per-branch-site prediction accuracy
+	// in Stats.Sites (used by the static estimator's profiling pass).
+	CollectSiteStats bool
+	// MaxCommitted stops the run after this many committed
+	// instructions (0 = run to HALT).
+	MaxCommitted uint64
+	// MaxCycles aborts the run after this many cycles (0 = no limit);
+	// a safety net against non-terminating programs.
+	MaxCycles uint64
+	// IndirectPrediction enables the BTB and return-address-stack
+	// front end: JALR targets are predicted (RAS for returns, BTB for
+	// other indirect jumps) and target mispredictions create wrong-path
+	// work like direction mispredictions do. Disabled, targets are
+	// assumed perfect — the paper's conditional-branch-only setup.
+	IndirectPrediction bool
+	// BTBEntries/BTBAssoc/RASDepth size the target predictors
+	// (defaults 512 / 4 / 16 when zero).
+	BTBEntries, BTBAssoc, RASDepth int
+}
+
+// DefaultConfig returns the configuration used throughout the
+// experiments: 4-wide fetch, branches resolving 3 cycles after fetch (a
+// 5-stage pipe resolving at execute), the paper's 3-cycle extra recovery
+// penalty, and the paper's cache sizes. The 3-cycle resolve depth also
+// bounds how stale the non-speculatively-updated SAg history can get,
+// matching the paper's observation that non-speculative update costs
+// only slightly.
+func DefaultConfig() Config {
+	return Config{
+		FetchWidth:             4,
+		ResolveDelay:           3,
+		ExtraMispredictPenalty: 3,
+		ICache:                 cache.DefaultL1I,
+		DCache:                 cache.DefaultL1D,
+	}
+}
+
+// Validate checks the configuration.
+func (c Config) Validate() error {
+	switch {
+	case c.FetchWidth < 1 || c.FetchWidth > 16:
+		return fmt.Errorf("pipeline: fetch width %d out of range", c.FetchWidth)
+	case c.ResolveDelay < 1 || c.ResolveDelay > 64:
+		return fmt.Errorf("pipeline: resolve delay %d out of range", c.ResolveDelay)
+	case c.ExtraMispredictPenalty < 0:
+		return fmt.Errorf("pipeline: negative misprediction penalty")
+	}
+	if err := c.ICache.Validate(); err != nil {
+		return err
+	}
+	return c.DCache.Validate()
+}
+
+// BranchEvent records one fetched conditional branch.
+type BranchEvent struct {
+	PC        int64
+	Pred      bool // predicted direction
+	Outcome   bool // oracle (actual) direction
+	HighConf  bool // confidence estimate of the first estimator, if any
+	WrongPath bool // fetched in the shadow of an older misprediction
+	Cycle     uint64
+	// ConfMask holds every attached estimator's estimate: bit i is set
+	// when estimator i said high confidence (at most 64 estimators).
+	ConfMask uint64
+}
+
+// Correct reports whether the prediction matched the outcome.
+func (e BranchEvent) Correct() bool { return e.Pred == e.Outcome }
+
+// SiteStats aggregates prediction accuracy for one branch site
+// (committed branches only).
+type SiteStats struct {
+	Correct, Total uint64
+}
+
+// Accuracy returns the site's prediction accuracy.
+func (s SiteStats) Accuracy() float64 {
+	if s.Total == 0 {
+		return 0
+	}
+	return float64(s.Correct) / float64(s.Total)
+}
+
+// DistanceBuckets is the histogram length for misprediction-distance
+// statistics; distances at or beyond the last bucket accumulate there.
+const DistanceBuckets = 64
+
+// DistanceHist accumulates (branch count, misprediction count) per
+// distance since the last misprediction.
+type DistanceHist struct {
+	Total      [DistanceBuckets]uint64
+	Mispredict [DistanceBuckets]uint64
+}
+
+func (h *DistanceHist) record(dist int, mispredicted bool) {
+	if dist >= DistanceBuckets {
+		dist = DistanceBuckets - 1
+	}
+	h.Total[dist]++
+	if mispredicted {
+		h.Mispredict[dist]++
+	}
+}
+
+// Rate returns the misprediction rate at the given distance, or 0 when
+// no branches were observed there.
+func (h *DistanceHist) Rate(dist int) float64 {
+	if dist >= DistanceBuckets {
+		dist = DistanceBuckets - 1
+	}
+	if h.Total[dist] == 0 {
+		return 0
+	}
+	return float64(h.Mispredict[dist]) / float64(h.Total[dist])
+}
+
+// Stats collects everything a run produces.
+type Stats struct {
+	// Instruction and cycle counts.
+	Committed   uint64 // committed (correct-path) instructions
+	WrongPath   uint64 // squashed (wrong-path) instructions
+	Cycles      uint64
+	Squashes    uint64 // misprediction recoveries
+	CommittedBr uint64 // committed conditional branches
+	AllBr       uint64 // fetched conditional branches (committed + squashed)
+	GatedCycles uint64 // cycles an external scheduler withheld fetch
+
+	// Indirect-jump statistics (populated under IndirectPrediction).
+	Returns    uint64 // committed-path returns predicted via the RAS
+	IndirectBr uint64 // committed-path non-return indirect jumps
+	TargetMisp uint64 // target mispredictions (squashes caused)
+
+	// CommittedQ and AllQ are the confidence quadrants of the *first*
+	// attached estimator, for committed branches and all fetched
+	// branches respectively. Without an estimator they still carry the
+	// correct/incorrect split (everything lands in the HC column), so
+	// accuracy metrics work regardless. Per-estimator quadrants for
+	// every attached estimator live in Confidence.
+	CommittedQ metrics.Quadrant
+	AllQ       metrics.Quadrant
+
+	// Confidence holds per-estimator statistics, in the order the
+	// estimators were passed to New. Estimators observe the run without
+	// influencing it, so a single simulation evaluates many estimator
+	// configurations at once.
+	Confidence []ConfStats
+
+	// Misprediction distance histograms (§4.1). "Precise" distances
+	// reset when a mispredicted branch is *fetched* (oracle knowledge);
+	// "perceived" distances reset when a misprediction is *detected*
+	// at resolution, as real hardware would observe.
+	PreciseAll         DistanceHist
+	PreciseCommitted   DistanceHist
+	PerceivedAll       DistanceHist
+	PerceivedCommitted DistanceHist
+
+	// Events is the full branch trace when Config.RecordEvents is set.
+	Events []BranchEvent
+
+	// Sites is per-branch-site accuracy when Config.CollectSiteStats
+	// is set.
+	Sites map[int64]*SiteStats
+
+	// Cache statistics.
+	ICacheHits, ICacheMisses uint64
+	DCacheHits, DCacheMisses uint64
+}
+
+// ConfStats is one estimator's view of a run.
+type ConfStats struct {
+	// Name is the estimator's Name() at the time the run started.
+	Name string
+	// CommittedQ and AllQ are the confidence quadrants over committed
+	// branches and over all fetched branches.
+	CommittedQ metrics.Quadrant
+	AllQ       metrics.Quadrant
+	// MisestCommitted tracks confidence mis-estimation clustering: the
+	// distance axis counts committed branches since the last committed
+	// branch whose estimate disagreed with its outcome, and the
+	// "mispredict" counts are mis-estimations (§4.1).
+	MisestCommitted DistanceHist
+}
+
+// IPC returns committed instructions per cycle.
+func (s *Stats) IPC() float64 {
+	if s.Cycles == 0 {
+		return 0
+	}
+	return float64(s.Committed) / float64(s.Cycles)
+}
+
+// SpeculationRatio returns (committed+wrong-path)/committed, the paper's
+// Table 1 "ratio all/committed".
+func (s *Stats) SpeculationRatio() float64 {
+	if s.Committed == 0 {
+		return 0
+	}
+	return float64(s.Committed+s.WrongPath) / float64(s.Committed)
+}
+
+// MispredictRate returns the committed-branch misprediction rate.
+func (s *Stats) MispredictRate() float64 { return s.CommittedQ.MispredictRate() }
+
+// inflight is a fetched, not-yet-resolved correct-path conditional
+// branch.
+type inflight struct {
+	pc           int64
+	info         bpred.Info
+	ckpt         bpred.Checkpoint
+	outcome      bool
+	pred         bool
+	resolveCycle uint64
+	mispredicted bool
+	lowConf      bool // first estimator said low confidence
+
+	// Indirect-jump entries (JALR under target prediction).
+	indirect bool
+	isReturn bool
+	target   int64 // actual target, for BTB training
+	rasCkpt  int   // RAS top-of-stack at fetch
+}
+
+// Sim is one simulation run: a program, a predictor, any number of
+// confidence estimators under observation, and the timing state.
+type Sim struct {
+	cfg  Config
+	prog *isa.Program
+	pred bpred.Predictor
+	ests []conf.Estimator
+
+	state  emu.State
+	mem    *mem.Memory
+	icache *cache.Cache
+	dcache *cache.Cache
+	btb    *btb.BTB // nil unless IndirectPrediction
+	ras    *btb.RAS // nil unless IndirectPrediction
+
+	stats Stats
+
+	// Timing state.
+	cycle      uint64
+	stallUntil uint64
+
+	// Wrong-path state. When wrongPath is true the machine is fetching
+	// in the shadow of the oldest unresolved misprediction; recover*
+	// hold the state to restore at resolution.
+	wrongPath     bool
+	wrongPathIdle bool // wrong path ran into HALT; fetch suspended
+	recoverRegs   [isa.NumRegs]int64
+	recoverPC     int64
+
+	// pending holds fetched, unresolved conditional branches in fetch
+	// order. Correct-path branches resolve from the front; wrong-path
+	// branches are tracked only for event bookkeeping (they are
+	// recorded at fetch and need no resolution).
+	pending []inflight
+
+	// Distance counters (see Stats).
+	distPreciseAll       int
+	distPreciseCommitted int
+	distPerceivedAll     int
+	distPerceivedComm    int
+	distMisest           []int // one per estimator
+
+	// hcScratch avoids a per-branch allocation when fanning estimates
+	// out to the estimators.
+	hcScratch []bool
+
+	halted bool
+}
+
+// New prepares a simulation of prog on the given predictor, observed by
+// the given confidence estimators (zero estimators disables confidence
+// bookkeeping; at most 64 are supported so events can carry a bitmask).
+// It panics on invalid configurations.
+func New(cfg Config, prog *isa.Program, pred bpred.Predictor, ests ...conf.Estimator) *Sim {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	if cfg.RecordEvents && len(ests) > 64 {
+		// BranchEvent.ConfMask carries one bit per estimator.
+		panic("pipeline: more than 64 estimators with RecordEvents")
+	}
+	if len(ests) > 1024 {
+		panic("pipeline: more than 1024 estimators")
+	}
+	for i, e := range ests {
+		if e == nil {
+			panic(fmt.Sprintf("pipeline: estimator %d is nil", i))
+		}
+	}
+	s := &Sim{
+		cfg:    cfg,
+		prog:   prog,
+		pred:   pred,
+		ests:   ests,
+		mem:    mem.NewFromImage(prog.Data),
+		icache: cache.New(cfg.ICache),
+		dcache: cache.New(cfg.DCache),
+	}
+	s.state.PC = prog.Entry
+	if cfg.IndirectPrediction {
+		entries, assoc, depth := cfg.BTBEntries, cfg.BTBAssoc, cfg.RASDepth
+		if entries == 0 {
+			entries = 512
+		}
+		if assoc == 0 {
+			assoc = 4
+		}
+		if depth == 0 {
+			depth = 16
+		}
+		s.btb = btb.NewBTB(entries, assoc)
+		s.ras = btb.NewRAS(depth)
+	}
+	if cfg.CollectSiteStats {
+		s.stats.Sites = make(map[int64]*SiteStats)
+	}
+	s.stats.Confidence = make([]ConfStats, len(ests))
+	for i, e := range ests {
+		s.stats.Confidence[i].Name = e.Name()
+	}
+	s.distMisest = make([]int, len(ests))
+	s.hcScratch = make([]bool, len(ests))
+	return s
+}
+
+func (s *Sim) fetchInstr(pc int64) isa.Instruction {
+	if pc < 0 || pc >= int64(len(s.prog.Code)) {
+		return isa.Instruction{Op: isa.OpHalt}
+	}
+	return s.prog.Code[pc]
+}
+
+// resolveDue processes every pending correct-path branch whose resolve
+// cycle has arrived. It returns true if a misprediction recovery
+// happened (which redirects fetch).
+func (s *Sim) resolveDue() bool {
+	recovered := false
+	for len(s.pending) > 0 && s.pending[0].resolveCycle <= s.cycle {
+		br := s.pending[0]
+		s.pending = s.pending[1:]
+		if br.indirect {
+			if !br.isReturn {
+				s.btb.Update(br.pc, br.target)
+			}
+			if br.mispredicted {
+				s.pred.RestoreSnapshot(br.ckpt)
+				s.ras.Restore(br.rasCkpt)
+				s.squash()
+				recovered = true
+			}
+			continue
+		}
+		s.pred.Resolve(br.pc, br.info, br.outcome)
+		for _, e := range s.ests {
+			e.Resolve(br.pc, br.info, br.pred == br.outcome)
+		}
+		if br.mispredicted {
+			s.pred.Recover(br.ckpt, br.pc, br.outcome)
+			if s.ras != nil {
+				s.ras.Restore(br.rasCkpt)
+			}
+			s.squash()
+			// Detection resets the perceived distance counters.
+			s.distPerceivedAll = 0
+			s.distPerceivedComm = 0
+			recovered = true
+			// Younger pending entries are all wrong-path; squash()
+			// discarded them.
+		}
+	}
+	return recovered
+}
+
+// squash unwinds the wrong path: restores registers and memory, redirects
+// fetch to the correct target, charges the recovery penalty, and drops
+// the wrong-path pending entries.
+func (s *Sim) squash() {
+	if !s.wrongPath {
+		panic("pipeline: squash outside wrong-path mode")
+	}
+	s.state.Regs = s.recoverRegs
+	s.state.PC = s.recoverPC
+	s.mem.Rollback()
+	s.pending = s.pending[:0] // everything younger was wrong-path
+	s.wrongPath = false
+	s.wrongPathIdle = false
+	s.stats.Squashes++
+	penalty := uint64(1 + s.cfg.ExtraMispredictPenalty)
+	if s.stallUntil < s.cycle+penalty {
+		s.stallUntil = s.cycle + penalty
+	}
+}
+
+// onCondBranch handles prediction, confidence estimation, statistics and
+// wrong-path entry for a conditional branch fetched at pc whose oracle
+// outcome is known. It returns the PC the front end should follow.
+func (s *Sim) onCondBranch(pc int64, outcome bool, takenTarget, notTakenTarget int64) int64 {
+	pred, ckpt, info := s.pred.Predict(pc)
+	correct := pred == outcome
+	hc0 := true // first estimator's view, mirrored into CommittedQ/AllQ
+	var confMask uint64
+	for i, e := range s.ests {
+		hc := e.Estimate(pc, info)
+		s.hcScratch[i] = hc
+		if hc {
+			confMask |= 1 << uint(i)
+		}
+		if i == 0 {
+			hc0 = hc
+		}
+	}
+
+	// --- statistics at fetch ---
+	s.stats.AllBr++
+	s.stats.AllQ.Record(correct, hc0)
+	for i := range s.ests {
+		s.stats.Confidence[i].AllQ.Record(correct, s.hcScratch[i])
+	}
+	s.distPreciseAll++
+	s.distPerceivedAll++
+	s.stats.PreciseAll.record(s.distPreciseAll, !correct)
+	s.stats.PerceivedAll.record(s.distPerceivedAll, !correct)
+	if !correct {
+		s.distPreciseAll = 0
+	}
+	if !s.wrongPath {
+		s.stats.CommittedBr++
+		s.stats.CommittedQ.Record(correct, hc0)
+		s.distPreciseCommitted++
+		s.distPerceivedComm++
+		s.stats.PreciseCommitted.record(s.distPreciseCommitted, !correct)
+		s.stats.PerceivedCommitted.record(s.distPerceivedComm, !correct)
+		if !correct {
+			s.distPreciseCommitted = 0
+		}
+		for i := range s.ests {
+			cs := &s.stats.Confidence[i]
+			cs.CommittedQ.Record(correct, s.hcScratch[i])
+			s.distMisest[i]++
+			if misest := s.hcScratch[i] != correct; misest {
+				cs.MisestCommitted.record(s.distMisest[i], true)
+				s.distMisest[i] = 0
+			} else {
+				cs.MisestCommitted.record(s.distMisest[i], false)
+			}
+		}
+		if s.stats.Sites != nil {
+			st := s.stats.Sites[pc]
+			if st == nil {
+				st = &SiteStats{}
+				s.stats.Sites[pc] = st
+			}
+			st.Total++
+			if correct {
+				st.Correct++
+			}
+		}
+	}
+	if s.cfg.RecordEvents {
+		s.stats.Events = append(s.stats.Events, BranchEvent{
+			PC: pc, Pred: pred, Outcome: outcome, HighConf: hc0,
+			WrongPath: s.wrongPath, Cycle: s.cycle, ConfMask: confMask,
+		})
+	}
+
+	// --- machine behaviour ---
+	predTarget := notTakenTarget
+	if pred {
+		predTarget = takenTarget
+	}
+	if s.wrongPath {
+		// Inside an older misprediction's shadow the machine always
+		// follows its prediction; this branch will be squashed before
+		// it could trigger its own recovery.
+		return predTarget
+	}
+	rasCkpt := 0
+	if s.ras != nil {
+		rasCkpt = s.ras.Checkpoint()
+	}
+	s.pending = append(s.pending, inflight{
+		pc: pc, info: info, ckpt: ckpt, outcome: outcome, pred: pred,
+		resolveCycle: s.cycle + uint64(s.cfg.ResolveDelay),
+		mispredicted: !correct,
+		lowConf:      len(s.ests) > 0 && !hc0,
+		rasCkpt:      rasCkpt,
+	})
+	if correct {
+		return predTarget
+	}
+	// Enter wrong-path mode: remember the correct continuation, fork
+	// memory, and follow the (wrong) predicted path.
+	s.wrongPath = true
+	s.recoverRegs = s.state.Regs
+	correctTarget := notTakenTarget
+	if outcome {
+		correctTarget = takenTarget
+	}
+	s.recoverPC = correctTarget
+	s.mem.BeginJournal()
+	return predTarget
+}
+
+// Tick advances the machine by one cycle: due branches resolve (possibly
+// squashing), and — when fetchAllowed is true and the front end is not
+// stalled — one fetch group is processed. External schedulers (SMT fetch
+// policies, pipeline gating) drive the machine through Tick and decide
+// fetchAllowed per cycle; Run is the trivial always-fetch driver.
+//
+// Tick returns done=true once the program has halted and all pending
+// branches have drained, and an error if MaxCycles is exceeded.
+func (s *Sim) Tick(fetchAllowed bool) (done bool, err error) {
+	s.cycle++
+	s.stats.Cycles = s.cycle
+	if s.cfg.MaxCycles > 0 && s.cycle > s.cfg.MaxCycles {
+		return false, fmt.Errorf("pipeline: %s exceeded %d cycles",
+			s.prog.Name, s.cfg.MaxCycles)
+	}
+	if s.resolveDue() {
+		return s.finished(), nil // redirect consumes the cycle
+	}
+	if s.halted {
+		return s.finished(), nil
+	}
+	if !fetchAllowed || s.stallUntil > s.cycle || s.wrongPathIdle {
+		if !fetchAllowed && s.stallUntil <= s.cycle && !s.wrongPathIdle {
+			s.stats.GatedCycles++
+		}
+		return s.finished(), nil
+	}
+	s.fetchCycle()
+	if s.cfg.MaxCommitted > 0 && s.stats.Committed >= s.cfg.MaxCommitted {
+		s.halted = true
+	}
+	return s.finished(), nil
+}
+
+// finished reports whether the run is fully complete: program halted and
+// no branch left in flight.
+func (s *Sim) finished() bool { return s.halted && len(s.pending) == 0 }
+
+// Finish seals the statistics after the last Tick: rolls back any
+// dangling wrong path and snapshots cache counters. Run calls it
+// automatically; external schedulers must call it once when done.
+func (s *Sim) Finish() *Stats {
+	if s.wrongPath {
+		s.mem.Rollback()
+		s.wrongPath = false
+	}
+	ih, im := s.icache.Stats()
+	dh, dm := s.dcache.Stats()
+	s.stats.ICacheHits, s.stats.ICacheMisses = ih, im
+	s.stats.DCacheHits, s.stats.DCacheMisses = dh, dm
+	return &s.stats
+}
+
+// Done reports whether the simulation has fully completed.
+func (s *Sim) Done() bool { return s.finished() }
+
+// PendingLowConf returns the number of in-flight (fetched, unresolved)
+// conditional branches whose first-estimator confidence estimate was low.
+// Pipeline gating and SMT fetch policies key off this occupancy count.
+func (s *Sim) PendingLowConf() int {
+	n := 0
+	for _, br := range s.pending {
+		if !br.lowConf {
+			continue
+		}
+		n++
+	}
+	return n
+}
+
+// PendingBranches returns the number of in-flight conditional branches.
+func (s *Sim) PendingBranches() int { return len(s.pending) }
+
+// Run executes the simulation until HALT or a configured limit and
+// returns the statistics. A Sim is single-use.
+func (s *Sim) Run() (*Stats, error) {
+	for {
+		done, err := s.Tick(true)
+		if err != nil {
+			s.Finish()
+			return &s.stats, err
+		}
+		if done {
+			break
+		}
+	}
+	return s.Finish(), nil
+}
+
+// fetchCycle fetches and functionally executes up to FetchWidth
+// instructions.
+func (s *Sim) fetchCycle() {
+	for slot := 0; slot < s.cfg.FetchWidth; slot++ {
+		pc := s.state.PC
+		lat, hit := s.icache.Access(pc)
+		if !hit {
+			// An I-cache miss stalls fetch for the fill latency.
+			s.stallUntil = s.cycle + uint64(lat)
+			return
+		}
+		in := s.fetchInstr(pc)
+
+		if in.Op == isa.OpHalt {
+			if s.wrongPath {
+				// The wrong path ran off the program; idle until the
+				// misprediction resolves.
+				s.wrongPathIdle = true
+			} else {
+				s.halted = true
+			}
+			return
+		}
+
+		if in.Op.IsCondBranch() {
+			// Compute the oracle outcome without disturbing state:
+			// branches read registers only.
+			ra, rb := s.state.Regs[in.Ra], s.state.Regs[in.Rb]
+			var outcome bool
+			switch in.Op {
+			case isa.OpBeq:
+				outcome = ra == rb
+			case isa.OpBne:
+				outcome = ra != rb
+			case isa.OpBlt:
+				outcome = ra < rb
+			default: // OpBge
+				outcome = ra >= rb
+			}
+			takenTarget := pc + 1 + int64(in.Imm)
+			// Count the branch on its own path before onCondBranch can
+			// flip the machine into wrong-path mode: a mispredicted
+			// correct-path branch still commits.
+			s.countInstr()
+			next := s.onCondBranch(pc, outcome, takenTarget, pc+1)
+			s.state.PC = next
+			if next != pc+1 {
+				// A taken-path redirect ends the fetch group.
+				return
+			}
+			continue
+		}
+
+		// Indirect control flow: predict the target before executing,
+		// when the target predictors are enabled. The RAS checkpoint is
+		// taken after the jump's own pop/push — the jump itself
+		// commits; only younger operations are squashed.
+		var predTarget int64
+		var predIsReturn, haveTargetPred bool
+		var rasCkpt int
+		if s.ras != nil && in.Op == isa.OpJalr {
+			predTarget, predIsReturn = s.predictTarget(pc, in)
+			rasCkpt = s.ras.Checkpoint()
+			haveTargetPred = true
+		}
+
+		// Non-branch: execute functionally.
+		res := emu.Exec(&s.state, s.mem, in)
+		s.countInstr()
+		if res.Mem.IsLoad || res.Mem.IsStore {
+			if dlat, dhit := s.dcache.Access(res.Mem.Addr); !dhit {
+				// A D-cache miss stalls the pipe (simplified in-order
+				// memory model).
+				s.stallUntil = s.cycle + uint64(dlat)
+				return
+			}
+		}
+		switch in.Op {
+		case isa.OpJal:
+			if s.ras != nil && in.Rd == isa.RA {
+				s.ras.Push(pc + 1) // call: remember the return address
+			}
+			// Direct targets need no prediction.
+			return
+		case isa.OpJalr:
+			if haveTargetPred {
+				s.onIndirect(pc, predTarget, res.NextPC, predIsReturn, rasCkpt)
+			}
+			// Without target prediction the target is assumed perfect,
+			// matching the paper's conditional-branch-only focus.
+			return
+		}
+	}
+}
+
+// predictTarget consults the RAS (for returns) or the BTB (for other
+// indirect jumps) for the JALR at pc. A predictor miss predicts the
+// fall-through, which a real front end would effectively do too.
+func (s *Sim) predictTarget(pc int64, in isa.Instruction) (target int64, isReturn bool) {
+	if in.Rd == isa.Zero && in.Ra == isa.RA && in.Imm == 0 {
+		if !s.wrongPath {
+			s.stats.Returns++
+		}
+		if target, ok := s.ras.Pop(); ok {
+			return target, true
+		}
+		return pc + 1, true
+	}
+	if !s.wrongPath {
+		s.stats.IndirectBr++
+	}
+	if in.Rd == isa.RA {
+		// Indirect call: remember the return address.
+		s.ras.Push(pc + 1)
+	}
+	if target, ok := s.btb.Lookup(pc); ok {
+		return target, false
+	}
+	return pc + 1, false
+}
+
+// onIndirect compares the predicted and actual targets of a JALR; a
+// mismatch on the correct path enters wrong-path mode exactly like a
+// mispredicted conditional branch, except that the branch predictor's
+// history is restored verbatim at recovery (no outcome bit to append).
+// rasCkpt is the RAS state captured *before* the jump's own pop/push.
+func (s *Sim) onIndirect(pc int64, predTarget, actual int64, isReturn bool, rasCkpt int) {
+	mispredicted := predTarget != actual
+	if s.wrongPath {
+		// Inside an older misprediction's shadow: follow the predicted
+		// target; the enclosing squash will clean up.
+		s.state.PC = predTarget
+		return
+	}
+	s.pending = append(s.pending, inflight{
+		pc:           pc,
+		ckpt:         s.pred.Snapshot(),
+		resolveCycle: s.cycle + uint64(s.cfg.ResolveDelay),
+		mispredicted: mispredicted,
+		indirect:     true,
+		isReturn:     isReturn,
+		target:       actual,
+		rasCkpt:      rasCkpt,
+	})
+	if !mispredicted {
+		return
+	}
+	s.stats.TargetMisp++
+	s.wrongPath = true
+	s.recoverRegs = s.state.Regs
+	s.recoverPC = actual
+	s.mem.BeginJournal()
+	s.state.PC = predTarget
+}
+
+func (s *Sim) countInstr() {
+	if s.wrongPath {
+		s.stats.WrongPath++
+	} else {
+		s.stats.Committed++
+	}
+}
+
+// Registers returns the current architectural registers (after Run, the
+// committed state). Exposed for oracle cross-checks in tests.
+func (s *Sim) Registers() [isa.NumRegs]int64 { return s.state.Regs }
+
+// Memory returns the simulation's memory (after Run, committed state).
+func (s *Sim) Memory() *mem.Memory { return s.mem }

@@ -1,0 +1,147 @@
+// Package plot renders small ASCII line charts for the figure
+// experiments, so `simctrl -exp fig6` prints a readable curve — not just
+// a number column — as the paper's figures do.
+//
+// Charts are deliberately minimal: a fixed-size character grid, one mark
+// per series, automatic y-scaling, a y-axis with two labels and an
+// x-axis with endpoint labels. Series are plotted over a shared implicit
+// x of 0..n-1.
+package plot
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Series is one named curve.
+type Series struct {
+	Name   string
+	Mark   byte // character used for this curve's points
+	Values []float64
+}
+
+// Config sizes the chart.
+type Config struct {
+	Width  int // plot columns (excluding axis labels)
+	Height int // plot rows
+	// YFormat formats axis labels (default "%.2f").
+	YFormat string
+	// XLabel annotates the x axis (e.g. "distance").
+	XLabel string
+	// YMin/YMax fix the y range; when both are zero the range is
+	// derived from the data.
+	YMin, YMax float64
+}
+
+// DefaultConfig returns a chart sized for 80-column terminals.
+func DefaultConfig() Config {
+	return Config{Width: 60, Height: 14, YFormat: "%.2f"}
+}
+
+// Render draws the series into a string.
+func Render(cfg Config, series ...Series) string {
+	if cfg.Width <= 0 || cfg.Height <= 0 {
+		cfg = DefaultConfig()
+	}
+	if cfg.YFormat == "" {
+		cfg.YFormat = "%.2f"
+	}
+
+	ymin, ymax := cfg.YMin, cfg.YMax
+	maxLen := 0
+	if ymin == 0 && ymax == 0 {
+		ymin, ymax = math.Inf(1), math.Inf(-1)
+		for _, s := range series {
+			for _, v := range s.Values {
+				ymin = math.Min(ymin, v)
+				ymax = math.Max(ymax, v)
+			}
+		}
+		if math.IsInf(ymin, 1) { // no data
+			ymin, ymax = 0, 1
+		}
+		if ymin == ymax {
+			ymax = ymin + 1
+		}
+	}
+	for _, s := range series {
+		if len(s.Values) > maxLen {
+			maxLen = len(s.Values)
+		}
+	}
+	if maxLen == 0 {
+		return "(no data)\n"
+	}
+
+	grid := make([][]byte, cfg.Height)
+	for r := range grid {
+		grid[r] = []byte(strings.Repeat(" ", cfg.Width))
+	}
+	// Map (index, value) to a cell; series drawn in order so later
+	// series overwrite earlier ones on collisions.
+	for _, s := range series {
+		mark := s.Mark
+		if mark == 0 {
+			mark = '*'
+		}
+		for i, v := range s.Values {
+			var col int
+			if maxLen == 1 {
+				col = 0
+			} else {
+				col = i * (cfg.Width - 1) / (maxLen - 1)
+			}
+			frac := (v - ymin) / (ymax - ymin)
+			if frac < 0 {
+				frac = 0
+			}
+			if frac > 1 {
+				frac = 1
+			}
+			row := cfg.Height - 1 - int(frac*float64(cfg.Height-1)+0.5)
+			grid[row][col] = mark
+		}
+	}
+
+	var b strings.Builder
+	topLabel := fmt.Sprintf(cfg.YFormat, ymax)
+	botLabel := fmt.Sprintf(cfg.YFormat, ymin)
+	labelW := len(topLabel)
+	if len(botLabel) > labelW {
+		labelW = len(botLabel)
+	}
+	for r := 0; r < cfg.Height; r++ {
+		label := strings.Repeat(" ", labelW)
+		switch r {
+		case 0:
+			label = fmt.Sprintf("%*s", labelW, topLabel)
+		case cfg.Height - 1:
+			label = fmt.Sprintf("%*s", labelW, botLabel)
+		}
+		fmt.Fprintf(&b, "%s |%s\n", label, string(grid[r]))
+	}
+	fmt.Fprintf(&b, "%s +%s\n", strings.Repeat(" ", labelW), strings.Repeat("-", cfg.Width))
+	xl := cfg.XLabel
+	if xl == "" {
+		xl = "x"
+	}
+	fmt.Fprintf(&b, "%s  1%s%d (%s)\n", strings.Repeat(" ", labelW),
+		strings.Repeat(" ", max(1, cfg.Width-2-len(fmt.Sprint(maxLen)))), maxLen, xl)
+	// Legend.
+	for _, s := range series {
+		mark := s.Mark
+		if mark == 0 {
+			mark = '*'
+		}
+		fmt.Fprintf(&b, "%s  %c %s\n", strings.Repeat(" ", labelW), mark, s.Name)
+	}
+	return b.String()
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,90 @@
+package plot
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRenderBasics(t *testing.T) {
+	out := Render(DefaultConfig(),
+		Series{Name: "up", Mark: '*', Values: []float64{0, 1, 2, 3, 4}},
+		Series{Name: "flat", Mark: '-', Values: []float64{2, 2, 2, 2, 2}},
+	)
+	if !strings.Contains(out, "* up") || !strings.Contains(out, "- flat") {
+		t.Errorf("legend missing:\n%s", out)
+	}
+	if !strings.Contains(out, "4.00") || !strings.Contains(out, "0.00") {
+		t.Errorf("y labels missing:\n%s", out)
+	}
+	lines := strings.Split(out, "\n")
+	if len(lines) < 14 {
+		t.Errorf("chart too short: %d lines", len(lines))
+	}
+}
+
+func TestRenderMonotoneSeriesShape(t *testing.T) {
+	// An increasing series must place its first point lower (later row)
+	// than its last point.
+	cfg := Config{Width: 20, Height: 10, YFormat: "%.1f"}
+	out := Render(cfg, Series{Name: "s", Mark: '#', Values: []float64{0, 10}})
+	rows := strings.Split(out, "\n")
+	firstRow, lastRow := -1, -1
+	for i, row := range rows {
+		if idx := strings.IndexByte(row, '#'); idx >= 0 {
+			if strings.Index(row, "#") == strings.LastIndex(row, "#") && idx < len(row)/2 {
+				lastRowCandidate := i
+				_ = lastRowCandidate
+			}
+			if firstRow == -1 {
+				firstRow = i
+			}
+			lastRow = i
+		}
+	}
+	if firstRow == -1 || firstRow == lastRow {
+		t.Fatalf("expected marks on two rows:\n%s", out)
+	}
+	// The high value (10) plots near the top (earlier line).
+	topRow := rows[firstRow]
+	if !strings.Contains(topRow, "#") || strings.IndexByte(topRow, '#') < 10 {
+		// The top row's mark is the later x position (value 10 at x=1).
+		t.Errorf("high value not at top-right:\n%s", out)
+	}
+}
+
+func TestRenderEmpty(t *testing.T) {
+	out := Render(DefaultConfig())
+	if !strings.Contains(out, "no data") {
+		t.Errorf("empty render = %q", out)
+	}
+}
+
+func TestRenderSinglePoint(t *testing.T) {
+	out := Render(DefaultConfig(), Series{Name: "pt", Values: []float64{5}})
+	if !strings.Contains(out, "*") {
+		t.Errorf("single point not drawn:\n%s", out)
+	}
+}
+
+func TestRenderConstantSeries(t *testing.T) {
+	// A constant series must not divide by zero.
+	out := Render(DefaultConfig(), Series{Name: "c", Values: []float64{3, 3, 3}})
+	if !strings.Contains(out, "*") {
+		t.Errorf("constant series not drawn:\n%s", out)
+	}
+}
+
+func TestFixedRangeClamps(t *testing.T) {
+	cfg := Config{Width: 10, Height: 5, YMin: 0, YMax: 1, YFormat: "%.1f"}
+	out := Render(cfg, Series{Name: "s", Values: []float64{-5, 0.5, 10}})
+	if !strings.Contains(out, "1.0") || !strings.Contains(out, "0.0") {
+		t.Errorf("fixed range labels missing:\n%s", out)
+	}
+}
+
+func TestDefaultMark(t *testing.T) {
+	out := Render(DefaultConfig(), Series{Name: "d", Values: []float64{1, 2}})
+	if !strings.Contains(out, "*") {
+		t.Error("default mark not applied")
+	}
+}

@@ -1,0 +1,138 @@
+package rng
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestSplitMix64KnownValues(t *testing.T) {
+	// Reference values for splitmix64 seeded with 1234567,
+	// cross-checked against the public-domain C implementation.
+	sm := NewSplitMix64(1234567)
+	got := []uint64{sm.Next(), sm.Next(), sm.Next()}
+	want := []uint64{0x599ed017fb08fc85, 0x2c73f08458540fa5, 0x883ebce5a3f27c77}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("splitmix64 value %d = %#x, want %#x", i, got[i], want[i])
+		}
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	a, b := New(42), New(42)
+	for i := 0; i < 1000; i++ {
+		if av, bv := a.Uint64(), b.Uint64(); av != bv {
+			t.Fatalf("same-seed generators diverged at step %d: %#x vs %#x", i, av, bv)
+		}
+	}
+}
+
+func TestDifferentSeedsDiffer(t *testing.T) {
+	a, b := New(1), New(2)
+	same := 0
+	for i := 0; i < 100; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Errorf("different seeds produced %d/100 identical values", same)
+	}
+}
+
+func TestIntnRange(t *testing.T) {
+	g := New(7)
+	for i := 0; i < 10000; i++ {
+		v := g.Intn(13)
+		if v < 0 || v >= 13 {
+			t.Fatalf("Intn(13) = %d out of range", v)
+		}
+	}
+}
+
+func TestIntnPanicsOnNonPositive(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Intn(0) did not panic")
+		}
+	}()
+	New(1).Intn(0)
+}
+
+func TestFloat64Range(t *testing.T) {
+	g := New(99)
+	for i := 0; i < 10000; i++ {
+		f := g.Float64()
+		if f < 0 || f >= 1 {
+			t.Fatalf("Float64() = %v out of [0,1)", f)
+		}
+	}
+}
+
+func TestFloat64Mean(t *testing.T) {
+	g := New(5)
+	const n = 100000
+	sum := 0.0
+	for i := 0; i < n; i++ {
+		sum += g.Float64()
+	}
+	mean := sum / n
+	if mean < 0.49 || mean > 0.51 {
+		t.Errorf("mean of %d uniform samples = %v, want ~0.5", n, mean)
+	}
+}
+
+func TestBoolProbability(t *testing.T) {
+	g := New(11)
+	const n = 100000
+	hits := 0
+	for i := 0; i < n; i++ {
+		if g.Bool(0.3) {
+			hits++
+		}
+	}
+	rate := float64(hits) / n
+	if rate < 0.28 || rate > 0.32 {
+		t.Errorf("Bool(0.3) hit rate = %v, want ~0.3", rate)
+	}
+}
+
+func TestPermIsPermutation(t *testing.T) {
+	f := func(seed uint64) bool {
+		g := New(seed)
+		p := g.Perm(20)
+		seen := make([]bool, 20)
+		for _, v := range p {
+			if v < 0 || v >= 20 || seen[v] {
+				return false
+			}
+			seen[v] = true
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestZeroStateRemapped(t *testing.T) {
+	// A seed whose splitmix expansion is all-zero is astronomically
+	// unlikely, but the constructor must still guard against it; force
+	// the condition via the struct directly.
+	g := &XorShift128{}
+	if g.s0 == 0 && g.s1 == 0 {
+		// Uint64 on an all-zero xorshift state returns 0 forever;
+		// the constructor is the guard, so verify New never does this.
+		h := New(0)
+		if h.s0 == 0 && h.s1 == 0 {
+			t.Fatal("New(0) produced all-zero state")
+		}
+	}
+}
+
+func BenchmarkUint64(b *testing.B) {
+	g := New(1)
+	for i := 0; i < b.N; i++ {
+		_ = g.Uint64()
+	}
+}

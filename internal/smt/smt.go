@@ -1,0 +1,237 @@
+// Package smt implements the multithreaded fetch-policy application of
+// confidence estimation (§2.2, "SMT" and "Bandwidth multithreading").
+//
+// Several independent hardware threads share one fetch port. Each cycle a
+// scheduler grants the port to one thread; the others' back ends still
+// advance (branches resolve, squashes happen) but they fetch nothing.
+// The confidence-directed policy avoids granting the port to threads
+// with unresolved low-confidence branches — those threads are likely
+// fetching wrong-path instructions that will be squashed, so the slot is
+// better spent on a thread whose work will commit. The paper's claim:
+// a high-PVN estimator makes thread switching profitable.
+//
+// Simplification vs real SMT hardware: each thread has private predictor
+// and estimator tables (no cross-thread aliasing), and the granted
+// thread uses the full fetch width. Both choices isolate the effect
+// under study — the fetch policy — from table-sharing interference.
+package smt
+
+import (
+	"fmt"
+	"strings"
+
+	"specctrl/internal/bpred"
+	"specctrl/internal/conf"
+	"specctrl/internal/isa"
+	"specctrl/internal/pipeline"
+)
+
+// Policy selects the fetch scheduler.
+type Policy int
+
+const (
+	// RoundRobin grants the fetch port to threads in strict rotation.
+	RoundRobin Policy = iota
+	// ConfidenceGate prefers threads with no unresolved low-confidence
+	// branches, rotating among them; if every thread is low-confidence,
+	// it falls back to rotation over all.
+	ConfidenceGate
+	// ICount approximates Tullsen et al.'s ICOUNT policy with the
+	// occupancy signal this model tracks: grant the thread with the
+	// fewest unresolved branches (ties broken by rotation). Unlike
+	// ConfidenceGate it cannot tell a probably-wrong in-flight branch
+	// from a probably-right one.
+	ICount
+)
+
+// String names the policy.
+func (p Policy) String() string {
+	switch p {
+	case RoundRobin:
+		return "round-robin"
+	case ConfidenceGate:
+		return "confidence"
+	default:
+		return "icount"
+	}
+}
+
+// Config parameterizes an SMT run.
+type Config struct {
+	// Policy selects the fetch scheduler.
+	Policy Policy
+	// CycleBudget is the number of cycles to simulate.
+	CycleBudget uint64
+	// Pipeline configures each thread's machine. MaxCommitted and
+	// MaxCycles are ignored (the budget governs).
+	Pipeline pipeline.Config
+}
+
+// Validate checks the configuration.
+func (c Config) Validate() error {
+	if c.CycleBudget == 0 {
+		return fmt.Errorf("smt: zero cycle budget")
+	}
+	return c.Pipeline.Validate()
+}
+
+// Result reports an SMT run.
+type Result struct {
+	Policy Policy
+	// PerThread holds each thread's committed instructions within the
+	// budget.
+	PerThread []uint64
+	// Committed is the aggregate committed instruction count.
+	Committed uint64
+	// Cycles is the simulated cycle count (= budget unless all threads
+	// finished early).
+	Cycles uint64
+	// WrongPath is the aggregate squashed instruction count (wasted
+	// fetch/execute work).
+	WrongPath uint64
+}
+
+// Throughput returns aggregate committed instructions per cycle.
+func (r *Result) Throughput() float64 {
+	if r.Cycles == 0 {
+		return 0
+	}
+	return float64(r.Committed) / float64(r.Cycles)
+}
+
+// Run simulates the threads under the configured policy. Each program
+// gets a fresh predictor and estimator from the factories.
+func Run(cfg Config, progs []*isa.Program, newPred func() bpred.Predictor, newEst func() conf.Estimator) (*Result, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if len(progs) == 0 {
+		return nil, fmt.Errorf("smt: no threads")
+	}
+	pcfg := cfg.Pipeline
+	pcfg.MaxCommitted = 0
+	pcfg.MaxCycles = 0 // the budget loop bounds the run
+	sims := make([]*pipeline.Sim, len(progs))
+	done := make([]bool, len(progs))
+	for i, p := range progs {
+		sims[i] = pipeline.New(pcfg, p, newPred(), newEst())
+	}
+
+	next := 0 // rotation cursor
+	var cycles uint64
+	for cycles = 0; cycles < cfg.CycleBudget; cycles++ {
+		grant := pick(cfg.Policy, sims, done, &next)
+		allDone := true
+		for i, sim := range sims {
+			if done[i] {
+				continue
+			}
+			allDone = false
+			d, err := sim.Tick(i == grant)
+			if err != nil {
+				return nil, fmt.Errorf("smt thread %d: %w", i, err)
+			}
+			if d {
+				done[i] = true
+			}
+		}
+		if allDone {
+			break
+		}
+	}
+
+	res := &Result{Policy: cfg.Policy, Cycles: cycles}
+	for _, sim := range sims {
+		st := sim.Finish()
+		res.PerThread = append(res.PerThread, st.Committed)
+		res.Committed += st.Committed
+		res.WrongPath += st.WrongPath
+	}
+	return res, nil
+}
+
+// pick chooses the thread to grant the fetch port this cycle, or -1.
+func pick(policy Policy, sims []*pipeline.Sim, done []bool, next *int) int {
+	n := len(sims)
+	switch policy {
+	case ConfidenceGate:
+		// Running threads with no pending low-confidence branch, in
+		// rotation order.
+		for off := 0; off < n; off++ {
+			i := (*next + off) % n
+			if !done[i] && sims[i].PendingLowConf() == 0 {
+				*next = (i + 1) % n
+				return i
+			}
+		}
+	case ICount:
+		best, bestOcc := -1, 1<<30
+		for off := 0; off < n; off++ {
+			i := (*next + off) % n
+			if done[i] {
+				continue
+			}
+			if occ := sims[i].PendingBranches(); occ < bestOcc {
+				best, bestOcc = i, occ
+			}
+		}
+		if best >= 0 {
+			*next = (best + 1) % n
+			return best
+		}
+	}
+	// Fallback / round-robin: any running thread.
+	for off := 0; off < n; off++ {
+		i := (*next + off) % n
+		if !done[i] {
+			*next = (i + 1) % n
+			return i
+		}
+	}
+	return -1
+}
+
+// Comparison runs both policies on identical thread sets.
+type Comparison struct {
+	RoundRobin *Result
+	Confidence *Result
+}
+
+// Compare runs the two fetch policies on the same configuration.
+func Compare(cfg Config, progs []*isa.Program, newPred func() bpred.Predictor, newEst func() conf.Estimator) (*Comparison, error) {
+	rrCfg := cfg
+	rrCfg.Policy = RoundRobin
+	rr, err := Run(rrCfg, progs, newPred, newEst)
+	if err != nil {
+		return nil, err
+	}
+	cgCfg := cfg
+	cgCfg.Policy = ConfidenceGate
+	cg, err := Run(cgCfg, progs, newPred, newEst)
+	if err != nil {
+		return nil, err
+	}
+	return &Comparison{RoundRobin: rr, Confidence: cg}, nil
+}
+
+// Gain returns the relative throughput improvement of the confidence
+// policy over round-robin.
+func (c *Comparison) Gain() float64 {
+	rr := c.RoundRobin.Throughput()
+	if rr == 0 {
+		return 0
+	}
+	return c.Confidence.Throughput()/rr - 1
+}
+
+// Render prints the comparison.
+func (c *Comparison) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "SMT fetch policy comparison (%d threads)\n", len(c.RoundRobin.PerThread))
+	for _, r := range []*Result{c.RoundRobin, c.Confidence} {
+		fmt.Fprintf(&b, "%-12s ipc=%.3f committed=%d wasted=%d per-thread=%v\n",
+			r.Policy, r.Throughput(), r.Committed, r.WrongPath, r.PerThread)
+	}
+	fmt.Fprintf(&b, "confidence-policy gain: %+.1f%%\n", c.Gain()*100)
+	return b.String()
+}

@@ -1,0 +1,190 @@
+// Package trace serializes branch-event streams — the "speculative
+// trace" the paper records (§3.1): the prediction and eventual outcome
+// of every fetched conditional branch, committed and uncommitted alike.
+//
+// Long simulations produce tens of millions of events, so the format is
+// a compact delta-encoded binary stream rather than JSON: per event, the
+// PC is a zig-zag varint delta from the previous event's PC, the cycle a
+// varint delta from the previous cycle, and the four flags plus the
+// estimator bitmask pack into varints. Typical traces compress to 3-5
+// bytes per event.
+//
+// The stream begins with a fixed header (magic, version, event count)
+// and is written/read through the standard io interfaces, so callers can
+// layer any further framing or compression they like.
+package trace
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+
+	"specctrl/internal/pipeline"
+)
+
+// Magic identifies the trace format; Version is bumped on layout change.
+const (
+	Magic   = "SPCT"
+	Version = 1
+)
+
+var (
+	// ErrBadMagic means the stream does not start with a trace header.
+	ErrBadMagic = errors.New("trace: bad magic")
+	// ErrVersion means the stream uses an unsupported format version.
+	ErrVersion = errors.New("trace: unsupported version")
+)
+
+const (
+	flagPred = 1 << iota
+	flagOutcome
+	flagHighConf
+	flagWrongPath
+)
+
+// Write serializes events to w.
+func Write(w io.Writer, events []pipeline.BranchEvent) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.WriteString(Magic); err != nil {
+		return err
+	}
+	var scratch [binary.MaxVarintLen64]byte
+	put := func(v uint64) error {
+		n := binary.PutUvarint(scratch[:], v)
+		_, err := bw.Write(scratch[:n])
+		return err
+	}
+	if err := put(Version); err != nil {
+		return err
+	}
+	if err := put(uint64(len(events))); err != nil {
+		return err
+	}
+	var prevPC int64
+	var prevCycle uint64
+	for _, e := range events {
+		var flags uint64
+		if e.Pred {
+			flags |= flagPred
+		}
+		if e.Outcome {
+			flags |= flagOutcome
+		}
+		if e.HighConf {
+			flags |= flagHighConf
+		}
+		if e.WrongPath {
+			flags |= flagWrongPath
+		}
+		if err := put(flags); err != nil {
+			return err
+		}
+		if err := put(zigzag(e.PC - prevPC)); err != nil {
+			return err
+		}
+		if err := put(e.Cycle - prevCycle); err != nil {
+			return err
+		}
+		if err := put(e.ConfMask); err != nil {
+			return err
+		}
+		prevPC, prevCycle = e.PC, e.Cycle
+	}
+	return bw.Flush()
+}
+
+// Read deserializes a trace written by Write.
+func Read(r io.Reader) ([]pipeline.BranchEvent, error) {
+	br := bufio.NewReader(r)
+	magic := make([]byte, len(Magic))
+	if _, err := io.ReadFull(br, magic); err != nil {
+		return nil, fmt.Errorf("trace: reading magic: %w", err)
+	}
+	if string(magic) != Magic {
+		return nil, ErrBadMagic
+	}
+	version, err := binary.ReadUvarint(br)
+	if err != nil {
+		return nil, fmt.Errorf("trace: reading version: %w", err)
+	}
+	if version != Version {
+		return nil, fmt.Errorf("%w: %d", ErrVersion, version)
+	}
+	count, err := binary.ReadUvarint(br)
+	if err != nil {
+		return nil, fmt.Errorf("trace: reading count: %w", err)
+	}
+	const maxReasonable = 1 << 34
+	if count > maxReasonable {
+		return nil, fmt.Errorf("trace: implausible event count %d", count)
+	}
+	events := make([]pipeline.BranchEvent, 0, count)
+	var prevPC int64
+	var prevCycle uint64
+	for i := uint64(0); i < count; i++ {
+		flags, err := binary.ReadUvarint(br)
+		if err != nil {
+			return nil, fmt.Errorf("trace: event %d flags: %w", i, err)
+		}
+		dpc, err := binary.ReadUvarint(br)
+		if err != nil {
+			return nil, fmt.Errorf("trace: event %d pc: %w", i, err)
+		}
+		dcycle, err := binary.ReadUvarint(br)
+		if err != nil {
+			return nil, fmt.Errorf("trace: event %d cycle: %w", i, err)
+		}
+		mask, err := binary.ReadUvarint(br)
+		if err != nil {
+			return nil, fmt.Errorf("trace: event %d mask: %w", i, err)
+		}
+		pc := prevPC + unzigzag(dpc)
+		cycle := prevCycle + dcycle
+		events = append(events, pipeline.BranchEvent{
+			PC:        pc,
+			Pred:      flags&flagPred != 0,
+			Outcome:   flags&flagOutcome != 0,
+			HighConf:  flags&flagHighConf != 0,
+			WrongPath: flags&flagWrongPath != 0,
+			Cycle:     cycle,
+			ConfMask:  mask,
+		})
+		prevPC, prevCycle = pc, cycle
+	}
+	return events, nil
+}
+
+func zigzag(v int64) uint64 { return uint64(v<<1) ^ uint64(v>>63) }
+
+func unzigzag(v uint64) int64 { return int64(v>>1) ^ -int64(v&1) }
+
+// Summary aggregates a trace's headline statistics, so tools can report
+// on stored traces without re-simulating.
+type Summary struct {
+	Events     int
+	Committed  int
+	WrongPath  int
+	Mispredict int // committed mispredictions
+	LowConf    int // committed low-confidence estimates
+}
+
+// Summarize scans events.
+func Summarize(events []pipeline.BranchEvent) Summary {
+	s := Summary{Events: len(events)}
+	for _, e := range events {
+		if e.WrongPath {
+			s.WrongPath++
+			continue
+		}
+		s.Committed++
+		if !e.Correct() {
+			s.Mispredict++
+		}
+		if !e.HighConf {
+			s.LowConf++
+		}
+	}
+	return s
+}

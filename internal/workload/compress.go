@@ -1,0 +1,115 @@
+package workload
+
+import (
+	"specctrl/internal/isa"
+	"specctrl/internal/rng"
+)
+
+// compress: the inner loop of a dictionary compressor. Each step reads an
+// input byte, forms a (previous-code, byte) key, and probes an open-
+// addressed hash table: a hit extends the current phrase, a miss inserts
+// a new code. Hit/miss branches are data dependent with a moderate bias,
+// and the linear-probe chain loop has a data-dependent trip count that
+// grows with table load — the classic compress/SPECint branch mix.
+//
+// Memory map (word addresses):
+//
+//	0x1000  input bytes (4096, skewed distribution)
+//	0x8000  hash-table keys (4096, 0 = empty)
+//	0xA000  hash-table codes (4096)
+func buildCompress(seed uint64, iters int) *isa.Program {
+	const (
+		inputBase = 0x1000
+		inputMask = 4095
+		keysBase  = 0x8000
+		codesBase = 0xA000
+		tableMask = 4095
+		loadCap   = 3000 // stop inserting at ~73% load to bound probes
+	)
+	b := isa.NewBuilder("compress")
+	g := rng.New(seed)
+	for i := int64(0); i <= inputMask; i++ {
+		// AND of two uniform bytes skews toward small values, giving
+		// the input the repetitiveness real compressors exploit.
+		v := int64(g.Uint64()&0xff) & int64(g.Uint64()&0xff)
+		b.Word(inputBase+i, v)
+	}
+
+	const (
+		rI     = isa.Reg(1)  // step counter
+		rLim   = isa.Reg(2)  // iteration limit
+		rPrev  = isa.Reg(3)  // previous code
+		rC     = isa.Reg(4)  // current input byte
+		rKey   = isa.Reg(5)  // probe key
+		rH     = isa.Reg(6)  // hash slot
+		rT     = isa.Reg(7)  // scratch
+		rKeys  = isa.Reg(8)  // keys base
+		rCodes = isa.Reg(9)  // codes base
+		rNext  = isa.Reg(10) // next code to assign
+		rT2    = isa.Reg(11) // scratch
+	)
+
+	b.Li(rI, 0)
+	b.Li(rLim, int32(iters))
+	b.Li(rPrev, 0)
+	b.Lui(rKeys, keysBase>>16).Ori(rKeys, rKeys, keysBase&0xffff)
+	b.Lui(rCodes, codesBase>>16).Ori(rCodes, rCodes, codesBase&0xffff)
+	b.Li(rNext, 1)
+
+	b.Label("loop")
+	// c = input[i & inputMask]
+	b.Andi(rT, rI, inputMask)
+	b.Lui(rT2, inputBase>>16).Ori(rT2, rT2, inputBase&0xffff)
+	b.Add(rT, rT, rT2)
+	b.Ld(rC, rT, 0)
+	// key = ((prev << 8) | c) + 1   (never zero)
+	b.Shli(rKey, rPrev, 8)
+	b.Or(rKey, rKey, rC)
+	b.Addi(rKey, rKey, 1)
+	// h = (key * 0x9E3779B1) >> 13 & tableMask  (Fibonacci hashing)
+	b.Lui(rT, 0x9E37).Ori(rT, rT, 0x79B1)
+	b.Mul(rH, rKey, rT)
+	b.Shri(rH, rH, 13)
+	b.Andi(rH, rH, tableMask)
+
+	b.Label("probe")
+	b.Add(rT, rKeys, rH)
+	b.Ld(rT2, rT, 0)
+	b.Beq(rT2, rKey, "hit")      // data-dependent: phrase already known
+	b.Beq(rT2, isa.Zero, "miss") // empty slot ends the chain
+	b.Addi(rH, rH, 1)            // probe chain: variable trip count
+	b.Andi(rH, rH, tableMask)
+	b.Jump("probe")
+
+	b.Label("hit")
+	b.Add(rT, rCodes, rH)
+	b.Ld(rPrev, rT, 0)
+	b.Jump("next")
+
+	b.Label("miss")
+	// Insert only below the load cap; past it, restart the phrase.
+	b.Slti(rT2, rNext, loadCap)
+	b.Beq(rT2, isa.Zero, "full") // rarely taken until the table fills
+	b.Add(rT, rKeys, rH)
+	b.St(rKey, rT, 0)
+	b.Add(rT, rCodes, rH)
+	b.St(rNext, rT, 0)
+	b.Addi(rNext, rNext, 1)
+	b.Label("full")
+	b.Mov(rPrev, rC)
+
+	b.Label("next")
+	b.Addi(rI, rI, 1)
+	b.Blt(rI, rLim, "loop")
+	b.Halt()
+	return b.MustBuild()
+}
+
+func init() {
+	register(Workload{
+		Name:        "compress",
+		Description: "dictionary compressor: data-dependent hash hit/miss and probe chains",
+		Build:       func(iters int) *isa.Program { return buildCompress(0xC0340, iters) },
+		BuildSeeded: buildCompress,
+	})
+}

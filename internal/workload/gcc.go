@@ -1,0 +1,181 @@
+package workload
+
+import (
+	"specctrl/internal/isa"
+	"specctrl/internal/rng"
+)
+
+// gcc: a compiler-style pass over a stream of IR operations. Each step
+// loads an op record (opcode + two operand fields) and dispatches through
+// a binary decision tree of compare branches to one of 16 handlers; each
+// handler applies its own small set of conditions to the operand fields.
+// The result is what makes gcc hard for predictors: a large number of
+// static branch sites with mixed biases and data-dependent paths, rather
+// than a few hot loops.
+//
+// Memory map:
+//
+//	0x1000  opcode stream (8192 entries, skewed distribution)
+//	0x4000  operand-a stream (8192)
+//	0x6000  operand-b stream (8192)
+func buildGCC(seed uint64, iters int) *isa.Program {
+	const (
+		opsBase  = 0x1000
+		aBase    = 0x4000
+		bBase    = 0x6000
+		strMask  = 8191
+		handlers = 16
+	)
+	b := isa.NewBuilder("gcc")
+	g := rng.New(seed)
+	prev := 0
+	for i := int64(0); i <= strMask; i++ {
+		// Real IR streams have idiom structure: an op's successor is
+		// often determined by the op (compare→branch, load→use). Model
+		// that with a Markov mix — 60% idiomatic successor, 40% skewed
+		// random — so history predictors recover part of the dispatch,
+		// as they do on real gcc, without making it trivial.
+		var op int
+		if g.Bool(0.6) {
+			op = (prev*5 + 3) % handlers
+		} else {
+			op = g.Intn(handlers) * g.Intn(handlers) / handlers
+		}
+		prev = op
+		b.Word(opsBase+i, int64(op))
+		// Operand a skews small (AND of two uniforms), as real operand
+		// fields do; b stays uniform. The handler conditions then have
+		// realistic mixed biases (~75/25) instead of coin flips.
+		b.Word(aBase+i, int64(g.Uint64()&g.Uint64()&0xffff))
+		b.Word(bBase+i, int64(g.Uint64()&0xffff))
+	}
+
+	const (
+		rI   = isa.Reg(1)
+		rLim = isa.Reg(2)
+		rOp  = isa.Reg(3)
+		rA   = isa.Reg(4)
+		rB   = isa.Reg(5)
+		rT   = isa.Reg(6)
+		rT2  = isa.Reg(7)
+		rAcc = isa.Reg(8) // running checksum, keeps handlers live
+	)
+
+	b.Li(rI, 0)
+	b.Li(rLim, int32(iters))
+	b.Li(rAcc, 0)
+
+	b.Label("loop")
+	b.Andi(rT, rI, strMask)
+	b.Li(rT2, opsBase)
+	b.Add(rT2, rT2, rT)
+	b.Ld(rOp, rT2, 0)
+	b.Li(rT2, aBase)
+	b.Add(rT2, rT2, rT)
+	b.Ld(rA, rT2, 0)
+	b.Li(rT2, bBase)
+	b.Add(rT2, rT2, rT)
+	b.Ld(rB, rT2, 0)
+
+	// Dispatch: a 4-level binary tree over the opcode (15 branch sites).
+	b.Slti(rT, rOp, 8)
+	b.Beq(rT, isa.Zero, "d8_15")
+	b.Slti(rT, rOp, 4)
+	b.Beq(rT, isa.Zero, "d4_7")
+	b.Slti(rT, rOp, 2)
+	b.Beq(rT, isa.Zero, "d2_3")
+	b.Slti(rT, rOp, 1)
+	b.Beq(rT, isa.Zero, "h1")
+	b.Jump("h0")
+	b.Label("d2_3")
+	b.Slti(rT, rOp, 3)
+	b.Beq(rT, isa.Zero, "h3")
+	b.Jump("h2")
+	b.Label("d4_7")
+	b.Slti(rT, rOp, 6)
+	b.Beq(rT, isa.Zero, "d6_7")
+	b.Slti(rT, rOp, 5)
+	b.Beq(rT, isa.Zero, "h5")
+	b.Jump("h4")
+	b.Label("d6_7")
+	b.Slti(rT, rOp, 7)
+	b.Beq(rT, isa.Zero, "h7")
+	b.Jump("h6")
+	b.Label("d8_15")
+	b.Slti(rT, rOp, 12)
+	b.Beq(rT, isa.Zero, "d12_15")
+	b.Slti(rT, rOp, 10)
+	b.Beq(rT, isa.Zero, "d10_11")
+	b.Slti(rT, rOp, 9)
+	b.Beq(rT, isa.Zero, "h9")
+	b.Jump("h8")
+	b.Label("d10_11")
+	b.Slti(rT, rOp, 11)
+	b.Beq(rT, isa.Zero, "h11")
+	b.Jump("h10")
+	b.Label("d12_15")
+	b.Slti(rT, rOp, 14)
+	b.Beq(rT, isa.Zero, "d14_15")
+	b.Slti(rT, rOp, 13)
+	b.Beq(rT, isa.Zero, "h13")
+	b.Jump("h12")
+	b.Label("d14_15")
+	b.Slti(rT, rOp, 15)
+	b.Beq(rT, isa.Zero, "h15")
+	b.Jump("h14")
+
+	// Handlers: each folds the operands into the checksum with its own
+	// data-dependent conditions (a mix of biases).
+	for h := 0; h < handlers; h++ {
+		label := "h" + string(rune('0'+h%10))
+		if h >= 10 {
+			label = "h1" + string(rune('0'+h-10))
+		}
+		b.Label(label)
+		switch h % 4 {
+		case 0: // constant-fold style: test a == b (rarely true)
+			b.Beq(rA, rB, "cf")
+			b.Add(rAcc, rAcc, rA)
+		case 1: // strength-reduce style: test low bits of a
+			b.Andi(rT, rA, 3)
+			b.Bne(rT, isa.Zero, "sr")
+			b.Shli(rT2, rA, 1)
+			b.Add(rAcc, rAcc, rT2)
+			b.Label("sr" + suffix(h))
+		case 2: // range check: a < b (about 50/50)
+			b.Blt(rA, rB, "rc"+suffix(h))
+			b.Sub(rAcc, rAcc, rB)
+			b.Label("rc" + suffix(h))
+		case 3: // sign-ish test on a mid bit (about 50/50)
+			b.Andi(rT, rA, 0x80)
+			b.Beq(rT, isa.Zero, "sg"+suffix(h))
+			b.Xor(rAcc, rAcc, rB)
+			b.Label("sg" + suffix(h))
+		}
+		b.Jump("next")
+	}
+	// Shared rare targets for the case-0/1 handlers.
+	b.Label("cf")
+	b.Addi(rAcc, rAcc, 1)
+	b.Jump("next")
+	b.Label("sr")
+	b.Add(rAcc, rAcc, rB)
+	b.Jump("next")
+
+	b.Label("next")
+	b.Addi(rI, rI, 1)
+	b.Blt(rI, rLim, "loop")
+	b.Halt()
+	return b.MustBuild()
+}
+
+func suffix(h int) string { return string(rune('a' + h)) }
+
+func init() {
+	register(Workload{
+		Name:        "gcc",
+		Description: "IR pass: wide dispatch tree, many branch sites, mixed biases",
+		Build:       func(iters int) *isa.Program { return buildGCC(0x6CC, iters) },
+		BuildSeeded: buildGCC,
+	})
+}

@@ -1,0 +1,99 @@
+package workload
+
+import (
+	"specctrl/internal/isa"
+	"specctrl/internal/rng"
+)
+
+// go: a position evaluator in the style of the SPECint95 Go player — the
+// benchmark with the worst branch behaviour in the paper's Table 1. Each
+// step mixes the evaluation state with a multiplicative hash and then
+// makes a burst of decisions keyed to different fields of the hashed
+// value. Because the state evolves chaotically, these branches carry
+// almost no exploitable history, and because several decisions derive
+// from one hash, mispredictions cluster. A short predictable
+// bookkeeping loop separates bursts, as board scans do in the original.
+//
+// Memory map:
+//
+//	0x1000  board table (2048 random words)
+func buildGo(seed uint64, iters int) *isa.Program {
+	const (
+		boardBase = 0x1000
+		boardMask = 2047
+	)
+	b := isa.NewBuilder("go")
+	g := rng.New(seed)
+	for i := int64(0); i <= boardMask; i++ {
+		b.Word(boardBase+i, int64(g.Uint64()>>8))
+	}
+
+	const (
+		rI     = isa.Reg(1)
+		rLim   = isa.Reg(2)
+		rState = isa.Reg(3) // evaluation state (chaotic)
+		rH     = isa.Reg(4) // hashed value
+		rT     = isa.Reg(5)
+		rT2    = isa.Reg(6)
+		rScore = isa.Reg(7)
+		rJ     = isa.Reg(8)
+	)
+
+	b.Li(rI, 0)
+	b.Li(rLim, int32(iters))
+	b.Li(rState, 0x1234)
+	b.Li(rScore, 0)
+
+	b.Label("loop")
+	// Read a board cell selected by the state and fold it in.
+	b.Andi(rT, rState, boardMask)
+	b.Li(rT2, boardBase)
+	b.Add(rT, rT, rT2)
+	b.Ld(rT, rT, 0)
+	b.Xor(rState, rState, rT)
+	// Hash: state = state * 0x2545F491 + i ; h = state >> 16.
+	b.Lui(rT, 0x2545).Ori(rT, rT, 0x4F91)
+	b.Mul(rState, rState, rT)
+	b.Add(rState, rState, rI)
+	b.Shri(rH, rState, 16)
+
+	// Decision burst: four nearly random branches on separate hash bits.
+	b.Andi(rT, rH, 1)
+	b.Beq(rT, isa.Zero, "d1")
+	b.Addi(rScore, rScore, 3)
+	b.Label("d1")
+	b.Andi(rT, rH, 4)
+	b.Beq(rT, isa.Zero, "d2")
+	b.Sub(rScore, rScore, rH)
+	b.Label("d2")
+	b.Andi(rT, rH, 16)
+	b.Beq(rT, isa.Zero, "d3")
+	b.Xor(rScore, rScore, rState)
+	b.Label("d3")
+	b.Andi(rT, rH, 64)
+	b.Beq(rT, isa.Zero, "d4")
+	b.Addi(rScore, rScore, 1)
+	b.Label("d4")
+
+	// Liberty-count style scan: a short counted loop (predictable).
+	b.Li(rJ, 0)
+	b.Label("scan")
+	b.Add(rScore, rScore, rJ)
+	b.Addi(rJ, rJ, 1)
+	b.Slti(rT, rJ, 4)
+	b.Bne(rT, isa.Zero, "scan")
+
+	b.Addi(rI, rI, 1)
+	b.Blt(rI, rLim, "loop")
+	b.Halt()
+	return b.MustBuild()
+}
+
+func init() {
+	register(Workload{
+		Name:        "go",
+		Description: "position evaluator: chaotic data-dependent decision bursts",
+		Build:       func(iters int) *isa.Program { return buildGo(0x60B0A2D, iters) },
+		BuildSeeded: buildGo,
+	})
+}

@@ -1,0 +1,121 @@
+package workload
+
+import (
+	"specctrl/internal/isa"
+	"specctrl/internal/rng"
+)
+
+// ijpeg: image block processing — the lowest branch density in the
+// paper's Table 1 (≈8% of instructions are conditional branches, versus
+// ≈15-20% elsewhere). Each step runs an 8-point transform over a block
+// row: a fixed-trip inner loop of straight-line multiply-accumulate
+// arithmetic (perfectly predictable back edge), followed by a clamping
+// pass whose saturation branches depend on the data and fire on a
+// minority of samples.
+//
+// Memory map:
+//
+//	0x1000  image samples (8192 words)
+//	0x4000  coefficient table (8)
+//	0x5000  output samples
+func buildIjpeg(seed uint64, iters int) *isa.Program {
+	const (
+		imgBase  = 0x1000
+		imgMask  = 8191
+		coefBase = 0x4000
+		outBase  = 0x5000
+	)
+	b := isa.NewBuilder("ijpeg")
+	g := rng.New(seed)
+	for i := int64(0); i <= imgMask; i++ {
+		// Smooth-ish image: neighboring samples correlate.
+		v := int64(g.Intn(64)) + int64(g.Intn(64)) + 64
+		b.Word(imgBase+i, v)
+	}
+	for i := int64(0); i < 8; i++ {
+		b.Word(coefBase+i, int64(g.Intn(7))-3)
+	}
+
+	const (
+		rIt   = isa.Reg(1)
+		rLim  = isa.Reg(2)
+		rRow  = isa.Reg(3) // row base offset into the image
+		rJ    = isa.Reg(4) // inner index
+		rAcc  = isa.Reg(5)
+		rT    = isa.Reg(6)
+		rT2   = isa.Reg(7)
+		rCoef = isa.Reg(8)
+		rHi   = isa.Reg(9) // clamp limit
+	)
+
+	b.Li(rIt, 0)
+	b.Li(rLim, int32(iters))
+	b.Li(rHi, 255)
+
+	b.Label("loop")
+	// Row base walks the image.
+	b.Shli(rRow, rIt, 3)
+	b.Andi(rRow, rRow, imgMask)
+
+	// Transform: acc = sum(coef[j] * img[row+j]), 8 straight-line taps
+	// driven by a counted loop (predictable).
+	b.Li(rAcc, 0)
+	b.Li(rJ, 0)
+	b.Label("taps")
+	b.Li(rT, coefBase)
+	b.Add(rT, rT, rJ)
+	b.Ld(rCoef, rT, 0)
+	b.Li(rT, imgBase)
+	b.Add(rT, rT, rRow)
+	b.Add(rT, rT, rJ)
+	b.Ld(rT, rT, 0)
+	b.Mul(rT, rT, rCoef)
+	b.Add(rAcc, rAcc, rT)
+	// Unrolled arithmetic filler: scale and bias (no branches).
+	b.Shli(rT2, rAcc, 1)
+	b.Add(rT2, rT2, rAcc)
+	b.Shri(rT2, rT2, 2)
+	b.Addi(rJ, rJ, 1)
+	b.Slti(rT, rJ, 8)
+	b.Bne(rT, isa.Zero, "taps")
+
+	// Level-shift into a window straddling the displayable range, so
+	// the saturation branches below actually depend on the data: keep
+	// 9 significant bits and center them on [0,255].
+	b.Shri(rAcc, rAcc, 2)
+	b.Andi(rAcc, rAcc, 511)
+	b.Addi(rAcc, rAcc, -128)
+	b.Blt(rAcc, isa.Zero, "clampLo")
+	b.Blt(rHi, rAcc, "clampHi")
+	b.Label("store")
+	// Quantization rounding: a data-dependent branch on a middle bit of
+	// the sample (ijpeg's occasional hard branch).
+	b.Andi(rT, rAcc, 16)
+	b.Beq(rT, isa.Zero, "noRound")
+	b.Addi(rAcc, rAcc, 1)
+	b.Label("noRound")
+	b.Andi(rT, rIt, imgMask)
+	b.Li(rT2, outBase)
+	b.Add(rT, rT, rT2)
+	b.St(rAcc, rT, 0)
+	b.Addi(rIt, rIt, 1)
+	b.Blt(rIt, rLim, "loop")
+	b.Halt()
+
+	b.Label("clampLo")
+	b.Li(rAcc, 0)
+	b.Jump("store")
+	b.Label("clampHi")
+	b.Li(rAcc, 255)
+	b.Jump("store")
+	return b.MustBuild()
+}
+
+func init() {
+	register(Workload{
+		Name:        "ijpeg",
+		Description: "block transform: fixed-trip loops, low branch density, clamping",
+		Build:       func(iters int) *isa.Program { return buildIjpeg(0x17E6, iters) },
+		BuildSeeded: buildIjpeg,
+	})
+}

@@ -1,0 +1,108 @@
+package workload
+
+import (
+	"specctrl/internal/isa"
+	"specctrl/internal/rng"
+)
+
+// m88ksim: an instruction-set simulator simulating a loop-heavy target
+// program — the most predictable benchmark in the paper's Table 1. The
+// simulated target spends nearly all its time in tight counted loops, so
+// the host simulator's decode and execute branches are strongly biased:
+// the same few target instructions recur, exception checks never fire,
+// and the fetch loop is dominated by one back edge.
+//
+// Memory map:
+//
+//	0x1000  target program (simple encoded ops)
+//	0x2000  target registers (32)
+func buildM88ksim(seed uint64, iters int) *isa.Program {
+	const (
+		tprogBase = 0x1000
+		tregsBase = 0x2000
+	)
+	b := isa.NewBuilder("m88ksim")
+	g := rng.New(seed)
+	_ = g
+
+	// Target program: op encodings — 1 = addi r, 2 = cmp-and-loop,
+	// 3 = nop, 0 = halt-target (restart). A tiny counted loop repeated.
+	tprog := []int64{
+		1, 3, 1, 3, 1, // add/nop mix
+		2, // loop back to 0 until counter expires
+		0, // target halt
+	}
+	for i, v := range tprog {
+		b.Word(tprogBase+int64(i), v)
+	}
+
+	const (
+		rIt  = isa.Reg(1)
+		rLim = isa.Reg(2)
+		rTPC = isa.Reg(3) // target PC
+		rOp  = isa.Reg(4)
+		rT   = isa.Reg(5)
+		rT2  = isa.Reg(6)
+		rCnt = isa.Reg(7) // target loop counter
+		rAcc = isa.Reg(8) // target register value
+		rExc = isa.Reg(9) // exception flag (never set)
+	)
+
+	b.Li(rIt, 0)
+	b.Li(rLim, int32(iters))
+	b.Li(rExc, 0)
+	b.Label("restart")
+	b.Li(rTPC, 0)
+	b.Li(rCnt, 12) // target loop trip count
+	b.Li(rAcc, 0)
+
+	b.Label("fetch")
+	// Exception check: never taken (strongly biased).
+	b.Bne(rExc, isa.Zero, "exception")
+	b.Li(rT, tprogBase)
+	b.Add(rT, rT, rTPC)
+	b.Ld(rOp, rT, 0)
+	b.Addi(rTPC, rTPC, 1)
+
+	// Decode: dominated by ops 1 and 3.
+	b.Li(rT, 1)
+	b.Beq(rOp, rT, "exAdd")
+	b.Li(rT, 3)
+	b.Beq(rOp, rT, "exNop")
+	b.Li(rT, 2)
+	b.Beq(rOp, rT, "exLoop")
+	// op 0: target halted; restart or finish.
+	b.Addi(rIt, rIt, 1)
+	b.Blt(rIt, rLim, "restart")
+	b.Halt()
+
+	b.Label("exAdd")
+	b.Addi(rAcc, rAcc, 7)
+	// Write-back to the simulated register file.
+	b.Li(rT, tregsBase)
+	b.St(rAcc, rT, 1)
+	b.Jump("fetch")
+
+	b.Label("exNop")
+	b.Jump("fetch")
+
+	b.Label("exLoop")
+	b.Addi(rCnt, rCnt, -1)
+	b.Beq(rCnt, isa.Zero, "fetch") // falls out of the target loop once
+	b.Li(rTPC, 0)                  // loop back (taken 11 of 12 times)
+	b.Jump("fetch")
+
+	b.Label("exception")
+	// Unreachable; present so the check above has a real target.
+	b.Halt()
+	return b.MustBuild()
+}
+
+func init() {
+	register(Workload{
+		Name:        "m88ksim",
+		Description: "ISA simulator: strongly biased decode and never-taken checks",
+		Build:       func(iters int) *isa.Program { return buildM88ksim(0x88, iters) },
+		BuildSeeded: buildM88ksim,
+	})
+}

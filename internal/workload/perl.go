@@ -1,0 +1,178 @@
+package workload
+
+import (
+	"specctrl/internal/isa"
+	"specctrl/internal/rng"
+)
+
+// perl: a bytecode interpreter running a small synthetic script. The
+// script (generated once, with its own internal loops) repeats, so the
+// opcode sequence seen by the dispatch branches is highly structured —
+// global-history predictors learn the interpreted program's shape, which
+// is exactly how real interpreters behave: moderately predictable
+// dispatch, with occasional data-dependent conditional ops.
+//
+// Bytecode ops: 0 PUSHI, 1 ADD, 2 SUB, 3 DUP, 4 DROP, 5 JNZ (back),
+// 6 LOADT, 7 HALTSCRIPT (restart).
+//
+// Memory map:
+//
+//	0x1000  bytecode (ops)        0x2000  bytecode immediates
+//	0x3000  value stack           0x3800  data table (random)
+func buildPerl(seed uint64, iters int) *isa.Program {
+	const (
+		codeBase = 0x1000
+		immBase  = 0x2000
+		stkBase  = 0x3000
+		tabBase  = 0x3800
+		tabMask  = 1023
+	)
+	b := isa.NewBuilder("perl")
+	g := rng.New(seed)
+
+	// Generate the script: a sequence of basic blocks, each a short op
+	// run ending in a counted JNZ loop back, finishing with HALTSCRIPT.
+	type op struct{ code, imm int64 }
+	var script []op
+	for blk := 0; blk < 6; blk++ {
+		start := len(script)
+		n := 3 + g.Intn(5)
+		for j := 0; j < n; j++ {
+			switch g.Intn(5) {
+			case 0:
+				script = append(script, op{0, int64(g.Intn(100))}) // PUSHI
+			case 1:
+				script = append(script, op{1, 0}) // ADD
+			case 2:
+				script = append(script, op{3, 0}) // DUP
+			case 3:
+				script = append(script, op{6, int64(g.Intn(1024))}) // LOADT
+			default:
+				script = append(script, op{2, 0}) // SUB
+			}
+		}
+		// Loop the block 3 times: PUSHI count done at entry would need
+		// a counter slot; instead JNZ uses a dedicated loop counter
+		// initialized by imm (count) and decremented by the op itself.
+		script = append(script, op{5, int64(start)}) // JNZ back to start
+	}
+	script = append(script, op{7, 0})
+	for i, o := range script {
+		b.Word(codeBase+int64(i), o.code)
+		b.Word(immBase+int64(i), o.imm)
+	}
+	for i := int64(0); i <= tabMask; i++ {
+		b.Word(tabBase+i, int64(g.Uint64()&0xff))
+	}
+
+	const (
+		rIt   = isa.Reg(1)  // outer iterations (script restarts)
+		rLim  = isa.Reg(2)  //
+		rIP   = isa.Reg(3)  // interpreter instruction pointer
+		rSP   = isa.Reg(4)  // value-stack pointer (grows up)
+		rOp   = isa.Reg(5)  //
+		rImm  = isa.Reg(6)  //
+		rT    = isa.Reg(7)  //
+		rT2   = isa.Reg(8)  //
+		rLoop = isa.Reg(9)  // JNZ loop counter
+		rTOS  = isa.Reg(10) // cached top-of-stack
+	)
+
+	b.Li(rIt, 0)
+	b.Li(rLim, int32(iters))
+	b.Label("restart")
+	b.Li(rIP, 0)
+	b.Li(rSP, stkBase)
+	b.Li(rLoop, 3) // every JNZ loops 3 times per restart
+	b.Li(rTOS, 0)
+
+	b.Label("dispatch")
+	b.Li(rT, codeBase)
+	b.Add(rT, rT, rIP)
+	b.Ld(rOp, rT, 0)
+	b.Li(rT, immBase)
+	b.Add(rT, rT, rIP)
+	b.Ld(rImm, rT, 0)
+	b.Addi(rIP, rIP, 1)
+
+	// Dispatch chain (interpreters before computed goto): compare ops in
+	// frequency order.
+	b.Li(rT, 0)
+	b.Beq(rOp, rT, "opPUSHI")
+	b.Li(rT, 1)
+	b.Beq(rOp, rT, "opADD")
+	b.Li(rT, 2)
+	b.Beq(rOp, rT, "opSUB")
+	b.Li(rT, 3)
+	b.Beq(rOp, rT, "opDUP")
+	b.Li(rT, 5)
+	b.Beq(rOp, rT, "opJNZ")
+	b.Li(rT, 6)
+	b.Beq(rOp, rT, "opLOADT")
+	// op 7: end of script.
+	b.Addi(rIt, rIt, 1)
+	b.Blt(rIt, rLim, "restart")
+	b.Halt()
+
+	b.Label("opPUSHI")
+	b.St(rTOS, rSP, 0)
+	b.Addi(rSP, rSP, 1)
+	b.Mov(rTOS, rImm)
+	b.Jump("dispatch")
+
+	b.Label("opADD")
+	b.Addi(rSP, rSP, -1)
+	b.Ld(rT, rSP, 0)
+	b.Add(rTOS, rTOS, rT)
+	b.Jump("dispatch")
+
+	b.Label("opSUB")
+	b.Addi(rSP, rSP, -1)
+	b.Ld(rT, rSP, 0)
+	b.Sub(rTOS, rT, rTOS)
+	b.Jump("dispatch")
+
+	b.Label("opDUP")
+	b.St(rTOS, rSP, 0)
+	b.Addi(rSP, rSP, 1)
+	b.Jump("dispatch")
+
+	b.Label("opLOADT")
+	// Data-dependent: index the random table with TOS+imm and branch on
+	// the value's parity before folding it in.
+	b.Add(rT, rTOS, rImm)
+	b.Andi(rT, rT, tabMask)
+	b.Li(rT2, tabBase)
+	b.Add(rT, rT, rT2)
+	b.Ld(rT, rT, 0)
+	b.Andi(rT2, rT, 1)
+	b.Beq(rT2, isa.Zero, "evenT")
+	b.Add(rTOS, rTOS, rT)
+	b.Jump("dispatch")
+	b.Label("evenT")
+	b.Xor(rTOS, rTOS, rT)
+	b.Jump("dispatch")
+
+	b.Label("opJNZ")
+	b.Addi(rLoop, rLoop, -1)
+	b.Beq(rLoop, isa.Zero, "jnzDone")
+	b.Mov(rIP, rImm) // loop back
+	b.Jump("dispatch")
+	b.Label("jnzDone")
+	b.Li(rLoop, 3) // reload for the next block
+	b.Jump("dispatch")
+
+	// Stack safety: the script is generated so SP stays in range; the
+	// stack region is 0x800 words and blocks are at most 8 ops deep
+	// looped 3 times.
+	return b.MustBuild()
+}
+
+func init() {
+	register(Workload{
+		Name:        "perl",
+		Description: "bytecode interpreter: structured dispatch, learnable by history",
+		Build:       func(iters int) *isa.Program { return buildPerl(0x9E21, iters) },
+		BuildSeeded: buildPerl,
+	})
+}

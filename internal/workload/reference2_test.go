@@ -1,0 +1,240 @@
+package workload
+
+// Reference models for the remaining benchmarks: go, m88ksim, gcc, perl.
+
+import (
+	"testing"
+
+	"specctrl/internal/rng"
+)
+
+func TestGoReferenceModel(t *testing.T) {
+	const iters = 5000
+	m := runWorkload(t, "go", iters)
+
+	g := rng.New(0x60B0A2D)
+	board := make([]int64, 2048)
+	for i := range board {
+		board[i] = int64(g.Uint64() >> 8)
+	}
+	state, score := int64(0x1234), int64(0)
+	const mult = 0x2545<<16 | 0x4F91
+	for i := int64(0); i < iters; i++ {
+		state ^= board[state&2047]
+		state = state*mult + i
+		h := int64(uint64(state) >> 16)
+		if h&1 != 0 {
+			score += 3
+		}
+		if h&4 != 0 {
+			score -= h
+		}
+		if h&16 != 0 {
+			score ^= state
+		}
+		if h&64 != 0 {
+			score++
+		}
+		for j := int64(0); j < 4; j++ {
+			score += j
+		}
+	}
+	// Register assignments from go.go: r3 = state, r7 = score.
+	if got := m.State.Regs[3]; got != state {
+		t.Errorf("state: emulated %d, model %d", got, state)
+	}
+	if got := m.State.Regs[7]; got != score {
+		t.Errorf("score: emulated %d, model %d", got, score)
+	}
+}
+
+func TestM88ksimReferenceModel(t *testing.T) {
+	const iters = 500
+	m := runWorkload(t, "m88ksim", iters)
+
+	// Native model of the simulated target: per restart, the target
+	// program [1,3,1,3,1,2,0] runs with a 12-trip loop at op 2.
+	tprog := []int64{1, 3, 1, 3, 1, 2, 0}
+	var acc, treg int64
+	for it := 0; it < iters; it++ {
+		tpc, cnt := 0, int64(12)
+		acc = 0
+		for {
+			op := tprog[tpc]
+			tpc++
+			if op == 0 {
+				break
+			}
+			switch op {
+			case 1:
+				acc += 7
+				treg = acc
+			case 2:
+				cnt--
+				if cnt != 0 {
+					tpc = 0
+				}
+			}
+		}
+	}
+	// Register assignments from m88ksim.go: r8 = acc; simulated target
+	// register file at 0x2000.
+	if got := m.State.Regs[8]; got != acc {
+		t.Errorf("acc: emulated %d, model %d", got, acc)
+	}
+	if got := m.Mem.Read(0x2000 + 1); got != treg {
+		t.Errorf("target reg: emulated %d, model %d", got, treg)
+	}
+	if got := m.State.Regs[1]; got != iters {
+		t.Errorf("restarts: emulated %d, model %d", got, iters)
+	}
+}
+
+func TestGCCReferenceModel(t *testing.T) {
+	const iters = 8000
+	m := runWorkload(t, "gcc", iters)
+
+	// Replicate the stream generation (Markov ops, skewed operand a).
+	g := rng.New(0x6CC)
+	const handlers = 16
+	ops := make([]int64, 8192)
+	as := make([]int64, 8192)
+	bs := make([]int64, 8192)
+	prev := 0
+	for i := range ops {
+		var op int
+		if g.Bool(0.6) {
+			op = (prev*5 + 3) % handlers
+		} else {
+			op = g.Intn(handlers) * g.Intn(handlers) / handlers
+		}
+		prev = op
+		ops[i] = int64(op)
+		as[i] = int64(g.Uint64() & g.Uint64() & 0xffff)
+		bs[i] = int64(g.Uint64() & 0xffff)
+	}
+
+	var acc int64
+	for i := 0; i < iters; i++ {
+		idx := i & 8191
+		op, a, b := ops[idx], as[idx], bs[idx]
+		switch op % 4 {
+		case 0: // constant-fold: rare equality path adds 1, else adds a
+			if a == b {
+				acc++
+			} else {
+				acc += a
+			}
+		case 1: // strength-reduce: biased low-bit test
+			if a&3 != 0 {
+				acc += b
+			} else {
+				acc += 2 * a
+			}
+		case 2: // range check
+			if !(a < b) {
+				acc -= b
+			}
+		case 3: // sign-ish bit test
+			if a&0x80 != 0 {
+				acc ^= b
+			}
+		}
+	}
+	// Register assignment from gcc.go: r8 = acc.
+	if got := m.State.Regs[8]; got != acc {
+		t.Errorf("acc: emulated %d, model %d", got, acc)
+	}
+}
+
+func TestPerlReferenceModel(t *testing.T) {
+	const iters = 300
+	m := runWorkload(t, "perl", iters)
+
+	// Replicate script generation (draw order matters: per block,
+	// length then per-op draws) and the data table.
+	g := rng.New(0x9E21)
+	type op struct{ code, imm int64 }
+	var script []op
+	for blk := 0; blk < 6; blk++ {
+		start := len(script)
+		n := 3 + g.Intn(5)
+		for j := 0; j < n; j++ {
+			switch g.Intn(5) {
+			case 0:
+				script = append(script, op{0, int64(g.Intn(100))})
+			case 1:
+				script = append(script, op{1, 0})
+			case 2:
+				script = append(script, op{3, 0})
+			case 3:
+				script = append(script, op{6, int64(g.Intn(1024))})
+			default:
+				script = append(script, op{2, 0})
+			}
+		}
+		script = append(script, op{5, int64(start)})
+	}
+	script = append(script, op{7, 0})
+	tab := make([]int64, 1024)
+	for i := range tab {
+		tab[i] = int64(g.Uint64() & 0xff)
+	}
+
+	// Native VM with the assembly's exact stack semantics: TOS cached
+	// in a register, the rest in word memory; pops below the stack base
+	// read zeros.
+	stack := map[int64]int64{}
+	var tos int64
+	var it int
+	for it = 0; it < iters; it++ {
+		ip, sp, loop := 0, int64(0x3000), int64(3)
+		tos = 0
+		for {
+			o := script[ip]
+			ip++
+			done := false
+			switch o.code {
+			case 0: // PUSHI
+				stack[sp] = tos
+				sp++
+				tos = o.imm
+			case 1: // ADD
+				sp--
+				tos += stack[sp]
+			case 2: // SUB
+				sp--
+				tos = stack[sp] - tos
+			case 3: // DUP
+				stack[sp] = tos
+				sp++
+			case 6: // LOADT
+				v := tab[(tos+o.imm)&1023]
+				if v&1 != 0 {
+					tos += v
+				} else {
+					tos ^= v
+				}
+			case 5: // JNZ
+				loop--
+				if loop != 0 {
+					ip = int(o.imm)
+				} else {
+					loop = 3
+				}
+			case 7:
+				done = true
+			}
+			if done {
+				break
+			}
+		}
+	}
+	// Register assignments from perl.go: r10 = TOS, r1 = iterations.
+	if got := m.State.Regs[10]; got != tos {
+		t.Errorf("tos: emulated %d, model %d", got, tos)
+	}
+	if got := m.State.Regs[1]; got != int64(it) {
+		t.Errorf("iterations: emulated %d, model %d", got, it)
+	}
+}

@@ -1,0 +1,109 @@
+package workload
+
+import (
+	"specctrl/internal/isa"
+	"specctrl/internal/rng"
+)
+
+// vortex: object-database transactions, the most predictable large
+// benchmark in the paper's Table 1 (≈1-2% gshare misprediction). Each
+// transaction walks a chain of object records, and on every record runs
+// validity checks that almost always pass — the hallmark of vortex's
+// highly biased branch profile — then updates a field. A small fraction
+// of lookups miss and take an early-out path.
+//
+// Record layout (4 words): [0] valid flag (1 except rare poison),
+// [1] type tag (0 except rare), [2] next index, [3] payload.
+//
+// Memory map:
+//
+//	0x1000  object records (1024 × 4 words)
+func buildVortex(seed uint64, iters int) *isa.Program {
+	const (
+		recBase = 0x1000
+		numRecs = 1024
+	)
+	b := isa.NewBuilder("vortex")
+	g := rng.New(seed)
+
+	perm := g.Perm(numRecs) // random chain order
+	for i := 0; i < numRecs; i++ {
+		a := recBase + int64(i)*4
+		valid, tag := int64(1), int64(0)
+		if g.Bool(0.02) {
+			valid = 0 // rare invalid record
+		}
+		if g.Bool(0.03) {
+			tag = 1 // rare special type
+		}
+		b.Word(a, valid)
+		b.Word(a+1, tag)
+		b.Word(a+2, int64(perm[i]))
+		b.Word(a+3, int64(g.Intn(1<<20)))
+	}
+
+	const (
+		rIt   = isa.Reg(1)
+		rLim  = isa.Reg(2)
+		rIdx  = isa.Reg(3) // current record index
+		rAddr = isa.Reg(4)
+		rT    = isa.Reg(5)
+		rAcc  = isa.Reg(6)
+		rJ    = isa.Reg(7)
+	)
+
+	b.Li(rIt, 0)
+	b.Li(rLim, int32(iters))
+	b.Li(rIdx, 0)
+	b.Li(rAcc, 0)
+
+	b.Label("txn")
+	// Each transaction touches 8 records along the chain.
+	b.Li(rJ, 0)
+	b.Label("walk")
+	b.Shli(rAddr, rIdx, 2)
+	b.Li(rT, recBase)
+	b.Add(rAddr, rAddr, rT)
+	// Validity check: passes ~98% of the time.
+	b.Ld(rT, rAddr, 0)
+	b.Beq(rT, isa.Zero, "invalid")
+	// Type check: ordinary ~97% of the time.
+	b.Ld(rT, rAddr, 1)
+	b.Bne(rT, isa.Zero, "special")
+	// Common path: fold the payload, advance the chain.
+	b.Ld(rT, rAddr, 3)
+	b.Add(rAcc, rAcc, rT)
+	b.Label("advance")
+	b.Ld(rIdx, rAddr, 2)
+	b.Addi(rJ, rJ, 1)
+	b.Slti(rT, rJ, 8)
+	b.Bne(rT, isa.Zero, "walk")
+	b.Addi(rIt, rIt, 1)
+	b.Blt(rIt, rLim, "txn")
+	b.Halt()
+
+	b.Label("invalid")
+	// Early out: skip the record.
+	b.Addi(rIdx, rIdx, 1)
+	b.Andi(rIdx, rIdx, numRecs-1)
+	b.Jump("advanceFromInvalid")
+	b.Label("special")
+	b.Ld(rT, rAddr, 3)
+	b.Xor(rAcc, rAcc, rT)
+	b.Jump("advance")
+	b.Label("advanceFromInvalid")
+	b.Shli(rAddr, rIdx, 2)
+	b.Li(rT, recBase)
+	b.Add(rAddr, rAddr, rT)
+	b.Jump("advance")
+	return b.MustBuild()
+}
+
+func init() {
+	register(Workload{
+		Name:        "vortex",
+		Description: "object database: validity checks that almost always pass",
+		Build:       func(iters int) *isa.Program { return buildVortex(0x50B7E, iters) },
+		BuildSeeded: buildVortex,
+	})
+}

@@ -1,0 +1,249 @@
+package workload
+
+import (
+	"testing"
+
+	"specctrl/internal/bpred"
+	"specctrl/internal/emu"
+	"specctrl/internal/pipeline"
+)
+
+func TestSuiteComplete(t *testing.T) {
+	suite := Suite()
+	if len(suite) != 8 {
+		t.Fatalf("suite has %d benchmarks, want 8", len(suite))
+	}
+	want := []string{"compress", "gcc", "perl", "go", "m88ksim", "xlisp", "vortex", "ijpeg"}
+	for i, w := range suite {
+		if w.Name != want[i] {
+			t.Errorf("suite[%d] = %q, want %q", i, w.Name, want[i])
+		}
+		if w.Description == "" || w.Build == nil {
+			t.Errorf("%s: incomplete workload definition", w.Name)
+		}
+	}
+}
+
+func TestByName(t *testing.T) {
+	if _, err := ByName("compress"); err != nil {
+		t.Error(err)
+	}
+	if _, err := ByName("nonesuch"); err == nil {
+		t.Error("ByName accepted unknown benchmark")
+	}
+}
+
+func TestAllProgramsHaltOnEmulator(t *testing.T) {
+	for _, w := range Suite() {
+		w := w
+		t.Run(w.Name, func(t *testing.T) {
+			p := w.Build(200)
+			m := emu.NewMachine(p)
+			n, err := m.Run(5_000_000)
+			if err != nil {
+				t.Fatalf("%s did not halt: %v", w.Name, err)
+			}
+			if n < 1000 {
+				t.Errorf("%s executed only %d instructions for 200 iterations", w.Name, n)
+			}
+			if m.CondBranches == 0 {
+				t.Errorf("%s executed no conditional branches", w.Name)
+			}
+		})
+	}
+}
+
+func TestIterationScaling(t *testing.T) {
+	// Doubling iterations should roughly double the work.
+	for _, w := range Suite() {
+		w := w
+		t.Run(w.Name, func(t *testing.T) {
+			run := func(iters int) uint64 {
+				m := emu.NewMachine(w.Build(iters))
+				if _, err := m.Run(20_000_000); err != nil {
+					t.Fatal(err)
+				}
+				return m.Executed
+			}
+			small, large := run(100), run(200)
+			ratio := float64(large) / float64(small)
+			if ratio < 1.6 || ratio > 2.4 {
+				t.Errorf("%s: 2x iterations gave %vx instructions", w.Name, ratio)
+			}
+		})
+	}
+}
+
+func TestProgramsAreDeterministic(t *testing.T) {
+	for _, w := range Suite() {
+		a := w.Build(50)
+		b := w.Build(50)
+		if len(a.Code) != len(b.Code) {
+			t.Errorf("%s: code length varies between builds", w.Name)
+			continue
+		}
+		for i := range a.Code {
+			if a.Code[i] != b.Code[i] {
+				t.Errorf("%s: instruction %d varies between builds", w.Name, i)
+				break
+			}
+		}
+	}
+}
+
+// TestBehaviourBands pins each workload to its Table 1 behaviour class:
+// gshare misprediction rate band and conditional-branch density band.
+// Bands are deliberately wide — they encode the *class* (predictable vs
+// hostile, branch-light vs branch-heavy), not exact numbers.
+func TestBehaviourBands(t *testing.T) {
+	type band struct {
+		mispLo, mispHi float64 // committed gshare misprediction rate
+		densLo, densHi float64 // committed cond-branch density
+	}
+	bands := map[string]band{
+		"compress": {0.04, 0.20, 0.08, 0.30},
+		"gcc":      {0.06, 0.22, 0.10, 0.30},
+		"perl":     {0.02, 0.15, 0.10, 0.35},
+		"go":       {0.15, 0.40, 0.10, 0.35},
+		"m88ksim":  {0.005, 0.08, 0.10, 0.35},
+		"xlisp":    {0.01, 0.15, 0.05, 0.30},
+		"vortex":   {0.005, 0.08, 0.10, 0.35},
+		"ijpeg":    {0.02, 0.20, 0.02, 0.14},
+	}
+	for _, w := range Suite() {
+		w := w
+		t.Run(w.Name, func(t *testing.T) {
+			t.Parallel()
+			cfg := pipeline.DefaultConfig()
+			cfg.MaxCommitted = 300_000
+			cfg.MaxCycles = 20_000_000
+			sim := pipeline.New(cfg, w.Build(1_000_000), bpred.NewGshare(12))
+			st, err := sim.Run()
+			if err != nil {
+				t.Fatal(err)
+			}
+			bd := bands[w.Name]
+			misp := st.MispredictRate()
+			if misp < bd.mispLo || misp > bd.mispHi {
+				t.Errorf("%s gshare mispredict rate %.3f outside band [%.3f,%.3f]",
+					w.Name, misp, bd.mispLo, bd.mispHi)
+			}
+			dens := float64(st.CommittedBr) / float64(st.Committed)
+			if dens < bd.densLo || dens > bd.densHi {
+				t.Errorf("%s branch density %.3f outside band [%.3f,%.3f]",
+					w.Name, dens, bd.densLo, bd.densHi)
+			}
+			if ratio := st.SpeculationRatio(); ratio < 1.0 || ratio > 3.0 {
+				t.Errorf("%s speculation ratio %.2f implausible", w.Name, ratio)
+			}
+		})
+	}
+}
+
+// TestSuiteSpreads checks the suite-wide properties the experiments rely
+// on: go must be the least predictable benchmark, vortex or m88ksim the
+// most, and ijpeg the least branch-dense.
+func TestSuiteSpreads(t *testing.T) {
+	misp := map[string]float64{}
+	dens := map[string]float64{}
+	for _, w := range Suite() {
+		cfg := pipeline.DefaultConfig()
+		cfg.MaxCommitted = 200_000
+		cfg.MaxCycles = 20_000_000
+		sim := pipeline.New(cfg, w.Build(1_000_000), bpred.NewGshare(12))
+		st, err := sim.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		misp[w.Name] = st.MispredictRate()
+		dens[w.Name] = float64(st.CommittedBr) / float64(st.Committed)
+	}
+	for name, m := range misp {
+		if name == "go" {
+			continue
+		}
+		if m >= misp["go"] {
+			t.Errorf("go should be least predictable: go=%.3f %s=%.3f", misp["go"], name, m)
+		}
+	}
+	for name, d := range dens {
+		if name == "ijpeg" {
+			continue
+		}
+		if d <= dens["ijpeg"] {
+			t.Errorf("ijpeg should be least branch-dense: ijpeg=%.3f %s=%.3f", dens["ijpeg"], name, d)
+		}
+	}
+}
+
+func BenchmarkBuildSuite(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		for _, w := range Suite() {
+			_ = w.Build(100)
+		}
+	}
+}
+
+func TestSeededBuildsShareCode(t *testing.T) {
+	// Changing the input seed must change only data, never code: the
+	// static estimator's profile is keyed by branch-site PC and must
+	// transfer across inputs.
+	for _, w := range Suite() {
+		a := w.BuildSeeded(1, 100)
+		b := w.BuildSeeded(2, 100)
+		if len(a.Code) != len(b.Code) {
+			t.Errorf("%s: code length differs across seeds", w.Name)
+			continue
+		}
+		for i := range a.Code {
+			if a.Code[i] != b.Code[i] {
+				t.Errorf("%s: instruction %d differs across seeds", w.Name, i)
+				break
+			}
+		}
+	}
+}
+
+func TestDefaultSeedMatchesBuild(t *testing.T) {
+	// Build must be BuildSeeded at the benchmark's reference seed.
+	seeds := map[string]uint64{
+		"compress": 0xC0340, "gcc": 0x6CC, "perl": 0x9E21, "go": 0x60B0A2D,
+		"m88ksim": 0x88, "xlisp": 0x115B, "vortex": 0x50B7E, "ijpeg": 0x17E6,
+	}
+	for _, w := range Suite() {
+		a := w.Build(50)
+		b := w.BuildSeeded(seeds[w.Name], 50)
+		if len(a.Data) != len(b.Data) {
+			t.Errorf("%s: default build differs from seeded build", w.Name)
+			continue
+		}
+		for addr, v := range a.Data {
+			if b.Data[addr] != v {
+				t.Errorf("%s: data differs at %d", w.Name, addr)
+				break
+			}
+		}
+	}
+}
+
+func TestSeededBuildsDifferInData(t *testing.T) {
+	// Except for m88ksim (whose simulated target program is fixed),
+	// different seeds must produce different data images.
+	for _, w := range Suite() {
+		if w.Name == "m88ksim" {
+			continue
+		}
+		a := w.BuildSeeded(1, 100)
+		b := w.BuildSeeded(2, 100)
+		same := true
+		for addr, v := range a.Data {
+			if b.Data[addr] != v {
+				same = false
+				break
+			}
+		}
+		if same {
+			t.Errorf("%s: seeds 1 and 2 produced identical data", w.Name)
+		}
+	}
+}

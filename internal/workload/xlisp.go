@@ -1,0 +1,132 @@
+package workload
+
+import (
+	"specctrl/internal/isa"
+	"specctrl/internal/rng"
+)
+
+// xlisp: a recursive expression-tree evaluator, standing in for the lisp
+// interpreter. A random binary expression tree (internal nodes = operator
+// cells, leaves = value cells) is built into memory; the program
+// recursively evaluates it over and over, using a real call stack
+// (call/ret through RA, spills to an SP-based stack). Branch behaviour:
+// the node-type test follows the tree shape (learnable but deep), the
+// operator choice is data dependent, and call/ret density is the highest
+// in the suite.
+//
+// Node layout (3 words): [0] tag (0 = leaf, 1 = op node), [1] left child
+// address or value, [2] right child address or operator selector.
+//
+// Memory map:
+//
+//	0x1000   tree nodes
+//	0x40000  call stack (grows down)
+func buildXlisp(seed uint64, iters int) *isa.Program {
+	const (
+		nodeBase = 0x1000
+		stackTop = 0x40000
+		depthMax = 8
+	)
+	b := isa.NewBuilder("xlisp")
+	g := rng.New(seed)
+
+	// Build the tree into the data image.
+	next := int64(nodeBase)
+	alloc := func() int64 {
+		a := next
+		next += 3
+		return a
+	}
+	var gen func(depth int) int64
+	gen = func(depth int) int64 {
+		a := alloc()
+		if depth >= depthMax || g.Bool(0.25) {
+			b.Word(a, 0) // leaf
+			b.Word(a+1, int64(g.Intn(1000)))
+			b.Word(a+2, 0)
+			return a
+		}
+		b.Word(a, 1) // op node
+		l := gen(depth + 1)
+		r := gen(depth + 1)
+		b.Word(a+1, l)
+		b.Word(a+2, r)
+		// Operator selector stored in the tag's high bits.
+		b.Word(a, 1+int64(g.Intn(3))<<1)
+		return a
+	}
+	root := gen(0)
+
+	const (
+		rIt  = isa.Reg(1)
+		rLim = isa.Reg(2)
+		rArg = isa.Reg(10) // argument: node address
+		rRes = isa.Reg(11) // result value
+		rT   = isa.Reg(12)
+		rTag = isa.Reg(13)
+	)
+
+	b.Li(rIt, 0)
+	b.Li(rLim, int32(iters))
+	b.Li(isa.SP, stackTop)
+
+	b.Label("main")
+	b.Li(rArg, int32(root))
+	b.Call("eval")
+	b.Addi(rIt, rIt, 1)
+	b.Blt(rIt, rLim, "main")
+	b.Halt()
+
+	// eval(node) -> rRes. Clobbers rT, rTag.
+	b.Label("eval")
+	b.Ld(rTag, rArg, 0)
+	b.Andi(rT, rTag, 1)
+	b.Bne(rT, isa.Zero, "evalOp")
+	// Leaf: return its value.
+	b.Ld(rRes, rArg, 1)
+	b.Ret()
+
+	b.Label("evalOp")
+	// Save RA, the node, and later the left result on the stack.
+	b.Addi(isa.SP, isa.SP, -3)
+	b.St(isa.RA, isa.SP, 0)
+	b.St(rArg, isa.SP, 1)
+	// Evaluate left child.
+	b.Ld(rArg, rArg, 1)
+	b.Call("eval")
+	b.St(rRes, isa.SP, 2)
+	// Evaluate right child.
+	b.Ld(rArg, isa.SP, 1)
+	b.Ld(rArg, rArg, 2)
+	b.Call("eval")
+	// Combine according to the operator selector.
+	b.Ld(rArg, isa.SP, 1)
+	b.Ld(rTag, rArg, 0)
+	b.Shri(rTag, rTag, 1) // selector 0..2
+	b.Ld(rT, isa.SP, 2)   // left value
+	b.Li(rArg, 1)
+	b.Beq(rTag, rArg, "opSub")
+	b.Li(rArg, 2)
+	b.Beq(rTag, rArg, "opXor")
+	b.Add(rRes, rT, rRes)
+	b.Jump("evalDone")
+	b.Label("opSub")
+	b.Sub(rRes, rT, rRes)
+	b.Jump("evalDone")
+	b.Label("opXor")
+	b.Xor(rRes, rT, rRes)
+	b.Label("evalDone")
+	b.Ld(isa.RA, isa.SP, 0)
+	b.Addi(isa.SP, isa.SP, 3)
+	b.Ret()
+	return b.MustBuild()
+}
+
+func init() {
+	register(Workload{
+		Name:        "xlisp",
+		Description: "recursive tree evaluator: call/ret heavy, shape-dependent branches",
+		Build:       func(iters int) *isa.Program { return buildXlisp(0x115B, iters) },
+		BuildSeeded: buildXlisp,
+	})
+}
