@@ -5,11 +5,13 @@
 package specctrl
 
 import (
+	"io"
 	"testing"
 
 	"specctrl/internal/bpred"
 	"specctrl/internal/conf"
 	"specctrl/internal/experiments"
+	"specctrl/internal/obs"
 	"specctrl/internal/pipeline"
 	"specctrl/internal/workload"
 )
@@ -260,4 +262,57 @@ func BenchmarkAUCStudy(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
+}
+
+// pipelineObsBench runs the simulator hot path with a fixed workload and
+// the given observability wiring, reporting instructions per op. The
+// trio below (Off / Metrics / Tracer) quantifies the overhead budget
+// documented in DESIGN.md: with everything off the only added hot-path
+// cost is one integer compare per Tick and one nil check per branch,
+// and must stay within 3% of the pre-obs baseline.
+func pipelineObsBench(b *testing.B, wire func(*pipeline.Config)) {
+	w, err := workload.ByName("gcc")
+	if err != nil {
+		b.Fatal(err)
+	}
+	prog := w.Build(1 << 30)
+	cfg := pipeline.DefaultConfig()
+	cfg.MaxCommitted = uint64(b.N)
+	cfg.MaxCycles = 0
+	if wire != nil {
+		wire(&cfg)
+	}
+	sim := pipeline.New(cfg, prog, bpred.NewGshare(12), conf.NewJRS(conf.DefaultJRS))
+	b.ResetTimer()
+	st, err := sim.Run()
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportMetric(float64(st.Committed+st.WrongPath)/float64(b.N), "instr/op")
+}
+
+// BenchmarkPipelineObsOff is the baseline: no registry, no tracer, no
+// progress. Compare against BenchmarkPipelineThroughput to confirm the
+// disabled-path cost is in the noise.
+func BenchmarkPipelineObsOff(b *testing.B) {
+	pipelineObsBench(b, nil)
+}
+
+// BenchmarkPipelineObsMetrics enables the live metrics registry and
+// progress counters at the default publish interval.
+func BenchmarkPipelineObsMetrics(b *testing.B) {
+	pipelineObsBench(b, func(cfg *pipeline.Config) {
+		cfg.Metrics = obs.NewRegistry()
+		cfg.MetricsLabels = obs.Labels{"workload": "gcc", "predictor": "gshare"}
+		cfg.Progress = obs.NewProgress()
+	})
+}
+
+// BenchmarkPipelineObsTracer enables a per-branch structured event sink
+// (discarding writer), the most invasive observer: one callback per
+// conditional branch.
+func BenchmarkPipelineObsTracer(b *testing.B) {
+	pipelineObsBench(b, func(cfg *pipeline.Config) {
+		cfg.Tracer = obs.NewJSONL(io.Discard)
+	})
 }

@@ -8,6 +8,14 @@
 //	simctrl -exp all -committed 5000000 # everything, bigger runs
 //	simctrl -list                       # show available experiments
 //
+// Long runs are observable while they execute: -progress prints a
+// periodic heartbeat (committed instructions, IPC, misprediction rate,
+// ETA) to stderr, and -metrics-addr serves live Prometheus/JSON
+// metrics plus expvar and pprof over HTTP:
+//
+//	simctrl -exp all -committed 50000000 -progress 2s -metrics-addr :9090
+//	curl http://localhost:9090/metrics
+//
 // Output is the paper-style text table for each experiment.
 package main
 
@@ -19,6 +27,7 @@ import (
 	"strings"
 
 	"specctrl/internal/experiments"
+	"specctrl/internal/obs"
 )
 
 // renderer is any experiment result that can print itself.
@@ -123,10 +132,12 @@ var order = []string{
 
 func main() {
 	var (
-		exp       = flag.String("exp", "", "experiment to run (see -list), or 'all'")
-		committed = flag.Uint64("committed", 0, "committed instructions per run (0 = default 2M)")
-		verbose   = flag.Bool("v", false, "print per-run progress to stderr")
-		list      = flag.Bool("list", false, "list available experiments")
+		exp         = flag.String("exp", "", "experiment to run (see -list), or 'all'")
+		committed   = flag.Uint64("committed", 0, "committed instructions per run (0 = default 2M)")
+		verbose     = flag.Bool("v", false, "print per-run progress to stderr")
+		list        = flag.Bool("list", false, "list available experiments")
+		metricsAddr = flag.String("metrics-addr", "", "serve live metrics/expvar/pprof on this address (e.g. :9090)")
+		progress    = flag.Duration("progress", 0, "print a heartbeat to stderr at this interval (e.g. 1s; 0 = off)")
 	)
 	flag.Parse()
 
@@ -153,6 +164,21 @@ func main() {
 	}
 	if *verbose {
 		p.Progress = func(msg string) { fmt.Fprintln(os.Stderr, msg) }
+	}
+	if *metricsAddr != "" {
+		p.Obs = obs.NewRegistry()
+		srv, err := obs.Serve(*metricsAddr, p.Obs)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "simctrl: %v\n", err)
+			os.Exit(1)
+		}
+		defer srv.Close()
+		fmt.Fprintf(os.Stderr, "simctrl: serving metrics on %s/metrics (pprof on /debug/pprof/)\n", srv.URL())
+	}
+	if *progress > 0 {
+		p.Run = obs.NewProgress()
+		stop := obs.StartHeartbeat(os.Stderr, *progress, p.Run)
+		defer stop()
 	}
 
 	names := []string{*exp}

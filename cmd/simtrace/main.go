@@ -1,23 +1,32 @@
 // Command simtrace works with workload programs and branch traces:
 // disassemble a benchmark, record a speculative branch trace (the
-// paper's §3.1 instrumentation) to a compact binary file, or summarize
-// a recorded trace without re-simulating.
+// paper's §3.1 instrumentation) to a compact binary file or a JSONL
+// debugging stream, or summarize a recorded trace without
+// re-simulating.
 //
 // Usage:
 //
 //	simtrace -w compress -dis                     # disassemble
 //	simtrace -w gcc -record /tmp/gcc.trc -committed 500000
+//	simtrace -w gcc -record-jsonl /tmp/gcc.jsonl  # greppable events
 //	simtrace -summarize /tmp/gcc.trc
+//
+// Recording streams events through the simulator's obs.Tracer hook —
+// the binary writer and the JSONL writer are two sinks on the same
+// stream and can run simultaneously. Like simctrl, long recordings
+// accept -progress and -metrics-addr for live observation.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"time"
 
 	"specctrl/internal/bpred"
 	"specctrl/internal/conf"
 	"specctrl/internal/isa"
+	"specctrl/internal/obs"
 	"specctrl/internal/pipeline"
 	"specctrl/internal/trace"
 	"specctrl/internal/workload"
@@ -25,14 +34,17 @@ import (
 
 func main() {
 	var (
-		wname     = flag.String("w", "", "workload name (see -listw)")
-		listw     = flag.Bool("listw", false, "list workloads")
-		dis       = flag.Bool("dis", false, "disassemble the workload")
-		record    = flag.String("record", "", "simulate and write the branch trace to this file")
-		summarize = flag.String("summarize", "", "read a trace file and print its summary")
-		committed = flag.Uint64("committed", 500_000, "committed instructions for -record")
-		iters     = flag.Int("iters", 1<<30, "workload outer iterations")
-		pred      = flag.String("pred", "gshare", "predictor for -record: gshare|mcfarling|sag")
+		wname       = flag.String("w", "", "workload name (see -listw)")
+		listw       = flag.Bool("listw", false, "list workloads")
+		dis         = flag.Bool("dis", false, "disassemble the workload")
+		record      = flag.String("record", "", "simulate and write the binary branch trace to this file")
+		recordJSONL = flag.String("record-jsonl", "", "simulate and write JSONL branch events to this file")
+		summarize   = flag.String("summarize", "", "read a trace file and print its summary")
+		committed   = flag.Uint64("committed", 500_000, "committed instructions for -record")
+		iters       = flag.Int("iters", 1<<30, "workload outer iterations")
+		pred        = flag.String("pred", "gshare", "predictor for -record: gshare|mcfarling|sag")
+		metricsAddr = flag.String("metrics-addr", "", "serve live metrics/expvar/pprof on this address (e.g. :9090)")
+		progress    = flag.Duration("progress", 0, "print a heartbeat to stderr at this interval (0 = off)")
 	)
 	flag.Parse()
 
@@ -54,12 +66,22 @@ func main() {
 		fmt.Printf("%s: %d instructions, %d data words\n\n",
 			p.Name, len(p.Code), len(p.Data))
 		fmt.Print(isa.Disassemble(p, nil))
-	case *record != "":
-		if err := doRecord(*wname, *pred, *record, *committed, *iters); err != nil {
+	case *record != "" || *recordJSONL != "":
+		opts := recordOptions{
+			workload:    *wname,
+			predictor:   *pred,
+			binPath:     *record,
+			jsonlPath:   *recordJSONL,
+			committed:   *committed,
+			iters:       *iters,
+			metricsAddr: *metricsAddr,
+			progress:    *progress,
+		}
+		if err := doRecord(opts); err != nil {
 			fail(err)
 		}
 	default:
-		fmt.Fprintln(os.Stderr, "simtrace: nothing to do (try -listw, -dis, -record, -summarize)")
+		fmt.Fprintln(os.Stderr, "simtrace: nothing to do (try -listw, -dis, -record, -record-jsonl, -summarize)")
 		flag.Usage()
 		os.Exit(2)
 	}
@@ -82,40 +104,96 @@ func newPredictor(name string) (bpred.Predictor, error) {
 	return nil, fmt.Errorf("unknown predictor %q", name)
 }
 
-func doRecord(wname, predName, path string, committed uint64, iters int) error {
-	w, err := workload.ByName(wname)
+type recordOptions struct {
+	workload, predictor string
+	binPath, jsonlPath  string
+	committed           uint64
+	iters               int
+	metricsAddr         string
+	progress            time.Duration
+}
+
+func doRecord(o recordOptions) error {
+	w, err := workload.ByName(o.workload)
 	if err != nil {
 		return err
 	}
-	pred, err := newPredictor(predName)
+	pred, err := newPredictor(o.predictor)
 	if err != nil {
 		return err
 	}
+
+	// Assemble the sink stack: binary and/or JSONL, fanned out from
+	// the simulator's tracer hook.
+	var sinks []obs.Tracer
+	var binSink *trace.Sink
+	var jsonlSink *obs.JSONL
+	var files []*os.File
+	for _, f := range []struct {
+		path string
+		mk   func(f *os.File)
+	}{
+		{o.binPath, func(f *os.File) { binSink = trace.NewSink(f); sinks = append(sinks, binSink) }},
+		{o.jsonlPath, func(f *os.File) { jsonlSink = obs.NewJSONL(f); sinks = append(sinks, jsonlSink) }},
+	} {
+		if f.path == "" {
+			continue
+		}
+		file, err := os.Create(f.path)
+		if err != nil {
+			return err
+		}
+		files = append(files, file)
+		f.mk(file)
+	}
+
 	cfg := pipeline.DefaultConfig()
-	cfg.MaxCommitted = committed
-	cfg.RecordEvents = true
-	sim := pipeline.New(cfg, w.Build(iters), pred, conf.NewJRS(conf.DefaultJRS))
-	st, err := sim.Run()
-	if err != nil {
+	cfg.MaxCommitted = o.committed
+	cfg.Tracer = obs.MultiSink(sinks...)
+
+	if o.metricsAddr != "" {
+		cfg.Metrics = obs.NewRegistry()
+		cfg.MetricsLabels = obs.Labels{"workload": w.Name, "predictor": o.predictor}
+		srv, err := obs.Serve(o.metricsAddr, cfg.Metrics)
+		if err != nil {
+			return err
+		}
+		defer srv.Close()
+		fmt.Fprintf(os.Stderr, "simtrace: serving metrics on %s/metrics\n", srv.URL())
+	}
+	if o.progress > 0 {
+		cfg.Progress = obs.NewProgress()
+		cfg.Progress.StartRun(w.Name+"/"+o.predictor, o.committed)
+		stop := obs.StartHeartbeat(os.Stderr, o.progress, cfg.Progress)
+		defer stop()
+	}
+
+	sim := pipeline.New(cfg, w.Build(o.iters), pred, conf.NewJRS(conf.DefaultJRS))
+	if _, err := sim.Run(); err != nil {
 		return err
 	}
-	f, err := os.Create(path)
-	if err != nil {
-		return err
+	if t := cfg.Tracer; t != nil {
+		if err := t.Close(); err != nil {
+			return err
+		}
 	}
-	defer f.Close()
-	if err := trace.Write(f, st.Events); err != nil {
-		return err
+	for _, f := range files {
+		if err := f.Close(); err != nil {
+			return err
+		}
 	}
-	if err := f.Close(); err != nil {
-		return err
+	if binSink != nil {
+		info, err := os.Stat(o.binPath)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("wrote %d events (%d bytes, %.1f B/event) to %s\n",
+			binSink.Count(), info.Size(),
+			float64(info.Size())/float64(max(binSink.Count(), 1)), o.binPath)
 	}
-	info, err := os.Stat(path)
-	if err != nil {
-		return err
+	if jsonlSink != nil {
+		fmt.Printf("wrote %d JSONL events to %s\n", jsonlSink.Count(), o.jsonlPath)
 	}
-	fmt.Printf("wrote %d events (%d bytes, %.1f B/event) to %s\n",
-		len(st.Events), info.Size(), float64(info.Size())/float64(len(st.Events)), path)
 	return nil
 }
 

@@ -24,6 +24,7 @@ import (
 
 	"specctrl/internal/bpred"
 	"specctrl/internal/conf"
+	"specctrl/internal/obs"
 	"specctrl/internal/pipeline"
 	"specctrl/internal/profile"
 	"specctrl/internal/workload"
@@ -47,6 +48,13 @@ type Params struct {
 	Pipeline pipeline.Config
 	// Progress, when non-nil, receives one line per simulation run.
 	Progress func(msg string)
+	// Obs, when non-nil, receives live metrics from every simulation
+	// run, labelled {workload, predictor} (and estimator for the
+	// confidence gauges), plus a per-run IPC histogram.
+	Obs *obs.Registry
+	// Run, when non-nil, is updated with the current run's identity
+	// and live counters for heartbeat printing.
+	Run *obs.Progress
 }
 
 // DefaultParams returns the paper's configuration at a laptop-scale run
@@ -130,15 +138,34 @@ func SatCntFor(spec PredictorSpec, variant conf.McFarlingVariant) conf.Estimator
 	return conf.SatCounters{}
 }
 
+// ipcBounds buckets per-run IPC observations for the suite histogram.
+var ipcBounds = []float64{0.5, 0.75, 1.0, 1.25, 1.5, 1.75, 2.0, 2.5, 3.0}
+
 // runOne simulates one workload on one predictor with the given
-// estimators and returns the statistics.
+// estimators and returns the statistics. When Params carries an obs
+// registry or progress view, the run publishes live metrics under
+// {workload, predictor} labels.
 func (p Params) runOne(w workload.Workload, spec PredictorSpec, record bool, ests ...conf.Estimator) (*pipeline.Stats, error) {
 	cfg := p.Pipeline
 	cfg.MaxCommitted = p.MaxCommitted
 	cfg.RecordEvents = record
+	if p.Obs != nil {
+		cfg.Metrics = p.Obs
+		cfg.MetricsLabels = obs.Labels{"workload": w.Name, "predictor": spec.Name}
+	}
+	if p.Run != nil {
+		cfg.Progress = p.Run
+		p.Run.StartRun(w.Name+"/"+spec.Name, p.MaxCommitted)
+	}
 	sim := pipeline.New(cfg, w.Build(p.BuildIters), spec.New(p), ests...)
 	p.progress("run %-9s on %-9s (%d estimators)", w.Name, spec.Name, len(ests))
-	return sim.Run()
+	st, err := sim.Run()
+	if err == nil && p.Obs != nil {
+		p.Obs.Histogram("specctrl_run_ipc", obs.Labels{"predictor": spec.Name}, ipcBounds).
+			Observe(st.IPC())
+		p.Obs.Counter("specctrl_runs_total", nil).Inc()
+	}
+	return st, err
 }
 
 // staticFor runs the profiling pass and builds the static estimator for

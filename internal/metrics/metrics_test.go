@@ -300,3 +300,116 @@ func TestROCFromQuadrant(t *testing.T) {
 		t.Errorf("ROC point = %+v", pt)
 	}
 }
+
+// TestDegenerateQuadrants pins the zero-denominator behavior of every
+// ratio metric: degenerate tables (no events, no mispredictions, no
+// high-confidence estimates, ...) must yield 0, never NaN or Inf, so
+// report tables and exported gauges stay finite.
+func TestDegenerateQuadrants(t *testing.T) {
+	cases := []struct {
+		name string
+		q    Quadrant
+		want Metrics
+	}{
+		{
+			name: "empty",
+			q:    Quadrant{},
+			want: Metrics{},
+		},
+		{
+			name: "all correct high confidence",
+			q:    Quadrant{Chc: 10},
+			// No incorrect events → SPEC undefined → 0; no LC events
+			// → PVN undefined → 0.
+			want: Metrics{Sens: 1, PVP: 1, Accuracy: 1},
+		},
+		{
+			name: "all correct low confidence",
+			q:    Quadrant{Clc: 10},
+			want: Metrics{Accuracy: 1},
+		},
+		{
+			name: "all incorrect high confidence",
+			q:    Quadrant{Ihc: 10},
+			want: Metrics{},
+		},
+		{
+			name: "all incorrect low confidence",
+			q:    Quadrant{Ilc: 10},
+			want: Metrics{Spec: 1, PVN: 1},
+		},
+		{
+			name: "no high confidence events",
+			q:    Quadrant{Clc: 6, Ilc: 2},
+			want: Metrics{Spec: 1, PVN: 0.25, Accuracy: 0.75},
+		},
+		{
+			name: "no mispredictions",
+			q:    Quadrant{Chc: 3, Clc: 1},
+			want: Metrics{Sens: 0.75, PVP: 1, Accuracy: 1},
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			got := tc.q.Compute()
+			for _, v := range []struct {
+				metric string
+				got    float64
+				want   float64
+			}{
+				{"Sens", got.Sens, tc.want.Sens},
+				{"Spec", got.Spec, tc.want.Spec},
+				{"PVP", got.PVP, tc.want.PVP},
+				{"PVN", got.PVN, tc.want.PVN},
+				{"Accuracy", got.Accuracy, tc.want.Accuracy},
+				{"MispredictRate", tc.q.MispredictRate(), 1 - tc.want.Accuracy},
+			} {
+				if v.metric == "MispredictRate" && tc.q.Total() == 0 {
+					// Empty table: both accuracy and mispredict rate
+					// are 0 by the zero-denominator rule, so the
+					// 1-Accuracy identity does not apply.
+					v.want = 0
+				}
+				if v.got != v.got || v.got != v.want {
+					t.Errorf("%s = %v, want %v (NaN check: %v)",
+						v.metric, v.got, v.want, v.got != v.got)
+				}
+			}
+		})
+	}
+}
+
+// TestDegenerateJacobsenAndIntervals covers the remaining ratio
+// surfaces on an empty table.
+func TestDegenerateJacobsenAndIntervals(t *testing.T) {
+	var q Quadrant
+	if got := q.JacobsenMisestimateRate(); got != 0 {
+		t.Errorf("empty JacobsenMisestimateRate = %v", got)
+	}
+	if got := q.JacobsenCoverage(); got != 0 {
+		t.Errorf("empty JacobsenCoverage = %v", got)
+	}
+	if lo, hi := q.PVNInterval(1.96); lo != 0 || hi != 1 {
+		t.Errorf("empty PVNInterval = [%v,%v], want [0,1]", lo, hi)
+	}
+	if lo, hi := q.SpecInterval(1.96); lo != 0 || hi != 1 {
+		t.Errorf("empty SpecInterval = [%v,%v], want [0,1]", lo, hi)
+	}
+	if got := (NormalizedQuadrant{}).Compute(); got != (Metrics{}) {
+		t.Errorf("empty normalized metrics = %+v", got)
+	}
+	if got := AggregateNormalized(nil).Compute(); got != (Metrics{}) {
+		t.Errorf("nil AggregateNormalized metrics = %+v", got)
+	}
+	// All-empty per-benchmark tables are skipped, not divided by.
+	if got := AggregateNormalized([]Quadrant{{}, {}}).Compute(); got != (Metrics{}) {
+		t.Errorf("all-empty AggregateNormalized metrics = %+v", got)
+	}
+	// Analytic identities at the p=0 and p=1 poles.
+	if got := AnalyticPVP(0, 1, 0.5); got != 0 {
+		t.Errorf("AnalyticPVP(0,1,.5) = %v", got)
+	}
+	if got := AnalyticPVN(1, 1, 1); got != 0 {
+		t.Errorf("AnalyticPVN(1,1,1) = %v", got)
+	}
+}

@@ -1,0 +1,172 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// WritePrometheus renders the registry in the Prometheus text
+// exposition format (version 0.0.4): a # TYPE line per metric name
+// followed by one sample line per series, with histogram series
+// expanded into cumulative _bucket/_sum/_count samples.
+func WritePrometheus(w io.Writer, r *Registry) error {
+	snap := r.Snapshot()
+	typed := map[string]bool{}
+	for _, m := range snap {
+		if !typed[m.Name] {
+			if _, err := fmt.Fprintf(w, "# TYPE %s %s\n", m.Name, m.Kind); err != nil {
+				return err
+			}
+			typed[m.Name] = true
+		}
+		if err := writePromSample(w, m); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func writePromSample(w io.Writer, m Metric) error {
+	if m.Kind != KindHistogram {
+		_, err := fmt.Fprintf(w, "%s%s %s\n",
+			m.Name, promLabels(m.Labels, "", ""), promFloat(m.Value))
+		return err
+	}
+	h := m.Hist
+	cum := uint64(0)
+	for i, c := range h.Counts {
+		cum += c
+		le := "+Inf"
+		if i < len(h.Bounds) {
+			le = promFloat(h.Bounds[i])
+		}
+		if _, err := fmt.Fprintf(w, "%s_bucket%s %d\n",
+			m.Name, promLabels(m.Labels, "le", le), cum); err != nil {
+			return err
+		}
+	}
+	if _, err := fmt.Fprintf(w, "%s_sum%s %s\n",
+		m.Name, promLabels(m.Labels, "", ""), promFloat(h.Sum)); err != nil {
+		return err
+	}
+	_, err := fmt.Fprintf(w, "%s_count%s %d\n",
+		m.Name, promLabels(m.Labels, "", ""), h.Count)
+	return err
+}
+
+// promLabels renders a {k="v",...} block with keys sorted, optionally
+// appending one extra pair (used for histogram le labels). It returns
+// the empty string for an empty set.
+func promLabels(l Labels, extraKey, extraVal string) string {
+	if len(l) == 0 && extraKey == "" {
+		return ""
+	}
+	keys := make([]string, 0, len(l))
+	for k := range l {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, k := range keys {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(k)
+		b.WriteString(`="`)
+		b.WriteString(promEscape(l[k]))
+		b.WriteByte('"')
+	}
+	if extraKey != "" {
+		if len(keys) > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(extraKey)
+		b.WriteString(`="`)
+		b.WriteString(promEscape(extraVal))
+		b.WriteByte('"')
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// promEscape escapes a label value per the text format rules.
+func promEscape(s string) string {
+	if !strings.ContainsAny(s, "\\\"\n") {
+		return s
+	}
+	var b strings.Builder
+	for _, r := range s {
+		switch r {
+		case '\\':
+			b.WriteString(`\\`)
+		case '"':
+			b.WriteString(`\"`)
+		case '\n':
+			b.WriteString(`\n`)
+		default:
+			b.WriteRune(r)
+		}
+	}
+	return b.String()
+}
+
+// promFloat formats a float the way Prometheus expects (shortest
+// round-trippable form, +Inf/-Inf/NaN spelled out).
+func promFloat(v float64) string {
+	switch {
+	case math.IsInf(v, 1):
+		return "+Inf"
+	case math.IsInf(v, -1):
+		return "-Inf"
+	case math.IsNaN(v):
+		return "NaN"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// jsonMetric is the JSON exposition shape of one series.
+type jsonMetric struct {
+	Name   string            `json:"name"`
+	Kind   string            `json:"kind"`
+	Labels map[string]string `json:"labels,omitempty"`
+	Value  *float64          `json:"value,omitempty"`
+	Hist   *jsonHistogram    `json:"histogram,omitempty"`
+}
+
+type jsonHistogram struct {
+	Bounds []float64 `json:"bounds"`
+	Counts []uint64  `json:"counts"`
+	Sum    float64   `json:"sum"`
+	Count  uint64    `json:"count"`
+}
+
+// WriteJSON renders the registry snapshot as a JSON array, one object
+// per series, in the same deterministic order as WritePrometheus.
+func WriteJSON(w io.Writer, r *Registry) error {
+	snap := r.Snapshot()
+	out := make([]jsonMetric, 0, len(snap))
+	for _, m := range snap {
+		jm := jsonMetric{Name: m.Name, Kind: m.Kind.String(), Labels: m.Labels}
+		if m.Kind == KindHistogram {
+			jm.Hist = &jsonHistogram{
+				Bounds: m.Hist.Bounds,
+				Counts: m.Hist.Counts,
+				Sum:    m.Hist.Sum,
+				Count:  m.Hist.Count,
+			}
+		} else {
+			v := m.Value
+			jm.Value = &v
+		}
+		out = append(out, jm)
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(out)
+}

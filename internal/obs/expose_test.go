@@ -1,0 +1,96 @@
+package obs
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func testRegistry() *Registry {
+	r := NewRegistry()
+	r.Counter("runs_total", nil).Add(3)
+	r.Gauge("ipc", Labels{"workload": "gcc", "predictor": "gshare"}).Set(1.25)
+	h := r.Histogram("run_ipc", nil, []float64{1, 2})
+	h.Observe(0.5)
+	h.Observe(1.5)
+	h.Observe(3)
+	return r
+}
+
+func TestWritePrometheus(t *testing.T) {
+	var b strings.Builder
+	if err := WritePrometheus(&b, testRegistry()); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		"# TYPE runs_total counter",
+		"runs_total 3",
+		"# TYPE ipc gauge",
+		`ipc{predictor="gshare",workload="gcc"} 1.25`,
+		"# TYPE run_ipc histogram",
+		`run_ipc_bucket{le="1"} 1`,
+		`run_ipc_bucket{le="2"} 2`,
+		`run_ipc_bucket{le="+Inf"} 3`,
+		"run_ipc_sum 5",
+		"run_ipc_count 3",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestPromEscaping(t *testing.T) {
+	r := NewRegistry()
+	r.Gauge("g", Labels{"est": "JRS \"enhanced\"\nv2\\x"}).Set(1)
+	var b strings.Builder
+	if err := WritePrometheus(&b, r); err != nil {
+		t.Fatal(err)
+	}
+	want := `g{est="JRS \"enhanced\"\nv2\\x"} 1`
+	if !strings.Contains(b.String(), want) {
+		t.Errorf("escaped output missing %q:\n%s", want, b.String())
+	}
+}
+
+func TestWriteJSON(t *testing.T) {
+	var b strings.Builder
+	if err := WriteJSON(&b, testRegistry()); err != nil {
+		t.Fatal(err)
+	}
+	var out []map[string]interface{}
+	if err := json.Unmarshal([]byte(b.String()), &out); err != nil {
+		t.Fatalf("invalid JSON: %v\n%s", err, b.String())
+	}
+	if len(out) != 3 {
+		t.Fatalf("got %d series, want 3", len(out))
+	}
+	byName := map[string]map[string]interface{}{}
+	for _, m := range out {
+		byName[m["name"].(string)] = m
+	}
+	if v := byName["runs_total"]["value"].(float64); v != 3 {
+		t.Errorf("runs_total = %v", v)
+	}
+	if k := byName["ipc"]["kind"].(string); k != "gauge" {
+		t.Errorf("ipc kind = %q", k)
+	}
+	hist := byName["run_ipc"]["histogram"].(map[string]interface{})
+	if c := hist["count"].(float64); c != 3 {
+		t.Errorf("histogram count = %v", c)
+	}
+}
+
+func TestPromFloatForms(t *testing.T) {
+	cases := map[float64]string{
+		1.25: "1.25",
+		0:    "0",
+		1e9:  "1e+09",
+	}
+	for v, want := range cases {
+		if got := promFloat(v); got != want {
+			t.Errorf("promFloat(%v) = %q, want %q", v, got, want)
+		}
+	}
+}

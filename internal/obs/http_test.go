@@ -1,0 +1,92 @@
+package obs
+
+import (
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+)
+
+func get(t *testing.T, url string) (int, string) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatalf("GET %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, string(body)
+}
+
+func TestServeEndpoints(t *testing.T) {
+	r := testRegistry()
+	srv, err := Serve("127.0.0.1:0", r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	if code, body := get(t, srv.URL()+"/metrics"); code != 200 ||
+		!strings.Contains(body, "runs_total 3") {
+		t.Errorf("/metrics: code %d body %q", code, body)
+	}
+	if code, body := get(t, srv.URL()+"/metrics.json"); code != 200 ||
+		!strings.Contains(body, `"runs_total"`) {
+		t.Errorf("/metrics.json: code %d body %q", code, body)
+	}
+	if code, body := get(t, srv.URL()+"/debug/vars"); code != 200 ||
+		!strings.Contains(body, "memstats") {
+		t.Errorf("/debug/vars: code %d", code)
+	}
+	if code, body := get(t, srv.URL()+"/debug/pprof/"); code != 200 ||
+		!strings.Contains(body, "goroutine") {
+		t.Errorf("/debug/pprof/: code %d", code)
+	}
+	if code, body := get(t, srv.URL()+"/"); code != 200 ||
+		!strings.Contains(body, "/metrics") {
+		t.Errorf("index: code %d", code)
+	}
+	if code, _ := get(t, srv.URL()+"/nope"); code != 404 {
+		t.Errorf("unknown path: code %d, want 404", code)
+	}
+}
+
+func TestServeLiveUpdates(t *testing.T) {
+	r := NewRegistry()
+	srv, err := Serve("127.0.0.1:0", r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	g := r.Gauge("live", nil)
+	g.Set(1)
+	if _, body := get(t, srv.URL()+"/metrics"); !strings.Contains(body, "live 1") {
+		t.Errorf("first scrape: %q", body)
+	}
+	g.Set(2)
+	if _, body := get(t, srv.URL()+"/metrics"); !strings.Contains(body, "live 2") {
+		t.Errorf("second scrape: %q", body)
+	}
+}
+
+func TestServeCloseIdempotent(t *testing.T) {
+	srv, err := Serve("127.0.0.1:0", NewRegistry())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.Close(); err != nil {
+		t.Fatalf("second Close: %v", err)
+	}
+}
+
+func TestServeBadAddr(t *testing.T) {
+	if _, err := Serve("256.0.0.1:99999", NewRegistry()); err == nil {
+		t.Error("no error for bad address")
+	}
+}

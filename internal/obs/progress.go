@@ -1,0 +1,168 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Progress is a live view of the current simulation run, written by
+// the simulation goroutine through atomic stores and read concurrently
+// by the heartbeat printer and HTTP handlers. The run identity changes
+// rarely (between runs) and is guarded by a mutex; the per-cycle
+// counters are single atomic words.
+type Progress struct {
+	mu    sync.Mutex
+	run   string
+	start time.Time
+
+	target      atomic.Uint64
+	committed   atomic.Uint64
+	cycles      atomic.Uint64
+	branches    atomic.Uint64
+	mispredicts atomic.Uint64
+}
+
+// NewProgress returns an empty progress view.
+func NewProgress() *Progress { return &Progress{} }
+
+// StartRun marks the beginning of a named run (e.g. "gcc/gshare") with
+// a committed-instruction target (0 when unbounded) and resets the
+// counters.
+func (p *Progress) StartRun(name string, target uint64) {
+	p.mu.Lock()
+	p.run = name
+	p.start = time.Now()
+	p.mu.Unlock()
+	p.target.Store(target)
+	p.committed.Store(0)
+	p.cycles.Store(0)
+	p.branches.Store(0)
+	p.mispredicts.Store(0)
+}
+
+// Update publishes the run's current counters. Called periodically
+// from the simulation hot loop; four atomic stores.
+func (p *Progress) Update(committed, cycles, branches, mispredicts uint64) {
+	p.committed.Store(committed)
+	p.cycles.Store(cycles)
+	p.branches.Store(branches)
+	p.mispredicts.Store(mispredicts)
+}
+
+// ProgressSnapshot is a consistent-enough point-in-time read of a
+// Progress (counters are read individually; they drift by at most one
+// publish interval).
+type ProgressSnapshot struct {
+	Run       string
+	Started   time.Time
+	Target    uint64
+	Committed uint64
+	Cycles    uint64
+	Branches  uint64
+	Mispred   uint64
+}
+
+// IPC returns committed instructions per cycle.
+func (s ProgressSnapshot) IPC() float64 {
+	if s.Cycles == 0 {
+		return 0
+	}
+	return float64(s.Committed) / float64(s.Cycles)
+}
+
+// MispredictRate returns the committed-branch misprediction rate.
+func (s ProgressSnapshot) MispredictRate() float64 {
+	if s.Branches == 0 {
+		return 0
+	}
+	return float64(s.Mispred) / float64(s.Branches)
+}
+
+// ETA estimates the time left to reach Target at the average rate
+// since the run started, or 0 when unknown (no target, no progress
+// yet, or already done).
+func (s ProgressSnapshot) ETA(now time.Time) time.Duration {
+	if s.Target == 0 || s.Committed == 0 || s.Committed >= s.Target {
+		return 0
+	}
+	elapsed := now.Sub(s.Started)
+	if elapsed <= 0 {
+		return 0
+	}
+	rate := float64(s.Committed) / elapsed.Seconds()
+	if rate <= 0 {
+		return 0
+	}
+	return time.Duration(float64(s.Target-s.Committed) / rate * float64(time.Second))
+}
+
+// Snapshot reads the current state.
+func (p *Progress) Snapshot() ProgressSnapshot {
+	p.mu.Lock()
+	run, start := p.run, p.start
+	p.mu.Unlock()
+	return ProgressSnapshot{
+		Run:       run,
+		Started:   start,
+		Target:    p.target.Load(),
+		Committed: p.committed.Load(),
+		Cycles:    p.cycles.Load(),
+		Branches:  p.branches.Load(),
+		Mispred:   p.mispredicts.Load(),
+	}
+}
+
+// Line formats the one-line heartbeat for the snapshot, e.g.
+//
+//	run gcc/gshare: 1200000/2000000 committed (60.0%) ipc=1.54 misp=8.3% eta=2s
+func (s ProgressSnapshot) Line(now time.Time) string {
+	if s.Run == "" {
+		return "run: idle"
+	}
+	line := fmt.Sprintf("run %s: %d", s.Run, s.Committed)
+	if s.Target > 0 {
+		line += fmt.Sprintf("/%d committed (%.1f%%)",
+			s.Target, 100*float64(s.Committed)/float64(s.Target))
+	} else {
+		line += " committed"
+	}
+	line += fmt.Sprintf(" ipc=%.2f misp=%.1f%%", s.IPC(), 100*s.MispredictRate())
+	if eta := s.ETA(now); eta > 0 {
+		line += fmt.Sprintf(" eta=%s", eta.Round(100*time.Millisecond))
+	}
+	return line
+}
+
+// StartHeartbeat prints p's progress line to w every interval until
+// the returned stop function is called. Stop waits for the printer
+// goroutine to exit, so it is safe to close w afterwards.
+func StartHeartbeat(w io.Writer, every time.Duration, p *Progress) (stop func()) {
+	if every <= 0 {
+		every = 10 * time.Second
+	}
+	done := make(chan struct{})
+	finished := make(chan struct{})
+	go func() {
+		defer close(finished)
+		t := time.NewTicker(every)
+		defer t.Stop()
+		for {
+			select {
+			case <-done:
+				return
+			case now := <-t.C:
+				fmt.Fprintln(w, p.Snapshot().Line(now))
+			}
+		}
+	}()
+	var once sync.Once
+	return func() {
+		once.Do(func() {
+			close(done)
+			<-finished
+		})
+	}
+}

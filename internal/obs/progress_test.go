@@ -1,0 +1,145 @@
+package obs
+
+import (
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestProgressSnapshot(t *testing.T) {
+	p := NewProgress()
+	snap := p.Snapshot()
+	if snap.Run != "" || snap.IPC() != 0 || snap.MispredictRate() != 0 {
+		t.Errorf("zero progress snapshot not idle: %+v", snap)
+	}
+	if got := snap.Line(time.Now()); got != "run: idle" {
+		t.Errorf("idle line = %q", got)
+	}
+
+	p.StartRun("gcc/gshare", 1000)
+	p.Update(500, 400, 100, 10)
+	snap = p.Snapshot()
+	if snap.Run != "gcc/gshare" || snap.Committed != 500 || snap.Target != 1000 {
+		t.Errorf("snapshot = %+v", snap)
+	}
+	if got := snap.IPC(); got != 1.25 {
+		t.Errorf("IPC = %v, want 1.25", got)
+	}
+	if got := snap.MispredictRate(); got != 0.1 {
+		t.Errorf("mispredict rate = %v, want 0.1", got)
+	}
+	line := snap.Line(snap.Started.Add(time.Second))
+	for _, want := range []string{"gcc/gshare", "500/1000", "50.0%", "ipc=1.25", "misp=10.0%", "eta=1s"} {
+		if !strings.Contains(line, want) {
+			t.Errorf("line %q missing %q", line, want)
+		}
+	}
+
+	// A new run resets the counters.
+	p.StartRun("perl/sag", 0)
+	snap = p.Snapshot()
+	if snap.Committed != 0 || snap.Target != 0 {
+		t.Errorf("StartRun did not reset: %+v", snap)
+	}
+	if line := snap.Line(time.Now()); strings.Contains(line, "eta") {
+		t.Errorf("unbounded run shows an ETA: %q", line)
+	}
+}
+
+func TestProgressETA(t *testing.T) {
+	p := NewProgress()
+	p.StartRun("x", 2000)
+	p.Update(1000, 1000, 0, 0)
+	snap := p.Snapshot()
+	// 1000 committed in 2s → 500/s → 1000 remaining → 2s.
+	got := snap.ETA(snap.Started.Add(2 * time.Second))
+	if got < 1900*time.Millisecond || got > 2100*time.Millisecond {
+		t.Errorf("ETA = %v, want ~2s", got)
+	}
+	// Done or idle → no ETA.
+	p.Update(2000, 2000, 0, 0)
+	snap = p.Snapshot()
+	if eta := snap.ETA(snap.Started.Add(time.Second)); eta != 0 {
+		t.Errorf("finished run ETA = %v, want 0", eta)
+	}
+}
+
+// syncBuffer is a goroutine-safe writer for heartbeat output.
+type syncBuffer struct {
+	mu sync.Mutex
+	b  strings.Builder
+}
+
+func (s *syncBuffer) Write(p []byte) (int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.b.Write(p)
+}
+
+func (s *syncBuffer) String() string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.b.String()
+}
+
+func TestHeartbeat(t *testing.T) {
+	p := NewProgress()
+	p.StartRun("compress/gshare", 100)
+	p.Update(50, 40, 10, 1)
+	var buf syncBuffer
+	stop := StartHeartbeat(&buf, 5*time.Millisecond, p)
+	deadline := time.Now().Add(2 * time.Second)
+	for buf.String() == "" && time.Now().Before(deadline) {
+		time.Sleep(5 * time.Millisecond)
+	}
+	stop()
+	stop() // idempotent
+	out := buf.String()
+	if !strings.Contains(out, "compress/gshare") {
+		t.Errorf("heartbeat output %q missing run name", out)
+	}
+	// No further lines after stop returns.
+	n := len(buf.String())
+	time.Sleep(20 * time.Millisecond)
+	if len(buf.String()) != n {
+		t.Error("heartbeat kept printing after stop")
+	}
+}
+
+// TestProgressConcurrent exercises writer/reader races under -race.
+func TestProgressConcurrent(t *testing.T) {
+	p := NewProgress()
+	done := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		for i := uint64(0); ; i++ {
+			select {
+			case <-done:
+				return
+			default:
+			}
+			if i%100 == 0 {
+				p.StartRun("w/p", 1000)
+			}
+			p.Update(i, i, i/10, i/100)
+		}
+	}()
+	go func() {
+		defer wg.Done()
+		for {
+			select {
+			case <-done:
+				return
+			default:
+			}
+			snap := p.Snapshot()
+			_ = snap.Line(time.Now())
+		}
+	}()
+	time.Sleep(50 * time.Millisecond)
+	close(done)
+	wg.Wait()
+}

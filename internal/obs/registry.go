@@ -1,0 +1,292 @@
+package obs
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Kind discriminates the metric types a Registry holds.
+type Kind int
+
+const (
+	// KindCounter is a monotonically increasing count.
+	KindCounter Kind = iota
+	// KindGauge is a value that can go up and down.
+	KindGauge
+	// KindHistogram is a bounded-bucket distribution.
+	KindHistogram
+)
+
+// String returns the Prometheus TYPE keyword for the kind.
+func (k Kind) String() string {
+	switch k {
+	case KindCounter:
+		return "counter"
+	case KindGauge:
+		return "gauge"
+	case KindHistogram:
+		return "histogram"
+	}
+	return "untyped"
+}
+
+// Counter is a monotonically increasing counter. All methods are safe
+// for concurrent use.
+type Counter struct {
+	v atomic.Uint64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n.
+func (c *Counter) Add(n uint64) { c.v.Add(n) }
+
+// Value returns the current count.
+func (c *Counter) Value() uint64 { return c.v.Load() }
+
+// Gauge is a float64 value that can move in both directions. All
+// methods are safe for concurrent use; the value is stored as IEEE-754
+// bits in a single atomic word, so readers never observe a torn write.
+type Gauge struct {
+	bits atomic.Uint64
+}
+
+// Set stores v.
+func (g *Gauge) Set(v float64) { g.bits.Store(math.Float64bits(v)) }
+
+// SetUint stores an integer value (convenience for counters mirrored
+// as gauges).
+func (g *Gauge) SetUint(v uint64) { g.Set(float64(v)) }
+
+// Add atomically adds d to the gauge.
+func (g *Gauge) Add(d float64) {
+	for {
+		old := g.bits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + d)
+		if g.bits.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// Value returns the current value.
+func (g *Gauge) Value() float64 { return math.Float64frombits(g.bits.Load()) }
+
+// Histogram is a bounded-bucket distribution: observations are counted
+// into the first bucket whose upper bound is >= the value, with an
+// implicit +Inf overflow bucket, Prometheus-style (cumulative on
+// exposition, per-bucket internally). All methods are safe for
+// concurrent use.
+type Histogram struct {
+	mu     sync.Mutex
+	bounds []float64 // strictly increasing upper bounds
+	counts []uint64  // len(bounds)+1; last is the +Inf bucket
+	sum    float64
+	count  uint64
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v float64) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	i := sort.SearchFloat64s(h.bounds, v)
+	h.counts[i]++
+	h.sum += v
+	h.count++
+}
+
+// snapshot copies the histogram state.
+func (h *Histogram) snapshot() HistogramSnapshot {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	s := HistogramSnapshot{
+		Bounds: h.bounds, // immutable after construction
+		Counts: append([]uint64(nil), h.counts...),
+		Sum:    h.sum,
+		Count:  h.count,
+	}
+	return s
+}
+
+// HistogramSnapshot is a point-in-time copy of a histogram.
+type HistogramSnapshot struct {
+	Bounds []float64 // upper bounds; Counts has one extra +Inf bucket
+	Counts []uint64
+	Sum    float64
+	Count  uint64
+}
+
+// series is one registered metric: a name, a fixed label set, and one
+// of the three instrument types.
+type series struct {
+	name   string
+	labels Labels
+	kind   Kind
+
+	counter *Counter
+	gauge   *Gauge
+	hist    *Histogram
+}
+
+// Registry holds named metrics. Registration is get-or-create: asking
+// for the same (name, labels) twice returns the same instrument, so
+// independent components can share series without coordination.
+// Registration takes a lock; the returned instruments update through
+// atomics, so hot paths should hold on to them instead of re-resolving.
+type Registry struct {
+	mu     sync.RWMutex
+	series map[string]*series
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{series: make(map[string]*series)}
+}
+
+// seriesKey canonicalizes (name, labels) into a map key.
+func seriesKey(name string, labels Labels) string {
+	if len(labels) == 0 {
+		return name
+	}
+	keys := make([]string, 0, len(labels))
+	for k := range labels {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var b strings.Builder
+	b.WriteString(name)
+	for _, k := range keys {
+		b.WriteByte(0)
+		b.WriteString(k)
+		b.WriteByte(0)
+		b.WriteString(labels[k])
+	}
+	return b.String()
+}
+
+// lookup returns the series for (name, labels), creating it with mk if
+// absent. It panics when the name is invalid or the series exists with
+// a different kind — both are static wiring errors.
+func (r *Registry) lookup(name string, labels Labels, kind Kind, mk func(*series)) *series {
+	mustValidName("metric", name, true)
+	for k := range labels {
+		mustValidName("label", k, false)
+	}
+	key := seriesKey(name, labels)
+	r.mu.RLock()
+	s, ok := r.series[key]
+	r.mu.RUnlock()
+	if !ok {
+		// The unlock is deferred so a panicking mk (static wiring
+		// error) cannot strand the lock for whoever recovers.
+		s = func() *series {
+			r.mu.Lock()
+			defer r.mu.Unlock()
+			if s, ok := r.series[key]; ok {
+				return s
+			}
+			s := &series{name: name, labels: labels.clone(), kind: kind}
+			mk(s)
+			r.series[key] = s
+			return s
+		}()
+	}
+	if s.kind != kind {
+		panic(fmt.Sprintf("obs: metric %q registered as %s, requested as %s",
+			name, s.kind, kind))
+	}
+	return s
+}
+
+// Counter returns the counter for (name, labels), creating it if
+// needed.
+func (r *Registry) Counter(name string, labels Labels) *Counter {
+	s := r.lookup(name, labels, KindCounter, func(s *series) { s.counter = &Counter{} })
+	return s.counter
+}
+
+// Gauge returns the gauge for (name, labels), creating it if needed.
+func (r *Registry) Gauge(name string, labels Labels) *Gauge {
+	s := r.lookup(name, labels, KindGauge, func(s *series) { s.gauge = &Gauge{} })
+	return s.gauge
+}
+
+// Histogram returns the histogram for (name, labels), creating it with
+// the given strictly increasing upper bounds if needed. Bounds are
+// fixed at creation; later calls may pass nil to reuse the existing
+// series.
+func (r *Registry) Histogram(name string, labels Labels, bounds []float64) *Histogram {
+	s := r.lookup(name, labels, KindHistogram, func(s *series) {
+		if len(bounds) == 0 {
+			panic(fmt.Sprintf("obs: histogram %q created without bounds", name))
+		}
+		for i := 1; i < len(bounds); i++ {
+			if bounds[i] <= bounds[i-1] {
+				panic(fmt.Sprintf("obs: histogram %q bounds not increasing", name))
+			}
+		}
+		s.hist = &Histogram{
+			bounds: append([]float64(nil), bounds...),
+			counts: make([]uint64, len(bounds)+1),
+		}
+	})
+	return s.hist
+}
+
+// Metric is one series in a registry snapshot.
+type Metric struct {
+	Name   string
+	Labels Labels
+	Kind   Kind
+	// Value holds counter (as float) and gauge readings.
+	Value float64
+	// Hist is set for histograms.
+	Hist *HistogramSnapshot
+}
+
+// Snapshot returns a point-in-time copy of every series, sorted by
+// name then canonical label string, so output is deterministic.
+func (r *Registry) Snapshot() []Metric {
+	r.mu.RLock()
+	all := make([]*series, 0, len(r.series))
+	keys := make([]string, 0, len(r.series))
+	for k, s := range r.series {
+		keys = append(keys, k)
+		all = append(all, s)
+	}
+	r.mu.RUnlock()
+	sort.Sort(&bykey{keys, all})
+	out := make([]Metric, 0, len(all))
+	for _, s := range all {
+		m := Metric{Name: s.name, Labels: s.labels.clone(), Kind: s.kind}
+		switch s.kind {
+		case KindCounter:
+			m.Value = float64(s.counter.Value())
+		case KindGauge:
+			m.Value = s.gauge.Value()
+		case KindHistogram:
+			h := s.hist.snapshot()
+			m.Hist = &h
+		}
+		out = append(out, m)
+	}
+	return out
+}
+
+// bykey sorts two parallel slices by the first.
+type bykey struct {
+	keys   []string
+	series []*series
+}
+
+func (b *bykey) Len() int           { return len(b.keys) }
+func (b *bykey) Less(i, j int) bool { return b.keys[i] < b.keys[j] }
+func (b *bykey) Swap(i, j int) {
+	b.keys[i], b.keys[j] = b.keys[j], b.keys[i]
+	b.series[i], b.series[j] = b.series[j], b.series[i]
+}

@@ -1,0 +1,210 @@
+package obs
+
+import (
+	"math"
+	"sync"
+	"testing"
+)
+
+func TestCounterGaugeBasics(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("requests_total", Labels{"path": "/metrics"})
+	c.Inc()
+	c.Add(4)
+	if c.Value() != 5 {
+		t.Errorf("counter = %d, want 5", c.Value())
+	}
+	g := r.Gauge("ipc", nil)
+	g.Set(1.5)
+	if g.Value() != 1.5 {
+		t.Errorf("gauge = %v, want 1.5", g.Value())
+	}
+	g.Add(-0.5)
+	if g.Value() != 1.0 {
+		t.Errorf("gauge after Add = %v, want 1.0", g.Value())
+	}
+	g.SetUint(7)
+	if g.Value() != 7 {
+		t.Errorf("gauge after SetUint = %v, want 7", g.Value())
+	}
+}
+
+func TestGetOrCreateSharesSeries(t *testing.T) {
+	r := NewRegistry()
+	a := r.Counter("x", Labels{"k": "v"})
+	b := r.Counter("x", Labels{"k": "v"})
+	if a != b {
+		t.Error("same (name, labels) returned distinct counters")
+	}
+	c := r.Counter("x", Labels{"k": "other"})
+	if a == c {
+		t.Error("different labels returned the same counter")
+	}
+	// The registry must key on values, not just pairs concatenated:
+	// {a: "b_c"} and {a_b: "c"} style collisions.
+	d := r.Gauge("y", Labels{"a": "b", "c": "d"})
+	e := r.Gauge("y", Labels{"a": "b_0c", "c": "d"})
+	if d == e {
+		t.Error("label-value collision")
+	}
+}
+
+func TestKindMismatchPanics(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("x", nil)
+	defer func() {
+		if recover() == nil {
+			t.Error("no panic re-registering counter as gauge")
+		}
+	}()
+	r.Gauge("x", nil)
+}
+
+func TestInvalidNamePanics(t *testing.T) {
+	r := NewRegistry()
+	for _, bad := range []string{"", "1abc", "a-b", "a b", "a{b}"} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("no panic for metric name %q", bad)
+				}
+			}()
+			r.Counter(bad, nil)
+		}()
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("no panic for invalid label name")
+		}
+	}()
+	r.Counter("ok", Labels{"bad-label": "v"})
+}
+
+func TestHistogram(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("latency", nil, []float64{1, 2, 4})
+	for _, v := range []float64{0.5, 1.5, 1.7, 3, 100} {
+		h.Observe(v)
+	}
+	s := h.snapshot()
+	want := []uint64{1, 2, 1, 1} // (-inf,1], (1,2], (2,4], (4,+inf)
+	for i, w := range want {
+		if s.Counts[i] != w {
+			t.Errorf("bucket %d = %d, want %d (all: %v)", i, s.Counts[i], w, s.Counts)
+		}
+	}
+	if s.Count != 5 {
+		t.Errorf("count = %d, want 5", s.Count)
+	}
+	if s.Sum != 0.5+1.5+1.7+3+100 {
+		t.Errorf("sum = %v", s.Sum)
+	}
+	// Boundary values land in the bucket whose upper bound equals them.
+	h2 := r.Histogram("lat2", nil, []float64{1, 2})
+	h2.Observe(1)
+	if got := h2.snapshot().Counts[0]; got != 1 {
+		t.Errorf("boundary observation in bucket 0 = %d, want 1", got)
+	}
+}
+
+func TestHistogramBadBoundsPanics(t *testing.T) {
+	r := NewRegistry()
+	for _, bounds := range [][]float64{nil, {}, {2, 1}, {1, 1}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("no panic for bounds %v", bounds)
+				}
+			}()
+			r.Histogram("h", nil, bounds)
+		}()
+	}
+}
+
+func TestSnapshotDeterministicOrder(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("b_metric", nil)
+	r.Gauge("a_metric", Labels{"z": "1"})
+	r.Gauge("a_metric", Labels{"a": "1"})
+	snap := r.Snapshot()
+	if len(snap) != 3 {
+		t.Fatalf("snapshot has %d series, want 3", len(snap))
+	}
+	if snap[0].Name != "a_metric" || snap[2].Name != "b_metric" {
+		t.Errorf("unexpected order: %v %v %v", snap[0].Name, snap[1].Name, snap[2].Name)
+	}
+	if snap[0].Labels["a"] != "1" {
+		t.Errorf("label-sorted order wrong: %v before %v", snap[0].Labels, snap[1].Labels)
+	}
+}
+
+func TestSnapshotIsCopy(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("x", Labels{"k": "v"})
+	c.Add(3)
+	snap := r.Snapshot()
+	c.Add(10)
+	if snap[0].Value != 3 {
+		t.Errorf("snapshot value moved: %v", snap[0].Value)
+	}
+	snap[0].Labels["mutate"] = "me" // must not corrupt the registry
+	if len(r.Snapshot()[0].Labels) != 1 {
+		t.Error("snapshot labels alias the registry's")
+	}
+}
+
+// TestConcurrentUse hammers registration and updates from many
+// goroutines; run under -race (scripts/check.sh) this is the registry's
+// thread-safety proof.
+func TestConcurrentUse(t *testing.T) {
+	r := NewRegistry()
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			for j := 0; j < 500; j++ {
+				r.Counter("shared_total", nil).Inc()
+				r.Gauge("g", Labels{"w": string(rune('a' + id))}).Set(float64(j))
+				r.Histogram("h", nil, []float64{1, 10, 100}).Observe(float64(j % 20))
+				if j%50 == 0 {
+					_ = r.Snapshot()
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+	if got := r.Counter("shared_total", nil).Value(); got != 8*500 {
+		t.Errorf("shared counter = %d, want %d", got, 8*500)
+	}
+	if got := r.Histogram("h", nil, nil).snapshot().Count; got != 8*500 {
+		t.Errorf("histogram count = %d, want %d", got, 8*500)
+	}
+}
+
+func TestGaugeSpecialValues(t *testing.T) {
+	var g Gauge
+	g.Set(math.Inf(1))
+	if !math.IsInf(g.Value(), 1) {
+		t.Error("gauge lost +Inf")
+	}
+	g.Set(math.NaN())
+	if !math.IsNaN(g.Value()) {
+		t.Error("gauge lost NaN")
+	}
+}
+
+func TestLabelsWith(t *testing.T) {
+	base := Labels{"a": "1"}
+	derived := base.With("b", "2")
+	if len(base) != 1 {
+		t.Error("With mutated the receiver")
+	}
+	if derived["a"] != "1" || derived["b"] != "2" {
+		t.Errorf("derived = %v", derived)
+	}
+	var nilBase Labels
+	if got := nilBase.With("k", "v"); got["k"] != "v" {
+		t.Errorf("nil base With = %v", got)
+	}
+}

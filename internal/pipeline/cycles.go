@@ -1,0 +1,123 @@
+package pipeline
+
+import (
+	"fmt"
+	"strings"
+)
+
+// CycleBucket classifies where a simulated cycle went. Every cycle the
+// simulator ticks is attributed to exactly one bucket — the invariant
+// CycleAccounts.Total() == Stats.Cycles holds on every run, error paths
+// included, and doubles as a correctness check on the timing model.
+//
+// Attribution rules (see Tick and fetchCycle):
+//
+//   - A cycle whose fetch group commits at least one correct-path
+//     instruction is UsefulFetch, even if the group also strays onto
+//     the wrong path or ends in a cache miss; the miss's stall cycles
+//     get their own bucket.
+//   - A fetch cycle that advances only wrong-path instructions is
+//     WrongPathFetch, and front-end stalls incurred *while* on the
+//     wrong path (including the idle wait after a wrong path runs off
+//     the program) are charged to WrongPathFetch too: they are
+//     misspeculation cost, not cache cost.
+//   - Correct-path I-cache and D-cache miss stalls are ICacheStall and
+//     DCacheStall.
+//   - The squash/redirect cycle of a misprediction recovery and the
+//     extra recovery-penalty cycles that follow are MispredictRecovery.
+//   - Cycles after HALT spent draining in-flight branches, and the
+//     cycle that discovers HALT without fetching anything, are
+//     ResolveWait — the front end is idle waiting on branch
+//     resolution.
+//   - Cycles an external scheduler (pipeline gating, SMT fetch policy)
+//     withheld fetch are Gated; they mirror Stats.GatedCycles.
+type CycleBucket int
+
+const (
+	// BucketUsefulFetch: at least one correct-path instruction fetched.
+	BucketUsefulFetch CycleBucket = iota
+	// BucketICacheStall: front end blocked on a correct-path I-cache miss.
+	BucketICacheStall
+	// BucketDCacheStall: pipe blocked on a correct-path D-cache miss.
+	BucketDCacheStall
+	// BucketResolveWait: idle waiting for in-flight branches to resolve.
+	BucketResolveWait
+	// BucketMispredictRecovery: squash redirect plus recovery penalty.
+	BucketMispredictRecovery
+	// BucketWrongPathFetch: fetch or stall beyond an unresolved misprediction.
+	BucketWrongPathFetch
+	// BucketGated: an external scheduler withheld fetch this cycle.
+	BucketGated
+	// NumCycleBuckets sizes per-bucket arrays.
+	NumCycleBuckets
+)
+
+var cycleBucketNames = [NumCycleBuckets]string{
+	BucketUsefulFetch:        "useful_fetch",
+	BucketICacheStall:        "icache_stall",
+	BucketDCacheStall:        "dcache_stall",
+	BucketResolveWait:        "resolve_wait",
+	BucketMispredictRecovery: "mispredict_recovery",
+	BucketWrongPathFetch:     "wrong_path",
+	BucketGated:              "gated",
+}
+
+// String returns the bucket's snake_case name (used as a metric label).
+func (b CycleBucket) String() string {
+	if b < 0 || b >= NumCycleBuckets {
+		return fmt.Sprintf("bucket(%d)", int(b))
+	}
+	return cycleBucketNames[b]
+}
+
+// CycleAccounts is the per-bucket cycle breakdown of a run.
+type CycleAccounts [NumCycleBuckets]uint64
+
+// Total returns the sum over all buckets; it must equal Stats.Cycles.
+func (c CycleAccounts) Total() uint64 {
+	var t uint64
+	for _, v := range c {
+		t += v
+	}
+	return t
+}
+
+// Fraction returns the share of total cycles spent in bucket b.
+func (c CycleAccounts) Fraction(b CycleBucket) float64 {
+	t := c.Total()
+	if t == 0 {
+		return 0
+	}
+	return float64(c[b]) / float64(t)
+}
+
+// SpeculationOverhead returns the fraction of cycles lost to
+// misspeculation: wrong-path fetch plus misprediction recovery. This
+// is the quantity speculation control tries to shrink.
+func (c CycleAccounts) SpeculationOverhead() float64 {
+	return c.Fraction(BucketWrongPathFetch) + c.Fraction(BucketMispredictRecovery)
+}
+
+// Render formats the breakdown as an aligned table, largest bucket
+// first omitted — buckets print in taxonomy order so runs diff cleanly.
+func (c CycleAccounts) Render() string {
+	var b strings.Builder
+	t := c.Total()
+	fmt.Fprintf(&b, "cycles %d\n", t)
+	for i := CycleBucket(0); i < NumCycleBuckets; i++ {
+		fmt.Fprintf(&b, "  %-20s %12d  %5.1f%%\n",
+			i.String(), c[i], 100*c.Fraction(i))
+	}
+	return b.String()
+}
+
+// CheckInvariant verifies the accounting against a total cycle count,
+// returning a descriptive error on mismatch. Tests call it after every
+// run; it is cheap enough for production callers to assert too.
+func (c CycleAccounts) CheckInvariant(cycles uint64) error {
+	if got := c.Total(); got != cycles {
+		return fmt.Errorf("pipeline: cycle accounting leak: buckets sum to %d, Stats.Cycles=%d (Δ=%d)\n%s",
+			got, cycles, int64(cycles)-int64(got), c.Render())
+	}
+	return nil
+}

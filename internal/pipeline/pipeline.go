@@ -21,6 +21,18 @@
 // branches, and the paper's extra misprediction recovery penalty
 // (3 cycles by default) on top of the natural refill delay.
 //
+// # Cycle accounting
+//
+// Every simulated cycle is attributed to exactly one CycleBucket —
+// useful fetch, I-cache stall, D-cache stall, branch-resolve wait,
+// misprediction recovery, wrong-path work, or gated — and the
+// per-bucket counts in Stats.CycleAccounts sum exactly to Stats.Cycles
+// on every run (CycleAccounts.CheckInvariant). See the CycleBucket
+// documentation in cycles.go for the full attribution taxonomy. The
+// simulator can also stream live metrics into an obs.Registry and
+// branch events into an obs.Tracer (Config.Metrics, Config.Tracer);
+// both are free when unset beyond a nil-check.
+//
 // Like SimpleScalar, the simulator exploits oracle knowledge for
 // structure, not for policy: predictions and confidence estimates are
 // made by the real mechanisms under test; the oracle outcome only decides
@@ -48,6 +60,7 @@ import (
 	"specctrl/internal/isa"
 	"specctrl/internal/mem"
 	"specctrl/internal/metrics"
+	"specctrl/internal/obs"
 )
 
 // Config parameterizes the simulator.
@@ -84,6 +97,26 @@ type Config struct {
 	// BTBEntries/BTBAssoc/RASDepth size the target predictors
 	// (defaults 512 / 4 / 16 when zero).
 	BTBEntries, BTBAssoc, RASDepth int
+
+	// Tracer, when non-nil, receives one structured event per fetched
+	// conditional branch (the obs hook behind internal/trace's binary
+	// writer and obs.JSONL). Nil is the null sink: the hot path pays a
+	// single nil-check.
+	Tracer obs.Tracer
+	// Metrics, when non-nil, receives live gauges (cycles, IPC,
+	// per-bucket cycle accounts, per-estimator SENS/SPEC/PVP/PVN
+	// quadrant snapshots) labelled with MetricsLabels, refreshed every
+	// MetricsInterval cycles.
+	Metrics *obs.Registry
+	// MetricsLabels is the base label set for this run's series,
+	// typically {workload, predictor}.
+	MetricsLabels obs.Labels
+	// MetricsInterval is the publish period in cycles for Metrics and
+	// Progress (default 16384 when either is set).
+	MetricsInterval uint64
+	// Progress, when non-nil, receives periodic lock-free counter
+	// updates for heartbeat printing.
+	Progress *obs.Progress
 }
 
 // DefaultConfig returns the configuration used throughout the
@@ -192,6 +225,10 @@ type Stats struct {
 	CommittedBr uint64 // committed conditional branches
 	AllBr       uint64 // fetched conditional branches (committed + squashed)
 	GatedCycles uint64 // cycles an external scheduler withheld fetch
+
+	// CycleAccounts attributes every cycle to exactly one bucket; the
+	// bucket counts sum to Cycles (CheckInvariant).
+	CycleAccounts CycleAccounts
 
 	// Indirect-jump statistics (populated under IndirectPrediction).
 	Returns    uint64 // committed-path returns predicted via the RAS
@@ -305,9 +342,19 @@ type Sim struct {
 
 	stats Stats
 
-	// Timing state.
-	cycle      uint64
-	stallUntil uint64
+	// Timing state. stallReason is the bucket charged to cycles the
+	// front end spends blocked behind stallUntil.
+	cycle       uint64
+	stallUntil  uint64
+	stallReason CycleBucket
+
+	// Observability state: pre-resolved gauges and the publish period
+	// (0 = observation disabled; Tick pays one decrement-and-compare —
+	// obsLeft counts down to the next publish, avoiding a per-cycle
+	// modulo on the hot path).
+	gauges   *simGauges
+	obsEvery uint64
+	obsLeft  uint64
 
 	// Wrong-path state. When wrongPath is true the machine is fetching
 	// in the shadow of the oldest unresolved misprediction; recover*
@@ -390,6 +437,16 @@ func New(cfg Config, prog *isa.Program, pred bpred.Predictor, ests ...conf.Estim
 	}
 	s.distMisest = make([]int, len(ests))
 	s.hcScratch = make([]bool, len(ests))
+	if cfg.Metrics != nil || cfg.Progress != nil {
+		s.obsEvery = cfg.MetricsInterval
+		if s.obsEvery == 0 {
+			s.obsEvery = 16384
+		}
+		s.obsLeft = s.obsEvery
+	}
+	if cfg.Metrics != nil {
+		s.gauges = newSimGauges(cfg.Metrics, cfg.MetricsLabels, s.stats.Confidence)
+	}
 	return s
 }
 
@@ -458,6 +515,7 @@ func (s *Sim) squash() {
 	penalty := uint64(1 + s.cfg.ExtraMispredictPenalty)
 	if s.stallUntil < s.cycle+penalty {
 		s.stallUntil = s.cycle + penalty
+		s.stallReason = BucketMispredictRecovery
 	}
 }
 
@@ -532,6 +590,12 @@ func (s *Sim) onCondBranch(pc int64, outcome bool, takenTarget, notTakenTarget i
 			WrongPath: s.wrongPath, Cycle: s.cycle, ConfMask: confMask,
 		})
 	}
+	if s.cfg.Tracer != nil {
+		s.cfg.Tracer.Branch(obs.BranchEvent{
+			PC: pc, Pred: pred, Outcome: outcome, HighConf: hc0,
+			WrongPath: s.wrongPath, Cycle: s.cycle, ConfMask: confMask,
+		})
+	}
 
 	// --- machine behaviour ---
 	predTarget := notTakenTarget
@@ -583,26 +647,53 @@ func (s *Sim) Tick(fetchAllowed bool) (done bool, err error) {
 	s.cycle++
 	s.stats.Cycles = s.cycle
 	if s.cfg.MaxCycles > 0 && s.cycle > s.cfg.MaxCycles {
+		// The aborted cycle is already in Stats.Cycles; charge it as
+		// idle wait so the accounting invariant survives error paths.
+		s.account(BucketResolveWait)
 		return false, fmt.Errorf("pipeline: %s exceeded %d cycles",
 			s.prog.Name, s.cfg.MaxCycles)
 	}
 	if s.resolveDue() {
-		return s.finished(), nil // redirect consumes the cycle
+		s.account(BucketMispredictRecovery)
+		return s.tickDone(), nil // redirect consumes the cycle
 	}
 	if s.halted {
-		return s.finished(), nil
+		// Program done; any remaining cycles drain in-flight branches.
+		s.account(BucketResolveWait)
+		return s.tickDone(), nil
 	}
 	if !fetchAllowed || s.stallUntil > s.cycle || s.wrongPathIdle {
-		if !fetchAllowed && s.stallUntil <= s.cycle && !s.wrongPathIdle {
+		switch {
+		case s.stallUntil > s.cycle:
+			s.account(s.stallReason)
+		case s.wrongPathIdle:
+			s.account(BucketWrongPathFetch)
+		default: // !fetchAllowed, and the machine could otherwise fetch
 			s.stats.GatedCycles++
+			s.account(BucketGated)
 		}
-		return s.finished(), nil
+		return s.tickDone(), nil
 	}
-	s.fetchCycle()
+	s.account(s.fetchCycle())
 	if s.cfg.MaxCommitted > 0 && s.stats.Committed >= s.cfg.MaxCommitted {
 		s.halted = true
 	}
-	return s.finished(), nil
+	return s.tickDone(), nil
+}
+
+// account charges the current cycle to one bucket.
+func (s *Sim) account(b CycleBucket) { s.stats.CycleAccounts[b]++ }
+
+// tickDone publishes observability data on the configured interval and
+// reports run completion.
+func (s *Sim) tickDone() bool {
+	if s.obsEvery != 0 {
+		if s.obsLeft--; s.obsLeft == 0 {
+			s.obsLeft = s.obsEvery
+			s.publish()
+		}
+	}
+	return s.finished()
 }
 
 // finished reports whether the run is fully complete: program halted and
@@ -621,6 +712,9 @@ func (s *Sim) Finish() *Stats {
 	dh, dm := s.dcache.Stats()
 	s.stats.ICacheHits, s.stats.ICacheMisses = ih, im
 	s.stats.DCacheHits, s.stats.DCacheMisses = dh, dm
+	if s.obsEvery != 0 {
+		s.publish() // final values, so scrapes after the run are exact
+	}
 	return &s.stats
 }
 
@@ -661,15 +755,45 @@ func (s *Sim) Run() (*Stats, error) {
 }
 
 // fetchCycle fetches and functionally executes up to FetchWidth
-// instructions.
-func (s *Sim) fetchCycle() {
+// instructions and attributes the cycle: useful fetch when any
+// correct-path instruction committed, wrong-path work when only
+// wrong-path instructions advanced, otherwise whatever stopped the
+// empty fetch group (cache miss, halt discovery).
+func (s *Sim) fetchCycle() CycleBucket {
+	c0, w0 := s.stats.Committed, s.stats.WrongPath
+	empty := s.fetchGroup()
+	switch {
+	case s.stats.Committed > c0:
+		return BucketUsefulFetch
+	case s.stats.WrongPath > w0:
+		return BucketWrongPathFetch
+	default:
+		return empty
+	}
+}
+
+// stallBucket records why the front end is about to stall and returns
+// the bucket for the stall cycles. Stalls incurred on the wrong path
+// are misspeculation cost, whatever their proximate cause.
+func (s *Sim) stallBucket(b CycleBucket) CycleBucket {
+	if s.wrongPath {
+		b = BucketWrongPathFetch
+	}
+	s.stallReason = b
+	return b
+}
+
+// fetchGroup fetches and functionally executes up to FetchWidth
+// instructions, returning the cycle bucket to charge when the group
+// fetched nothing at all.
+func (s *Sim) fetchGroup() CycleBucket {
 	for slot := 0; slot < s.cfg.FetchWidth; slot++ {
 		pc := s.state.PC
 		lat, hit := s.icache.Access(pc)
 		if !hit {
 			// An I-cache miss stalls fetch for the fill latency.
 			s.stallUntil = s.cycle + uint64(lat)
-			return
+			return s.stallBucket(BucketICacheStall)
 		}
 		in := s.fetchInstr(pc)
 
@@ -678,10 +802,10 @@ func (s *Sim) fetchCycle() {
 				// The wrong path ran off the program; idle until the
 				// misprediction resolves.
 				s.wrongPathIdle = true
-			} else {
-				s.halted = true
+				return BucketWrongPathFetch
 			}
-			return
+			s.halted = true
+			return BucketResolveWait
 		}
 
 		if in.Op.IsCondBranch() {
@@ -708,7 +832,7 @@ func (s *Sim) fetchCycle() {
 			s.state.PC = next
 			if next != pc+1 {
 				// A taken-path redirect ends the fetch group.
-				return
+				return BucketUsefulFetch
 			}
 			continue
 		}
@@ -734,7 +858,7 @@ func (s *Sim) fetchCycle() {
 				// A D-cache miss stalls the pipe (simplified in-order
 				// memory model).
 				s.stallUntil = s.cycle + uint64(dlat)
-				return
+				return s.stallBucket(BucketDCacheStall)
 			}
 		}
 		switch in.Op {
@@ -743,16 +867,17 @@ func (s *Sim) fetchCycle() {
 				s.ras.Push(pc + 1) // call: remember the return address
 			}
 			// Direct targets need no prediction.
-			return
+			return BucketUsefulFetch
 		case isa.OpJalr:
 			if haveTargetPred {
 				s.onIndirect(pc, predTarget, res.NextPC, predIsReturn, rasCkpt)
 			}
 			// Without target prediction the target is assumed perfect,
 			// matching the paper's conditional-branch-only focus.
-			return
+			return BucketUsefulFetch
 		}
 	}
+	return BucketUsefulFetch
 }
 
 // predictTarget consults the RAS (for returns) or the BTB (for other

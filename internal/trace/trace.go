@@ -35,6 +35,10 @@ var (
 	ErrBadMagic = errors.New("trace: bad magic")
 	// ErrVersion means the stream uses an unsupported format version.
 	ErrVersion = errors.New("trace: unsupported version")
+	// ErrCorrupt means the header or an event decoded to an impossible
+	// value (e.g. an implausible event count); truncated streams
+	// instead surface wrapped io.ErrUnexpectedEOF / io.EOF errors.
+	ErrCorrupt = errors.New("trace: corrupt stream")
 )
 
 const (
@@ -118,9 +122,16 @@ func Read(r io.Reader) ([]pipeline.BranchEvent, error) {
 	}
 	const maxReasonable = 1 << 34
 	if count > maxReasonable {
-		return nil, fmt.Errorf("trace: implausible event count %d", count)
+		return nil, fmt.Errorf("%w: implausible event count %d", ErrCorrupt, count)
 	}
-	events := make([]pipeline.BranchEvent, 0, count)
+	// Cap the up-front allocation: the count is attacker-controlled
+	// input until the events actually decode, so a corrupt header must
+	// not be able to demand gigabytes before the first read fails.
+	capHint := count
+	if capHint > 1<<16 {
+		capHint = 1 << 16
+	}
+	events := make([]pipeline.BranchEvent, 0, capHint)
 	var prevPC int64
 	var prevCycle uint64
 	for i := uint64(0); i < count; i++ {
