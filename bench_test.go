@@ -6,6 +6,7 @@ package specctrl
 
 import (
 	"io"
+	"runtime"
 	"testing"
 
 	"specctrl/internal/bpred"
@@ -259,6 +260,30 @@ func BenchmarkEagerStudy(b *testing.B) {
 func BenchmarkAUCStudy(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		if _, err := experiments.AUCStudy(benchParams()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkRunner measures grid execution through the parallel runner at
+// the machine's full width (Jobs = NumCPU) against the serial variant
+// below; the ratio is the experiment-level speedup on this machine.
+func BenchmarkRunner(b *testing.B) {
+	p := benchParams()
+	p.Jobs = runtime.NumCPU()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Table2(p); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkRunnerSerial is BenchmarkRunner pinned to one worker.
+func BenchmarkRunnerSerial(b *testing.B) {
+	p := benchParams()
+	p.Jobs = 1
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Table2(p); err != nil {
 			b.Fatal(err)
 		}
 	}

@@ -8,6 +8,19 @@
 //	simctrl -exp all -committed 5000000 # everything, bigger runs
 //	simctrl -list                       # show available experiments
 //
+// Experiments are grids of independent cells (one simulation per
+// workload × predictor × estimator-config point) executed on a
+// work-stealing pool. -jobs N sets the pool width (default: all CPUs);
+// output is byte-identical at every job count. A grid can also be split
+// across machines:
+//
+//	simctrl -exp table2 -shard 0/2 -cells-out s0.json   # machine A
+//	simctrl -exp table2 -shard 1/2 -cells-out s1.json   # machine B
+//	simctrl -exp table2 -cells-in s0.json,s1.json       # merge + render
+//
+// See docs/REGENERATING.md for the full regeneration workflow and the
+// determinism guarantees behind it.
+//
 // Long runs are observable while they execute: -progress prints a
 // periodic heartbeat (committed instructions, IPC, misprediction rate,
 // ETA) to stderr, and -metrics-addr serves live Prometheus/JSON
@@ -20,14 +33,17 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"sort"
 	"strings"
 
 	"specctrl/internal/experiments"
 	"specctrl/internal/obs"
+	"specctrl/internal/runner"
 )
 
 // renderer is any experiment result that can print itself.
@@ -138,6 +154,10 @@ func main() {
 		list        = flag.Bool("list", false, "list available experiments")
 		metricsAddr = flag.String("metrics-addr", "", "serve live metrics/expvar/pprof on this address (e.g. :9090)")
 		progress    = flag.Duration("progress", 0, "print a heartbeat to stderr at this interval (e.g. 1s; 0 = off)")
+		jobs        = flag.Int("jobs", runtime.NumCPU(), "parallel grid cells (output is identical at any value)")
+		shard       = flag.String("shard", "", "run only shard i of n grid cells, as i/n (requires -cells-out)")
+		cellsOut    = flag.String("cells-out", "", "write computed grid cells to this JSON file")
+		cellsIn     = flag.String("cells-in", "", "comma-separated cell JSON files to reuse instead of simulating")
 	)
 	flag.Parse()
 
@@ -164,6 +184,40 @@ func main() {
 	}
 	if *verbose {
 		p.Progress = func(msg string) { fmt.Fprintln(os.Stderr, msg) }
+	}
+	p.Jobs = *jobs
+	if *shard != "" {
+		sh, err := runner.ParseShard(*shard)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "simctrl: %v\n", err)
+			os.Exit(2)
+		}
+		if *cellsOut == "" {
+			fmt.Fprintln(os.Stderr, "simctrl: -shard produces no rendered output; use -cells-out to keep the shard's cells")
+			os.Exit(2)
+		}
+		p.Shard = sh
+	}
+	if *cellsOut != "" {
+		p.Record = experiments.NewCellStore()
+	}
+	if *cellsIn != "" {
+		p.Cells = map[string]experiments.CellResult{}
+		for _, path := range strings.Split(*cellsIn, ",") {
+			data, err := os.ReadFile(path)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "simctrl: %v\n", err)
+				os.Exit(1)
+			}
+			cells, err := experiments.UnmarshalCells(data)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "simctrl: %s: %v\n", path, err)
+				os.Exit(1)
+			}
+			for k, c := range cells {
+				p.Cells[k] = c
+			}
+		}
 	}
 	if *metricsAddr != "" {
 		p.Obs = obs.NewRegistry()
@@ -192,6 +246,11 @@ func main() {
 			os.Exit(2)
 		}
 		r, err := entry.fn(p)
+		if errors.Is(err, experiments.ErrShardOnly) {
+			fmt.Fprintf(os.Stderr, "simctrl: %s: shard %s computed (%d cells so far)\n",
+				name, p.Shard, p.Record.Len())
+			continue
+		}
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "simctrl: %s: %v\n", name, err)
 			os.Exit(1)
@@ -201,5 +260,17 @@ func main() {
 		if !strings.HasSuffix(out, "\n\n") {
 			fmt.Println()
 		}
+	}
+	if p.Record != nil {
+		data, err := p.Record.MarshalJSON()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "simctrl: encoding cells: %v\n", err)
+			os.Exit(1)
+		}
+		if err := os.WriteFile(*cellsOut, append(data, '\n'), 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "simctrl: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "simctrl: wrote %d cells to %s\n", p.Record.Len(), *cellsOut)
 	}
 }

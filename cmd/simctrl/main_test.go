@@ -1,10 +1,12 @@
 package main
 
 import (
+	"errors"
 	"strings"
 	"testing"
 
 	"specctrl/internal/experiments"
+	"specctrl/internal/runner"
 )
 
 func TestOrderCoversRegistry(t *testing.T) {
@@ -29,6 +31,25 @@ func TestRegistryDescriptions(t *testing.T) {
 	for name, e := range registry {
 		if e.desc == "" || e.fn == nil {
 			t.Errorf("registry entry %q incomplete", name)
+		}
+	}
+}
+
+// TestShardOnlyCoverage proves every simulation-backed registry entry
+// runs through the grid executor: under an active shard a grid driver
+// must return ErrShardOnly instead of rendering. A sparse shard (most
+// experiments own zero cells of it) keeps this fast.
+func TestShardOnlyCoverage(t *testing.T) {
+	p := experiments.TestParams()
+	p.MaxCommitted = 40_000
+	p.Shard = runner.Shard{Index: 63, Count: 64}
+	p.Record = experiments.NewCellStore()
+	for name, e := range registry {
+		if name == "fig1" || name == "cost" {
+			continue // analytic, no simulation grid
+		}
+		if _, err := e.fn(p); !errors.Is(err, experiments.ErrShardOnly) {
+			t.Errorf("%s: got %v, want ErrShardOnly (driver bypasses the grid?)", name, err)
 		}
 	}
 }

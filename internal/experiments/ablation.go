@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
@@ -10,6 +11,8 @@ import (
 	"specctrl/internal/isa"
 	"specctrl/internal/metrics"
 	"specctrl/internal/pipeline"
+	"specctrl/internal/runner"
+	"specctrl/internal/workload"
 )
 
 // --- JRS counter width ablation ---------------------------------------
@@ -45,7 +48,7 @@ func AblationWidth(p Params) (*AblationWidthResult, error) {
 			meta = append(meta, WidthPoint{Bits: bits, Threshold: thr})
 		}
 	}
-	pts, err := jrsSweep(p, GshareSpec(), configs)
+	pts, err := jrsSweep(p, "abl-width", GshareSpec(), configs)
 	if err != nil {
 		return nil, err
 	}
@@ -91,26 +94,49 @@ type AblationSpecHistoryResult struct {
 	Rows []SpecHistoryRow
 }
 
-// AblationSpecHistory runs the suite under both gshare variants.
+// AblationSpecHistory runs the suite under both gshare variants, one
+// grid cell per (workload, history discipline).
 func AblationSpecHistory(p Params) (*AblationSpecHistoryResult, error) {
-	res := &AblationSpecHistoryResult{}
 	nonspec := PredictorSpec{
 		Name:     "gshare-nonspec",
 		New:      func(p Params) bpred.Predictor { return bpred.NewGshareNonSpec(p.GshareBits) },
 		HistBits: func(p Params) uint { return p.GshareBits },
 	}
+	var gridSpecs []runner.Spec
+	for _, w := range suite() {
+		for _, pred := range []PredictorSpec{GshareSpec(), nonspec} {
+			gridSpecs = append(gridSpecs, runner.Spec{
+				Experiment: "abl-spechist", Workload: w.Name, Predictor: pred.Name, Variant: "main",
+			})
+		}
+	}
+	cells, err := p.runGrid(gridSpecs, func(_ context.Context, p Params, sp runner.Spec) (CellResult, error) {
+		w, err := workload.ByName(sp.Workload)
+		if err != nil {
+			return CellResult{}, err
+		}
+		pred := GshareSpec()
+		if sp.Predictor == nonspec.Name {
+			pred = nonspec
+		}
+		st, err := p.runOne(w, pred, false)
+		if err != nil {
+			return CellResult{}, fmt.Errorf("ablation %s: %w", sp.Key(), err)
+		}
+		return CellResult{Stats: st}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	res := &AblationSpecHistoryResult{}
+	i := 0
 	for _, w := range suite() {
 		row := SpecHistoryRow{Name: w.Name}
-		st, err := p.runOne(w, GshareSpec(), false)
-		if err != nil {
-			return nil, fmt.Errorf("ablation spec %s: %w", w.Name, err)
-		}
+		st := cells[i].Stats
 		row.SpecMisp, row.SpecIPC = st.MispredictRate(), st.IPC()
-		st, err = p.runOne(w, nonspec, false)
-		if err != nil {
-			return nil, fmt.Errorf("ablation nonspec %s: %w", w.Name, err)
-		}
+		st = cells[i+1].Stats
 		row.NonSpecMisp, row.NonSpecIPC = st.MispredictRate(), st.IPC()
+		i += 2
 		res.Rows = append(res.Rows, row)
 	}
 	return res, nil
@@ -166,37 +192,73 @@ func AblationGating(p Params) (*AblationGatingResult, error) {
 		{"SatCnt", func() conf.Estimator { return conf.SatCounters{} }},
 		{"Dist(>3)", func() conf.Estimator { return conf.NewDistance(3) }},
 	}
-	cfg := p.Pipeline
-	cfg.MaxCommitted = p.MaxCommitted
-	newPred := func() bpred.Predictor { return bpred.NewGshare(p.GshareBits) }
-
-	progs := map[string]*isa.Program{}
-	var order []string
-	for _, w := range suite() {
-		progs[w.Name] = w.Build(p.BuildIters)
-		order = append(order, w.Name)
-	}
-
-	res := &AblationGatingResult{}
+	// One cell per (estimator, threshold); each cell rebuilds its own
+	// program set (builders are deterministic, so every cell sees
+	// identical programs).
+	var gridSpecs []runner.Spec
 	for _, e := range ests {
 		for thr := 1; thr <= 3; thr++ {
-			p.progress("gating %s threshold %d", e.name, thr)
-			sr, err := gating.EvaluateSuite(
-				gating.Config{Threshold: thr, Pipeline: cfg},
-				progs, newPred, e.mk, order)
-			if err != nil {
-				return nil, fmt.Errorf("ablation gating %s/%d: %w", e.name, thr, err)
+			gridSpecs = append(gridSpecs, runner.Spec{
+				Experiment: "abl-gating", Workload: "suite", Predictor: "gshare",
+				Variant: fmt.Sprintf("%s-thr%d", e.name, thr),
+			})
+		}
+	}
+	cells, err := p.runGrid(gridSpecs, func(_ context.Context, p Params, sp runner.Spec) (CellResult, error) {
+		var est struct {
+			name string
+			mk   func() conf.Estimator
+		}
+		var thr int
+		for _, e := range ests {
+			for t := 1; t <= 3; t++ {
+				if sp.Variant == fmt.Sprintf("%s-thr%d", e.name, t) {
+					est, thr = e, t
+				}
 			}
-			var red, slow float64
-			for _, row := range sr.Rows {
-				red += row.ExtraWorkReduction
-				slow += row.Slowdown
-			}
-			n := float64(len(sr.Rows))
+		}
+		if thr == 0 {
+			return CellResult{}, fmt.Errorf("ablation gating: unknown variant %q", sp.Variant)
+		}
+		cfg := p.Pipeline
+		cfg.MaxCommitted = p.MaxCommitted
+		newPred := func() bpred.Predictor { return bpred.NewGshare(p.GshareBits) }
+		progs := map[string]*isa.Program{}
+		var order []string
+		for _, w := range suite() {
+			progs[w.Name] = w.Build(p.BuildIters)
+			order = append(order, w.Name)
+		}
+		p.progress("gating %s threshold %d", est.name, thr)
+		sr, err := gating.EvaluateSuite(
+			gating.Config{Threshold: thr, Pipeline: cfg},
+			progs, newPred, est.mk, order)
+		if err != nil {
+			return CellResult{}, fmt.Errorf("ablation gating %s/%d: %w", est.name, thr, err)
+		}
+		var red, slow float64
+		for _, row := range sr.Rows {
+			red += row.ExtraWorkReduction
+			slow += row.Slowdown
+		}
+		n := float64(len(sr.Rows))
+		return CellResult{Extra: map[string]float64{
+			"reduction": red / n,
+			"slowdown":  slow / n,
+		}}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	res := &AblationGatingResult{}
+	i := 0
+	for _, e := range ests {
+		for thr := 1; thr <= 3; thr++ {
 			res.Points = append(res.Points, GatingPoint{
 				Estimator: e.name, Threshold: thr,
-				Reduction: red / n, Slowdown: slow / n,
+				Reduction: cells[i].Extra["reduction"], Slowdown: cells[i].Extra["slowdown"],
 			})
+			i++
 		}
 	}
 	return res, nil
@@ -233,30 +295,54 @@ type AblationIndirectResult struct {
 	Rows []IndirectRow
 }
 
-// AblationIndirect runs the suite with target prediction off and on.
+// AblationIndirect runs the suite with target prediction off and on,
+// one grid cell per (workload, front-end variant).
 func AblationIndirect(p Params) (*AblationIndirectResult, error) {
-	res := &AblationIndirectResult{}
+	var gridSpecs []runner.Spec
 	for _, w := range suite() {
-		row := IndirectRow{Name: w.Name}
-		st, err := p.runOne(w, GshareSpec(), false)
-		if err != nil {
-			return nil, fmt.Errorf("ablation indirect base %s: %w", w.Name, err)
+		for _, variant := range []string{"base", "btb"} {
+			gridSpecs = append(gridSpecs, runner.Spec{
+				Experiment: "abl-indirect", Workload: w.Name, Predictor: "gshare", Variant: variant,
+			})
 		}
-		row.BaseRatio = st.SpeculationRatio()
-
+	}
+	cells, err := p.runGrid(gridSpecs, func(_ context.Context, p Params, sp runner.Spec) (CellResult, error) {
+		w, err := workload.ByName(sp.Workload)
+		if err != nil {
+			return CellResult{}, err
+		}
+		if sp.Variant == "base" {
+			st, err := p.runOne(w, GshareSpec(), false)
+			if err != nil {
+				return CellResult{}, fmt.Errorf("ablation indirect base %s: %w", w.Name, err)
+			}
+			return CellResult{Stats: st}, nil
+		}
 		cfg := p.Pipeline
 		cfg.MaxCommitted = p.MaxCommitted
 		cfg.IndirectPrediction = true
 		sim := pipeline.New(cfg, w.Build(p.BuildIters), bpred.NewGshare(p.GshareBits))
 		p.progress("run %-9s with BTB/RAS", w.Name)
-		st, err = sim.Run()
+		st, err := sim.Run()
 		if err != nil {
-			return nil, fmt.Errorf("ablation indirect btb %s: %w", w.Name, err)
+			return CellResult{}, fmt.Errorf("ablation indirect btb %s: %w", w.Name, err)
 		}
+		return CellResult{Stats: st}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	res := &AblationIndirectResult{}
+	i := 0
+	for _, w := range suite() {
+		row := IndirectRow{Name: w.Name}
+		row.BaseRatio = cells[i].Stats.SpeculationRatio()
+		st := cells[i+1].Stats
 		row.BTBRatio = st.SpeculationRatio()
 		row.Returns = st.Returns
 		row.IndirectBr = st.IndirectBr
 		row.TargetMisp = st.TargetMisp
+		i += 2
 		res.Rows = append(res.Rows, row)
 	}
 	return res, nil

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strings"
@@ -10,7 +11,9 @@ import (
 	"specctrl/internal/eager"
 	"specctrl/internal/isa"
 	"specctrl/internal/metrics"
+	"specctrl/internal/runner"
 	"specctrl/internal/smt"
+	"specctrl/internal/workload"
 )
 
 // SMTRow is one thread-mix's policy comparison.
@@ -30,45 +33,79 @@ type SMTResult struct {
 	Rows []SMTRow
 }
 
-// SMTStudy runs three two-thread mixes under the three fetch policies.
+// smtPolicies lists the fetch policies in table order.
+var smtPolicies = []smt.Policy{smt.RoundRobin, smt.ICount, smt.ConfidenceGate}
+
+// SMTStudy runs three two-thread mixes under the three fetch policies,
+// one grid cell per (mix, policy). The cell spec's workload field names
+// the mix ("a+b"); the throughput travels in CellResult.Extra because an
+// SMT run has no single-thread Stats to return.
 func SMTStudy(p Params) (*SMTResult, error) {
 	mixes := [][2]string{
 		{"m88ksim", "go"},    // predictable + hostile
 		{"vortex", "gcc"},    // predictable + branchy
 		{"compress", "perl"}, // middle of the road
 	}
-	newPred := func() bpred.Predictor { return bpred.NewGshare(p.GshareBits) }
-	newEst := func() conf.Estimator { return conf.NewJRS(conf.DefaultJRS) }
-	res := &SMTResult{}
+	var gridSpecs []runner.Spec
 	for _, mix := range mixes {
-		var progs []*isa.Program
-		for _, name := range mix {
-			for _, w := range suite() {
-				if w.Name == name {
-					progs = append(progs, w.Build(p.BuildIters))
-				}
+		for _, policy := range smtPolicies {
+			gridSpecs = append(gridSpecs, runner.Spec{
+				Experiment: "smt", Workload: mix[0] + "+" + mix[1],
+				Predictor: "gshare", Variant: policy.String(),
+			})
+		}
+	}
+	cell := func(_ context.Context, p Params, sp runner.Spec) (CellResult, error) {
+		var policy smt.Policy
+		found := false
+		for _, pol := range smtPolicies {
+			if pol.String() == sp.Variant {
+				policy, found = pol, true
 			}
+		}
+		if !found {
+			return CellResult{}, fmt.Errorf("smt: unknown policy variant %q", sp.Variant)
+		}
+		var progs []*isa.Program
+		for _, name := range strings.Split(sp.Workload, "+") {
+			w, err := workload.ByName(name)
+			if err != nil {
+				return CellResult{}, fmt.Errorf("smt mix %s: %w", sp.Workload, err)
+			}
+			progs = append(progs, w.Build(p.BuildIters))
 		}
 		cfg := smt.Config{
 			CycleBudget: p.MaxCommitted / 4, // roughly IPC~2+ worth of work
 			Pipeline:    p.Pipeline,
+			Policy:      policy,
 		}
+		newPred := func() bpred.Predictor { return bpred.NewGshare(p.GshareBits) }
+		newEst := func() conf.Estimator { return conf.NewJRS(conf.DefaultJRS) }
+		p.progress("smt %s policy %s", sp.Workload, policy)
+		r, err := smt.Run(cfg, progs, newPred, newEst)
+		if err != nil {
+			return CellResult{}, fmt.Errorf("smt %s/%s: %w", sp.Workload, policy, err)
+		}
+		return CellResult{Extra: map[string]float64{"throughput": r.Throughput()}}, nil
+	}
+	cells, err := p.runGrid(gridSpecs, cell)
+	if err != nil {
+		return nil, err
+	}
+	res := &SMTResult{}
+	i := 0
+	for _, mix := range mixes {
 		row := SMTRow{Mix: mix[0] + "+" + mix[1]}
-		for _, policy := range []smt.Policy{smt.RoundRobin, smt.ICount, smt.ConfidenceGate} {
-			c := cfg
-			c.Policy = policy
-			p.progress("smt %s policy %s", row.Mix, policy)
-			r, err := smt.Run(c, progs, newPred, newEst)
-			if err != nil {
-				return nil, fmt.Errorf("smt %s/%s: %w", row.Mix, policy, err)
-			}
+		for _, policy := range smtPolicies {
+			tp := cells[i].Extra["throughput"]
+			i++
 			switch policy {
 			case smt.RoundRobin:
-				row.RoundRobin = r.Throughput()
+				row.RoundRobin = tp
 			case smt.ICount:
-				row.ICount = r.Throughput()
+				row.ICount = tp
 			default:
-				row.Confidence = r.Throughput()
+				row.Confidence = tp
 			}
 		}
 		if row.RoundRobin > 0 {
@@ -122,11 +159,12 @@ func EagerStudy(p Params) (*EagerResult, error) {
 	}
 	names := []string{"JRS t=15", "JRS t=7", "SatCnt", "Dist(>3)", "fork-always"}
 	sums := make([]metrics.Quadrant, len(names))
-	for _, w := range suite() {
-		st, err := p.runOne(w, GshareSpec(), false, mk()...)
-		if err != nil {
-			return nil, fmt.Errorf("eager %s: %w", w.Name, err)
-		}
+	stats, err := p.suiteStats("eager", GshareSpec(), "main",
+		func(_ Params, _ workload.Workload) ([]conf.Estimator, error) { return mk(), nil })
+	if err != nil {
+		return nil, err
+	}
+	for _, st := range stats {
 		for i := range names {
 			sums[i].Add(st.Confidence[i].CommittedQ)
 		}

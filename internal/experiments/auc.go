@@ -6,6 +6,7 @@ import (
 
 	"specctrl/internal/conf"
 	"specctrl/internal/metrics"
+	"specctrl/internal/workload"
 )
 
 // AUCRow is one estimator family's threshold-independent quality.
@@ -74,16 +75,19 @@ func AUCStudy(p Params) (*AUCResult, error) {
 		total += len(f.mk())
 	}
 	sums := make([]metrics.Quadrant, total)
-	for _, w := range suite() {
-		var ests []conf.Estimator
-		for _, f := range families {
-			ests = append(ests, f.mk()...)
-		}
-		st, err := p.runOne(w, GshareSpec(), false, ests...)
-		if err != nil {
-			return nil, fmt.Errorf("auc %s: %w", w.Name, err)
-		}
-		for i := range ests {
+	stats, err := p.suiteStats("auc", GshareSpec(), "main",
+		func(_ Params, _ workload.Workload) ([]conf.Estimator, error) {
+			var ests []conf.Estimator
+			for _, f := range families {
+				ests = append(ests, f.mk()...)
+			}
+			return ests, nil
+		})
+	if err != nil {
+		return nil, err
+	}
+	for _, st := range stats {
+		for i := range sums {
 			sums[i].Add(st.Confidence[i].CommittedQ)
 		}
 	}

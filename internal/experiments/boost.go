@@ -1,12 +1,15 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
 	"specctrl/internal/conf"
 	"specctrl/internal/metrics"
 	"specctrl/internal/pipeline"
+	"specctrl/internal/runner"
+	"specctrl/internal/workload"
 )
 
 // BoostRow reports the boosted PVN for one run depth k (§4.2): given k
@@ -80,17 +83,44 @@ func Boost(p Params, spec PredictorSpec, maxK int) (*BoostResult, error) {
 	if maxK < 1 || maxK > 8 {
 		return nil, fmt.Errorf("boost: k depth %d out of range", maxK)
 	}
+	// Each cell records its own event stream, folds it into per-k group
+	// counts, and drops the events before returning: the counts travel
+	// in CellResult.Extra, so a sharded dump stays small and the merge
+	// never re-reads the (multi-million-entry) event log.
+	cell := func(_ context.Context, p Params, sp runner.Spec) (CellResult, error) {
+		w, err := workload.ByName(sp.Workload)
+		if err != nil {
+			return CellResult{}, err
+		}
+		st, err := p.runOne(w, spec, true, SatCntFor(spec, conf.BothStrong))
+		if err != nil {
+			return CellResult{}, fmt.Errorf("boost %s/%s: %w", w.Name, spec.Name, err)
+		}
+		g := make([]uint64, maxK)
+		h := make([]uint64, maxK)
+		boostFromEvents(st.Events, maxK, g, h)
+		st.Events = nil
+		extra := make(map[string]float64, 2*maxK)
+		for k := 1; k <= maxK; k++ {
+			extra[fmt.Sprintf("groups_k%d", k)] = float64(g[k-1])
+			extra[fmt.Sprintf("hits_k%d", k)] = float64(h[k-1])
+		}
+		return CellResult{Stats: st, Extra: extra}, nil
+	}
+	cells, err := p.runGrid(suiteSpecs("boost", spec, fmt.Sprintf("satcnt-k%d", maxK)), cell)
+	if err != nil {
+		return nil, err
+	}
 	est := SatCntFor(spec, conf.BothStrong)
 	groups := make([]uint64, maxK)
 	hits := make([]uint64, maxK)
 	var baseQ []metrics.Quadrant
-	for _, w := range suite() {
-		st, err := p.runOne(w, spec, true, est)
-		if err != nil {
-			return nil, fmt.Errorf("boost %s/%s: %w", w.Name, spec.Name, err)
+	for _, c := range cells {
+		for k := 1; k <= maxK; k++ {
+			groups[k-1] += uint64(c.Extra[fmt.Sprintf("groups_k%d", k)])
+			hits[k-1] += uint64(c.Extra[fmt.Sprintf("hits_k%d", k)])
 		}
-		boostFromEvents(st.Events, maxK, groups, hits)
-		baseQ = append(baseQ, st.Confidence[0].CommittedQ)
+		baseQ = append(baseQ, c.Stats.Confidence[0].CommittedQ)
 	}
 	base := metrics.AggregateNormalized(baseQ).Compute().PVN
 	res := &BoostResult{Estimator: est.Name(), Predictor: spec.Name, BasePVN: base}

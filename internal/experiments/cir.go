@@ -6,6 +6,7 @@ import (
 
 	"specctrl/internal/conf"
 	"specctrl/internal/metrics"
+	"specctrl/internal/workload"
 )
 
 // CIRRow is one estimator's suite-mean metrics in the indexing-structure
@@ -44,11 +45,12 @@ func CIR(p Params) (*CIRResult, error) {
 	}
 	names := []string{"JRS(pc^hist)", "CIR(pc^hist)", "CIR(globalMDC)", "Distance(>7)"}
 	perEst := make([][]metrics.Quadrant, len(names))
-	for _, w := range suite() {
-		st, err := p.runOne(w, GshareSpec(), false, mk()...)
-		if err != nil {
-			return nil, fmt.Errorf("cir %s: %w", w.Name, err)
-		}
+	stats, err := p.suiteStats("cir", GshareSpec(), "main",
+		func(_ Params, _ workload.Workload) ([]conf.Estimator, error) { return mk(), nil })
+	if err != nil {
+		return nil, err
+	}
+	for _, st := range stats {
 		for i := range names {
 			perEst[i] = append(perEst[i], st.Confidence[i].CommittedQ)
 		}

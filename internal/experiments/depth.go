@@ -1,12 +1,15 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
 	"specctrl/internal/conf"
 	"specctrl/internal/metrics"
 	"specctrl/internal/pipeline"
+	"specctrl/internal/runner"
+	"specctrl/internal/workload"
 )
 
 // DepthRow is one resolve-depth configuration's suite means.
@@ -31,37 +34,72 @@ type AblationDepthResult struct {
 	Rows []DepthRow
 }
 
-// AblationDepth runs the suite at resolve depths 2..8.
+// depthSweep lists the resolve depths the ablation covers.
+var depthSweep = []int{2, 3, 5, 8}
+
+// depthCell simulates one (workload, predictor, depth) point. The depth
+// is carried in the spec variant ("d<depth>"); the gshare cells also run
+// the JRS estimator, the SAg cells run bare.
+func depthCell(_ context.Context, p Params, sp runner.Spec) (CellResult, error) {
+	w, err := workload.ByName(sp.Workload)
+	if err != nil {
+		return CellResult{}, err
+	}
+	var depth int
+	if _, err := fmt.Sscanf(sp.Variant, "d%d", &depth); err != nil {
+		return CellResult{}, fmt.Errorf("depth: bad variant %q: %w", sp.Variant, err)
+	}
+	cfg := p.Pipeline
+	cfg.ResolveDelay = depth
+	cfg.MaxCommitted = p.MaxCommitted
+	prog := w.Build(p.BuildIters)
+	p.progress("depth %d on %s (%s)", depth, w.Name, sp.Predictor)
+	var sim *pipeline.Sim
+	if sp.Predictor == SAgSpec().Name {
+		sim = pipeline.New(cfg, prog, SAgSpec().New(p))
+	} else {
+		sim = pipeline.New(cfg, prog, GshareSpec().New(p), conf.NewJRS(conf.DefaultJRS))
+	}
+	st, err := sim.Run()
+	if err != nil {
+		return CellResult{}, fmt.Errorf("depth %d %s %s: %w", depth, w.Name, sp.Predictor, err)
+	}
+	return CellResult{Stats: st}, nil
+}
+
+// AblationDepth runs the suite at resolve depths 2..8, one grid cell per
+// (depth, workload, predictor).
 func AblationDepth(p Params) (*AblationDepthResult, error) {
+	var gridSpecs []runner.Spec
+	for _, depth := range depthSweep {
+		for _, w := range suite() {
+			for _, pred := range []string{GshareSpec().Name, SAgSpec().Name} {
+				gridSpecs = append(gridSpecs, runner.Spec{
+					Experiment: "abl-depth", Workload: w.Name, Predictor: pred,
+					Variant: fmt.Sprintf("d%d", depth),
+				})
+			}
+		}
+	}
+	cells, err := p.runGrid(gridSpecs, depthCell)
+	if err != nil {
+		return nil, err
+	}
 	res := &AblationDepthResult{}
-	for _, depth := range []int{2, 3, 5, 8} {
+	i := 0
+	for _, depth := range depthSweep {
 		var committed, wrongPath uint64
 		var gMispSum, sMispSum, ipcSum float64
 		var jrsQ []metrics.Quadrant
-		for _, w := range suite() {
-			cfg := p.Pipeline
-			cfg.ResolveDelay = depth
-			cfg.MaxCommitted = p.MaxCommitted
-			prog := w.Build(p.BuildIters)
-			p.progress("depth %d on %s", depth, w.Name)
-
-			sim := pipeline.New(cfg, prog, GshareSpec().New(p), conf.NewJRS(conf.DefaultJRS))
-			st, err := sim.Run()
-			if err != nil {
-				return nil, fmt.Errorf("depth %d %s: %w", depth, w.Name, err)
-			}
+		for range suite() {
+			st := cells[i].Stats
 			committed += st.Committed
 			wrongPath += st.WrongPath
 			gMispSum += st.MispredictRate()
 			ipcSum += st.IPC()
 			jrsQ = append(jrsQ, st.Confidence[0].CommittedQ)
-
-			sag := pipeline.New(cfg, prog, SAgSpec().New(p))
-			sst, err := sag.Run()
-			if err != nil {
-				return nil, fmt.Errorf("depth %d %s sag: %w", depth, w.Name, err)
-			}
-			sMispSum += sst.MispredictRate()
+			sMispSum += cells[i+1].Stats.MispredictRate()
+			i += 2
 		}
 		n := float64(len(suite()))
 		jrs := metrics.AggregateNormalized(jrsQ).Compute()

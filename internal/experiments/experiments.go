@@ -1,8 +1,39 @@
 // Package experiments reproduces every table and figure in the paper's
 // evaluation. Each experiment has a driver returning structured results
 // plus a Render method producing a paper-style text table; cmd/simctrl
-// exposes them on the command line and bench_test.go regenerates them as
-// Go benchmarks.
+// exposes them on the command line (with -jobs N parallel execution and
+// -shard i/n cross-machine splitting) and bench_test.go regenerates
+// them as Go benchmarks.
+//
+// # Grid execution model
+//
+// Every simulation-backed experiment is a grid of independent cells —
+// one per workload × predictor × estimator-config combination. A driver
+// has three parts:
+//
+//  1. a spec list ([]runner.Spec) enumerating the cells in the fixed
+//     order the old serial loops used;
+//  2. a CellFunc that simulates exactly one cell, constructing all of
+//     its own state (pipeline, predictor, estimators, workload program)
+//     and taking any randomness from spec.Seed;
+//  3. an assemble step that folds the returned []CellResult — which
+//     runGrid keeps positionally aligned with the spec list — into the
+//     experiment's result struct.
+//
+// Because cells share no mutable state and assembly iterates in spec
+// order, rendered output is byte-identical at Jobs: 1 and Jobs: N (see
+// the runner package for the full contract, and docs/REGENERATING.md
+// for the regeneration workflow).
+//
+// # Adding a new experiment
+//
+// Write the driver as specs + cell + assemble (use suiteStats for the
+// one-run-per-benchmark shape), give each cell a stable spec key
+// ("experiment/workload/predictor/variant"), register the driver in
+// cmd/simctrl, and add a benchmark in bench_test.go. Never fold
+// per-cell results into shared accumulators inside the cell — return
+// them in CellResult (Stats, or Extra for derived scalars) and
+// accumulate during assembly.
 //
 // Experiment index (see DESIGN.md for the full mapping):
 //
@@ -19,6 +50,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
@@ -27,6 +59,7 @@ import (
 	"specctrl/internal/obs"
 	"specctrl/internal/pipeline"
 	"specctrl/internal/profile"
+	"specctrl/internal/runner"
 	"specctrl/internal/workload"
 )
 
@@ -55,6 +88,28 @@ type Params struct {
 	// Run, when non-nil, is updated with the current run's identity
 	// and live counters for heartbeat printing.
 	Run *obs.Progress
+
+	// Ctx, when non-nil, cancels in-flight experiment grids at the
+	// next cell boundary (completed cells keep their results).
+	Ctx context.Context
+	// Jobs is the grid worker-pool width; values <= 1 run serially.
+	// Output is byte-identical for every value of Jobs.
+	Jobs int
+	// BaseSeed roots each cell's derived RNG stream (see
+	// runner.DeriveSeed); zero selects runner.DefaultBaseSeed, which
+	// all published results use.
+	BaseSeed uint64
+	// Shard restricts grid execution to every Count-th cell for
+	// cross-machine sweeps; drivers then return ErrShardOnly after
+	// recording their cells into Record.
+	Shard runner.Shard
+	// Cells, when non-nil, supplies precomputed cell results by spec
+	// key (the merge path for sharded sweeps): matching cells are
+	// reused instead of simulated.
+	Cells map[string]CellResult
+	// Record, when non-nil, receives every computed or reused cell
+	// result, for dumping with -cells-out.
+	Record *CellStore
 }
 
 // DefaultParams returns the paper's configuration at a laptop-scale run

@@ -7,6 +7,7 @@ import (
 	"specctrl/internal/conf"
 	"specctrl/internal/metrics"
 	"specctrl/internal/plot"
+	"specctrl/internal/workload"
 )
 
 // SweepPoint is one JRS configuration's suite-mean metrics.
@@ -25,20 +26,24 @@ type Fig3Result struct {
 	Enhanced []SweepPoint
 }
 
-// jrsSweep runs the suite once per workload on the given predictor with
+// jrsSweep runs one grid cell per workload on the given predictor with
 // one JRS estimator per (entries, threshold, enhanced) configuration and
-// returns suite-normalized metrics per configuration.
-func jrsSweep(p Params, spec PredictorSpec, configs []conf.JRSConfig) ([]SweepPoint, error) {
+// returns suite-normalized metrics per configuration. exp names the
+// experiment in the cells' spec keys.
+func jrsSweep(p Params, exp string, spec PredictorSpec, configs []conf.JRSConfig) ([]SweepPoint, error) {
 	perCfg := make([][]metrics.Quadrant, len(configs))
-	for _, w := range suite() {
-		ests := make([]conf.Estimator, len(configs))
-		for i, c := range configs {
-			ests[i] = conf.NewJRS(c)
-		}
-		st, err := p.runOne(w, spec, false, ests...)
-		if err != nil {
-			return nil, fmt.Errorf("jrs sweep %s/%s: %w", w.Name, spec.Name, err)
-		}
+	stats, err := p.suiteStats(exp, spec, "sweep",
+		func(_ Params, _ workload.Workload) ([]conf.Estimator, error) {
+			ests := make([]conf.Estimator, len(configs))
+			for i, c := range configs {
+				ests[i] = conf.NewJRS(c)
+			}
+			return ests, nil
+		})
+	if err != nil {
+		return nil, err
+	}
+	for _, st := range stats {
 		for i := range configs {
 			perCfg[i] = append(perCfg[i], st.Confidence[i].CommittedQ)
 		}
@@ -74,7 +79,7 @@ func Fig3(p Params) (*Fig3Result, error) {
 			configs = append(configs, conf.JRSConfig{Entries: 4096, Bits: 4, Threshold: t, Enhanced: enh})
 		}
 	}
-	pts, err := jrsSweep(p, GshareSpec(), configs)
+	pts, err := jrsSweep(p, "fig3", GshareSpec(), configs)
 	if err != nil {
 		return nil, err
 	}
@@ -141,7 +146,7 @@ func Fig45(p Params, spec PredictorSpec) (*Fig45Result, error) {
 			configs = append(configs, conf.JRSConfig{Entries: n, Bits: 4, Threshold: t, Enhanced: true})
 		}
 	}
-	pts, err := jrsSweep(p, spec, configs)
+	pts, err := jrsSweep(p, "fig45", spec, configs)
 	if err != nil {
 		return nil, err
 	}

@@ -4,8 +4,10 @@ import (
 	"fmt"
 	"strings"
 
+	"specctrl/internal/conf"
 	"specctrl/internal/pipeline"
 	"specctrl/internal/plot"
+	"specctrl/internal/workload"
 )
 
 // DistanceView selects which of the four misprediction-distance
@@ -71,13 +73,18 @@ func curveFrom(view DistanceView, h *pipeline.DistanceHist, avg float64) Distanc
 // distance histograms. perceived selects the resolution-time reset model
 // (Figures 8/9) instead of the oracle fetch-time model (Figures 6/7).
 func FigDistance(p Params, spec PredictorSpec, perceived bool) (*FigDistanceResult, error) {
+	// The same simulation feeds both reset models (precise and
+	// perceived histograms are collected together), so the cells are
+	// keyed "figdist" without a perceived marker: a merged cell dump
+	// renders Figures 6-9 from one suite of runs per predictor.
+	stats, err := p.suiteStats("figdist", spec, "main",
+		func(_ Params, _ workload.Workload) ([]conf.Estimator, error) { return nil, nil })
+	if err != nil {
+		return nil, err
+	}
 	var all, committed pipeline.DistanceHist
 	var allBr, allMisp, commBr, commMisp uint64
-	for _, w := range suite() {
-		st, err := p.runOne(w, spec, false)
-		if err != nil {
-			return nil, fmt.Errorf("fig distance %s/%s: %w", w.Name, spec.Name, err)
-		}
+	for _, st := range stats {
 		var srcAll, srcComm *pipeline.DistanceHist
 		if perceived {
 			srcAll, srcComm = &st.PerceivedAll, &st.PerceivedCommitted

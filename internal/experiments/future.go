@@ -8,6 +8,7 @@ import (
 	"specctrl/internal/metrics"
 	"specctrl/internal/pipeline"
 	"specctrl/internal/profile"
+	"specctrl/internal/workload"
 )
 
 // JRSMcfRow is one estimator's suite-mean metrics in the §5 future-work
@@ -44,11 +45,12 @@ func JRSMcf(p Params) (*JRSMcfResult, error) {
 		"JRS t=7", "JRSmcf-both t=7", "JRSmcf-meta t=7",
 	}
 	perEst := make([][]metrics.Quadrant, len(names))
-	for _, w := range suite() {
-		st, err := p.runOne(w, McFarlingSpec(), false, mk()...)
-		if err != nil {
-			return nil, fmt.Errorf("jrsmcf %s: %w", w.Name, err)
-		}
+	stats, err := p.suiteStats("jrsmcf", McFarlingSpec(), "main",
+		func(_ Params, _ workload.Workload) ([]conf.Estimator, error) { return mk(), nil })
+	if err != nil {
+		return nil, err
+	}
+	for _, st := range stats {
 		for i := range names {
 			perEst[i] = append(perEst[i], st.Confidence[i].CommittedQ)
 		}
@@ -119,30 +121,33 @@ func Tuned(p Params) (*TunedResult, error) {
 		{profile.GoalPVN, "PVN", 0.40},
 	}
 	perCfg := make([][]metrics.Quadrant, len(grid))
-	for _, w := range suite() {
-		// Profile pass.
-		cfg := p.Pipeline
-		cfg.MaxCommitted = p.MaxCommitted
-		cfg.CollectSiteStats = true
-		p.progress("profile %-9s for tuning", w.Name)
-		train := pipeline.New(cfg, w.Build(p.BuildIters), GshareSpec().New(p))
-		tst, err := train.Run()
-		if err != nil {
-			return nil, fmt.Errorf("tuned profile %s: %w", w.Name, err)
-		}
-		// Build one estimator per grid point and evaluate together.
-		ests := make([]conf.Estimator, len(grid))
-		for i, g := range grid {
-			est, err := profile.Tune(tst.Sites, g.goal, g.target)
+	stats, err := p.suiteStats("tuned", GshareSpec(), "main",
+		func(p Params, w workload.Workload) ([]conf.Estimator, error) {
+			// Profile pass, inside the cell: the site stats never leave it.
+			cfg := p.Pipeline
+			cfg.MaxCommitted = p.MaxCommitted
+			cfg.CollectSiteStats = true
+			p.progress("profile %-9s for tuning", w.Name)
+			train := pipeline.New(cfg, w.Build(p.BuildIters), GshareSpec().New(p))
+			tst, err := train.Run()
 			if err != nil {
-				return nil, fmt.Errorf("tuned %s %s %.2f: %w", w.Name, g.name, g.target, err)
+				return nil, fmt.Errorf("tuned profile %s: %w", w.Name, err)
 			}
-			ests[i] = est
-		}
-		st, err := p.runOne(w, GshareSpec(), false, ests...)
-		if err != nil {
-			return nil, fmt.Errorf("tuned eval %s: %w", w.Name, err)
-		}
+			// Build one estimator per grid point and evaluate together.
+			ests := make([]conf.Estimator, len(grid))
+			for i, g := range grid {
+				est, err := profile.Tune(tst.Sites, g.goal, g.target)
+				if err != nil {
+					return nil, fmt.Errorf("tuned %s %s %.2f: %w", w.Name, g.name, g.target, err)
+				}
+				ests[i] = est
+			}
+			return ests, nil
+		})
+	if err != nil {
+		return nil, err
+	}
+	for _, st := range stats {
 		for i := range grid {
 			perCfg[i] = append(perCfg[i], st.Confidence[i].CommittedQ)
 		}

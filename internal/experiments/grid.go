@@ -1,0 +1,202 @@
+package experiments
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"sync"
+
+	"specctrl/internal/conf"
+	"specctrl/internal/pipeline"
+	"specctrl/internal/runner"
+	"specctrl/internal/workload"
+)
+
+// CellResult is the serializable output of one grid cell: the pipeline
+// statistics of the cell's simulation plus any experiment-specific
+// scalars that are computed from per-run state too large or too
+// transient to ship (for example boost's per-k group counts, which are
+// derived from the event log and recorded here so the log itself never
+// leaves the cell).
+//
+// CellResult must round-trip exactly through JSON — uint64 and float64
+// do in Go — because sharded sweeps dump cells to disk and re-assemble
+// them on another machine; assembly from decoded cells must be
+// byte-identical to assembly from in-memory ones.
+type CellResult struct {
+	Stats *pipeline.Stats    `json:"stats,omitempty"`
+	Extra map[string]float64 `json:"extra,omitempty"`
+}
+
+// CellFunc is an experiment's per-cell body. It must follow the
+// isolation rules in the runner package comment: build every pipeline,
+// predictor, estimator and workload program inside the cell, take
+// randomness only from spec.Seed, and never read other cells' output.
+type CellFunc func(ctx context.Context, p Params, spec runner.Spec) (CellResult, error)
+
+// ErrShardOnly is returned by experiment drivers when Params.Shard is
+// active: this machine computed and recorded its shard of the grid, but
+// the full grid is not present, so there is no assembled result to
+// render. Merge the shards' recorded cells (simctrl -cells-in) to get
+// the rendered tables.
+var ErrShardOnly = errors.New("experiments: shard run recorded its cells; merge shards to assemble results")
+
+// CellStore accumulates computed cell results keyed by spec key. It is
+// safe for concurrent use by runner workers.
+type CellStore struct {
+	mu sync.Mutex
+	m  map[string]CellResult
+}
+
+// NewCellStore returns an empty store.
+func NewCellStore() *CellStore { return &CellStore{m: make(map[string]CellResult)} }
+
+// Put records one cell result.
+func (s *CellStore) Put(key string, c CellResult) {
+	s.mu.Lock()
+	s.m[key] = c
+	s.mu.Unlock()
+}
+
+// Len reports the number of recorded cells.
+func (s *CellStore) Len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.m)
+}
+
+// cellFile is the on-disk format for sharded cell dumps.
+type cellFile struct {
+	Version int                   `json:"version"`
+	Cells   map[string]CellResult `json:"cells"`
+}
+
+// MarshalJSON encodes the store as a versioned cell file. Map keys are
+// sorted by encoding/json, so the dump is deterministic.
+func (s *CellStore) MarshalJSON() ([]byte, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return json.Marshal(cellFile{Version: 1, Cells: s.m})
+}
+
+// UnmarshalCells decodes a cell file produced by CellStore.MarshalJSON.
+func UnmarshalCells(data []byte) (map[string]CellResult, error) {
+	var f cellFile
+	if err := json.Unmarshal(data, &f); err != nil {
+		return nil, fmt.Errorf("experiments: bad cell file: %w", err)
+	}
+	if f.Version != 1 {
+		return nil, fmt.Errorf("experiments: unsupported cell-file version %d", f.Version)
+	}
+	return f.Cells, nil
+}
+
+// runGrid executes one experiment grid: every spec becomes one cell
+// execution on the worker pool (Params.Jobs wide), and the returned
+// slice is positionally aligned with specs so assembly iterates in the
+// same order the old serial loops used — that alignment, plus cell
+// isolation, is the determinism guarantee.
+//
+// Cells whose key is present in Params.Cells are taken from there
+// instead of being simulated (the cross-machine merge path). All
+// computed or reused cells are recorded into Params.Record when set.
+// When Params.Shard is active the grid returns ErrShardOnly after
+// recording this shard's cells.
+func (p Params) runGrid(specs []runner.Spec, cell CellFunc) ([]CellResult, error) {
+	ctx := p.Ctx
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	wrapped := func(ctx context.Context, sp runner.Spec) (any, error) {
+		key := sp.Key()
+		c, ok := p.Cells[key]
+		if !ok {
+			var err error
+			c, err = cell(ctx, p, sp)
+			if err != nil {
+				return nil, err
+			}
+		}
+		if p.Record != nil {
+			p.Record.Put(key, c)
+		}
+		return c, nil
+	}
+	r := runner.New(runner.Options{
+		Jobs:     p.Jobs,
+		BaseSeed: p.BaseSeed,
+		Shard:    p.Shard,
+		Obs:      p.Obs,
+	})
+	results, err := r.Run(ctx, specs, wrapped)
+	if err != nil {
+		return nil, err
+	}
+	if p.Shard.Active() {
+		return nil, ErrShardOnly
+	}
+	out := make([]CellResult, len(results))
+	for i := range results {
+		out[i] = results[i].Value.(CellResult)
+	}
+	return out, nil
+}
+
+// predictorByName resolves one of the paper's standard predictor
+// configurations by spec name.
+func predictorByName(name string) (PredictorSpec, error) {
+	for _, s := range AllPredictors() {
+		if s.Name == name {
+			return s, nil
+		}
+	}
+	return PredictorSpec{}, fmt.Errorf("experiments: unknown predictor %q", name)
+}
+
+// suiteSpecs returns one spec per suite benchmark, in suite order.
+func suiteSpecs(experiment string, spec PredictorSpec, variant string) []runner.Spec {
+	ws := suite()
+	specs := make([]runner.Spec, len(ws))
+	for i, w := range ws {
+		specs[i] = runner.Spec{
+			Experiment: experiment,
+			Workload:   w.Name,
+			Predictor:  spec.Name,
+			Variant:    variant,
+		}
+	}
+	return specs
+}
+
+// suiteStats runs the most common grid shape — one simulation per suite
+// benchmark on one predictor — and returns the statistics in suite
+// order. ests builds the cell's estimator list (fresh instances; it may
+// run a profiling pass, e.g. for the static estimator).
+func (p Params) suiteStats(experiment string, spec PredictorSpec, variant string,
+	ests func(p Params, w workload.Workload) ([]conf.Estimator, error)) ([]*pipeline.Stats, error) {
+	cells, err := p.runGrid(suiteSpecs(experiment, spec, variant),
+		func(_ context.Context, p Params, sp runner.Spec) (CellResult, error) {
+			w, err := workload.ByName(sp.Workload)
+			if err != nil {
+				return CellResult{}, err
+			}
+			es, err := ests(p, w)
+			if err != nil {
+				return CellResult{}, err
+			}
+			st, err := p.runOne(w, spec, false, es...)
+			if err != nil {
+				return CellResult{}, err
+			}
+			return CellResult{Stats: st}, nil
+		})
+	if err != nil {
+		return nil, err
+	}
+	stats := make([]*pipeline.Stats, len(cells))
+	for i := range cells {
+		stats[i] = cells[i].Stats
+	}
+	return stats, nil
+}

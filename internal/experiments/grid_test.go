@@ -1,0 +1,162 @@
+package experiments
+
+import (
+	"context"
+	"errors"
+	"reflect"
+	"runtime"
+	"testing"
+	"time"
+)
+
+// smallParams is a heavily reduced scale for grid-mechanics tests that
+// run the same experiment several times.
+func smallParams() Params {
+	p := TestParams()
+	p.MaxCommitted = 40_000
+	return p
+}
+
+// TestGridDeterminism is the tentpole guarantee: the same experiment
+// rendered at Jobs: 1 and Jobs: 8 must be byte-identical, because cells
+// are isolated and assembly is positional.
+func TestGridDeterminism(t *testing.T) {
+	serial := smallParams()
+	serial.Jobs = 1
+	wide := smallParams()
+	wide.Jobs = 8
+
+	r1, err := Table2(serial)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r8, err := Table2(wide)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(r1, r8) {
+		t.Fatal("Table2 results differ between Jobs=1 and Jobs=8")
+	}
+	if r1.Render() != r8.Render() {
+		t.Fatal("Table2 rendered output differs between Jobs=1 and Jobs=8")
+	}
+}
+
+// TestGridCancellation cancels an experiment mid-grid via Params.Ctx and
+// checks that the error surfaces as context.Canceled and that the
+// runner's workers exit (no goroutine leak).
+func TestGridCancellation(t *testing.T) {
+	before := runtime.NumGoroutine()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	p := smallParams()
+	p.Ctx = ctx
+	p.Jobs = 4
+	cells := 0
+	p.Progress = func(string) {
+		cells++
+		if cells == 2 {
+			cancel()
+		}
+	}
+	_, err := Table2(p)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("got %v, want context.Canceled", err)
+	}
+
+	// Workers stop at the next cell boundary; give them a moment.
+	for i := 0; i < 100; i++ {
+		if runtime.NumGoroutine() <= before {
+			return
+		}
+		time.Sleep(time.Millisecond)
+	}
+	t.Fatalf("goroutines leaked: %d before cancel, %d after", before, runtime.NumGoroutine())
+}
+
+// TestCellsRoundTrip dumps a grid's cells to JSON, reloads them, and
+// re-renders purely from the preloaded cells: the reuse path must be
+// byte-identical to direct simulation, and must not simulate at all.
+func TestCellsRoundTrip(t *testing.T) {
+	rec := smallParams()
+	rec.Record = NewCellStore()
+	direct, err := Table3(rec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.Record.Len() == 0 {
+		t.Fatal("no cells recorded")
+	}
+
+	data, err := rec.Record.MarshalJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cells, err := UnmarshalCells(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cells) != rec.Record.Len() {
+		t.Fatalf("round-trip lost cells: %d != %d", len(cells), rec.Record.Len())
+	}
+
+	replay := smallParams()
+	replay.Cells = cells
+	replay.Progress = func(msg string) { t.Fatalf("simulated despite preloaded cells: %s", msg) }
+	reloaded, err := Table3(replay)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if direct.Render() != reloaded.Render() {
+		t.Fatal("render from reloaded cells differs from direct simulation")
+	}
+}
+
+// TestShardRun checks that a sharded run returns ErrShardOnly, records
+// only its own cells, and that merging all shards reproduces the full
+// grid.
+func TestShardRun(t *testing.T) {
+	merged := map[string]CellResult{}
+	total := 0
+	for i := 0; i < 3; i++ {
+		p := smallParams()
+		p.Shard.Index, p.Shard.Count = i, 3
+		p.Record = NewCellStore()
+		_, err := Table3(p)
+		if !errors.Is(err, ErrShardOnly) {
+			t.Fatalf("shard %d: got %v, want ErrShardOnly", i, err)
+		}
+		data, err := p.Record.MarshalJSON()
+		if err != nil {
+			t.Fatal(err)
+		}
+		cells, err := UnmarshalCells(data)
+		if err != nil {
+			t.Fatal(err)
+		}
+		total += len(cells)
+		for k, c := range cells {
+			if _, dup := merged[k]; dup {
+				t.Fatalf("cell %s computed by two shards", k)
+			}
+			merged[k] = c
+		}
+	}
+	full := smallParams()
+	full.Cells = merged
+	direct := smallParams()
+	want, err := Table3(direct)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Table3(full)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if total != len(suite()) {
+		t.Fatalf("shards produced %d cells, want %d", total, len(suite()))
+	}
+	if want.Render() != got.Render() {
+		t.Fatal("merged shard render differs from direct run")
+	}
+}

@@ -6,6 +6,7 @@ import (
 
 	"specctrl/internal/conf"
 	"specctrl/internal/metrics"
+	"specctrl/internal/workload"
 )
 
 // MetricsCmpRow carries one estimator's paper metrics alongside the
@@ -42,11 +43,12 @@ func MetricsCmp(p Params) (*MetricsCmpResult, error) {
 	names := []string{"JRS t=1", "JRS t=7", "JRS t=15", "SatCnt"}
 	perEst := make([]metrics.Quadrant, len(names))
 	perApp := make([][]metrics.Quadrant, len(names))
-	for _, w := range suite() {
-		st, err := p.runOne(w, GshareSpec(), false, mk()...)
-		if err != nil {
-			return nil, fmt.Errorf("metricscmp %s: %w", w.Name, err)
-		}
+	stats, err := p.suiteStats("metrics", GshareSpec(), "main",
+		func(_ Params, _ workload.Workload) ([]conf.Estimator, error) { return mk(), nil })
+	if err != nil {
+		return nil, err
+	}
+	for _, st := range stats {
 		for i := range names {
 			perEst[i].Add(st.Confidence[i].CommittedQ)
 			perApp[i] = append(perApp[i], st.Confidence[i].CommittedQ)

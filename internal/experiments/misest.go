@@ -1,11 +1,14 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
 	"specctrl/internal/conf"
 	"specctrl/internal/pipeline"
+	"specctrl/internal/runner"
+	"specctrl/internal/workload"
 )
 
 // MisestRow is one (estimator, predictor) mis-estimation clustering
@@ -29,34 +32,66 @@ type MisestResult struct {
 	MaxDist int
 }
 
+// misestCell simulates one (workload, predictor, estimator) cell; the
+// spec variant selects the estimator under test.
+func misestCell(_ context.Context, p Params, sp runner.Spec) (CellResult, error) {
+	w, err := workload.ByName(sp.Workload)
+	if err != nil {
+		return CellResult{}, err
+	}
+	spec, err := predictorByName(sp.Predictor)
+	if err != nil {
+		return CellResult{}, err
+	}
+	var est conf.Estimator
+	switch sp.Variant {
+	case "jrs":
+		est = conf.NewJRS(conf.DefaultJRS)
+	case "satcnt":
+		est = SatCntFor(spec, conf.BothStrong)
+	default:
+		return CellResult{}, fmt.Errorf("misest: unknown variant %q", sp.Variant)
+	}
+	st, err := p.runOne(w, spec, false, est)
+	if err != nil {
+		return CellResult{}, fmt.Errorf("misest %s/%s: %w", w.Name, spec.Name, err)
+	}
+	return CellResult{Stats: st}, nil
+}
+
 // Misest measures confidence mis-estimation clustering over the suite.
 func Misest(p Params) (*MisestResult, error) {
 	const maxDist = 16
 	type cfgT struct {
-		spec PredictorSpec
-		mk   func(spec PredictorSpec) conf.Estimator
-		name string
+		spec    PredictorSpec
+		variant string
+		name    string
 	}
 	cfgs := []cfgT{
-		{GshareSpec(), func(s PredictorSpec) conf.Estimator {
-			return conf.NewJRS(conf.DefaultJRS)
-		}, "JRS"},
-		{McFarlingSpec(), func(s PredictorSpec) conf.Estimator {
-			return conf.NewJRS(conf.DefaultJRS)
-		}, "JRS"},
-		{McFarlingSpec(), func(s PredictorSpec) conf.Estimator {
-			return SatCntFor(s, conf.BothStrong)
-		}, "SatCnt"},
+		{GshareSpec(), "jrs", "JRS"},
+		{McFarlingSpec(), "jrs", "JRS"},
+		{McFarlingSpec(), "satcnt", "SatCnt"},
+	}
+	var gridSpecs []runner.Spec
+	for _, c := range cfgs {
+		for _, w := range suite() {
+			gridSpecs = append(gridSpecs, runner.Spec{
+				Experiment: "misest", Workload: w.Name, Predictor: c.spec.Name, Variant: c.variant,
+			})
+		}
+	}
+	cells, err := p.runGrid(gridSpecs, misestCell)
+	if err != nil {
+		return nil, err
 	}
 	res := &MisestResult{MaxDist: maxDist}
+	i := 0
 	for _, c := range cfgs {
 		var hist pipeline.DistanceHist
 		var total, mis uint64
-		for _, w := range suite() {
-			st, err := p.runOne(w, c.spec, false, c.mk(c.spec))
-			if err != nil {
-				return nil, fmt.Errorf("misest %s/%s: %w", w.Name, c.spec.Name, err)
-			}
+		for range suite() {
+			st := cells[i].Stats
+			i++
 			h := &st.Confidence[0].MisestCommitted
 			for d := 0; d < pipeline.DistanceBuckets; d++ {
 				hist.Total[d] += h.Total[d]

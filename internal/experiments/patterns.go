@@ -1,10 +1,13 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
 	"specctrl/internal/conf"
+	"specctrl/internal/runner"
+	"specctrl/internal/workload"
 )
 
 // PatternsRow summarizes one predictor's history-pattern distribution
@@ -33,28 +36,63 @@ type PatternsResult struct {
 	Rows []PatternsRow
 }
 
+// patternsCell simulates one (workload, predictor) cell: a fresh
+// pattern profiler plus the fixed Lick confident-pattern estimator.
+// The profiler's dominance numbers are derived per-run state, so they
+// travel in CellResult.Extra rather than in Stats.
+func patternsCell(_ context.Context, p Params, sp runner.Spec) (CellResult, error) {
+	w, err := workload.ByName(sp.Workload)
+	if err != nil {
+		return CellResult{}, err
+	}
+	spec, err := predictorByName(sp.Predictor)
+	if err != nil {
+		return CellResult{}, err
+	}
+	bits := spec.HistBits(p)
+	prof := NewPatternCollector(bits)
+	st, err := p.runOne(w, spec, false, prof.Profiler, conf.NewPatternHistory(bits))
+	if err != nil {
+		return CellResult{}, fmt.Errorf("patterns %s/%s: %w", w.Name, spec.Name, err)
+	}
+	cov, acc := prof.Profiler.Dominance(8)
+	return CellResult{Stats: st, Extra: map[string]float64{
+		"patterns":  float64(prof.Profiler.Patterns()),
+		"coverage8": cov,
+		"accuracy8": acc,
+	}}, nil
+}
+
 // Patterns profiles history-pattern dominance under gshare and SAg.
 func Patterns(p Params) (*PatternsResult, error) {
+	preds := []PredictorSpec{GshareSpec(), SAgSpec()}
+	var gridSpecs []runner.Spec
+	for _, spec := range preds {
+		for _, w := range suite() {
+			gridSpecs = append(gridSpecs, runner.Spec{
+				Experiment: "patterns", Workload: w.Name, Predictor: spec.Name, Variant: "main",
+			})
+		}
+	}
+	cells, err := p.runGrid(gridSpecs, patternsCell)
+	if err != nil {
+		return nil, err
+	}
 	res := &PatternsResult{}
-	for _, spec := range []PredictorSpec{GshareSpec(), SAgSpec()} {
-		bits := spec.HistBits(p)
+	i := 0
+	for _, spec := range preds {
 		var row PatternsRow
 		row.Predictor = spec.Name
-		lick := conf.NewPatternHistory(bits)
 		n := 0.0
-		for _, w := range suite() {
-			prof := NewPatternCollector(bits)
-			st, err := p.runOne(w, spec, false, prof.Profiler, lick)
-			if err != nil {
-				return nil, fmt.Errorf("patterns %s/%s: %w", w.Name, spec.Name, err)
-			}
-			cov, acc := prof.Profiler.Dominance(8)
-			row.Distinct += float64(prof.Profiler.Patterns())
-			row.Coverage8 += cov
-			row.Accuracy8 += acc
+		for range suite() {
+			c := cells[i]
+			i++
+			row.Distinct += c.Extra["patterns"]
+			row.Coverage8 += c.Extra["coverage8"]
+			row.Accuracy8 += c.Extra["accuracy8"]
 			// Lick set coverage/accuracy from the estimator quadrant:
 			// coverage = fraction marked HC; accuracy over that set = PVP.
-			q := st.Confidence[1].CommittedQ
+			q := c.Stats.Confidence[1].CommittedQ
 			row.LickCoverage += float64(q.Chc+q.Ihc) / float64(q.Total())
 			row.LickAccuracy += q.PVP()
 			n++

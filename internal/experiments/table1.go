@@ -1,8 +1,12 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"strings"
+
+	"specctrl/internal/runner"
+	"specctrl/internal/workload"
 )
 
 // Table1Row holds one benchmark's characteristics (paper Table 1):
@@ -27,18 +31,45 @@ type Table1Result struct {
 	Rows []Table1Row
 }
 
-// Table1 measures program characteristics for the whole suite: one run
-// per (workload, predictor); the gshare run also supplies the
+// Table1 measures program characteristics for the whole suite: one grid
+// cell per (workload, predictor); the gshare cell also supplies the
 // speculative-execution ratios.
 func Table1(p Params) (*Table1Result, error) {
+	preds := AllPredictors()
+	var specs []runner.Spec
+	for _, w := range suite() {
+		for _, spec := range preds {
+			specs = append(specs, runner.Spec{
+				Experiment: "table1", Workload: w.Name, Predictor: spec.Name, Variant: "main",
+			})
+		}
+	}
+	cells, err := p.runGrid(specs, func(_ context.Context, p Params, sp runner.Spec) (CellResult, error) {
+		w, err := workload.ByName(sp.Workload)
+		if err != nil {
+			return CellResult{}, err
+		}
+		spec, err := predictorByName(sp.Predictor)
+		if err != nil {
+			return CellResult{}, err
+		}
+		st, err := p.runOne(w, spec, false)
+		if err != nil {
+			return CellResult{}, fmt.Errorf("table1 %s: %w", sp.Key(), err)
+		}
+		return CellResult{Stats: st}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
 	res := &Table1Result{}
+	i := 0
 	for _, w := range suite() {
 		row := Table1Row{Name: w.Name}
-		for _, spec := range AllPredictors() {
-			st, err := p.runOne(w, spec, false)
-			if err != nil {
-				return nil, fmt.Errorf("table1 %s/%s: %w", w.Name, spec.Name, err)
-			}
+		for _, spec := range preds {
+			st := cells[i].Stats
+			i++
 			switch spec.Name {
 			case "gshare":
 				row.MispGshare = st.MispredictRate()

@@ -1,11 +1,22 @@
+// Table 2 of the paper: four confidence estimators × three branch
+// predictors, reported as suite means over the committed-branch
+// quadrants. The grid is one cell per (workload, predictor) — each cell
+// runs one profiling pass (for the static estimator) plus one
+// simulation evaluating all four estimators — executed in parallel
+// under -jobs N and assembled in fixed suite order, so the rendered
+// table is identical at any job count.
+
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
 	"specctrl/internal/conf"
 	"specctrl/internal/metrics"
+	"specctrl/internal/runner"
+	"specctrl/internal/workload"
 )
 
 // Table2Cell is one (estimator, predictor) suite-mean measurement.
@@ -42,6 +53,29 @@ func table2Estimators(p Params, spec PredictorSpec) []conf.Estimator {
 	}
 }
 
+// table2Cell simulates one (workload, predictor) cell: a profiling pass
+// for the static estimator, then one run evaluating all four estimators.
+func table2Cell(_ context.Context, p Params, sp runner.Spec) (CellResult, error) {
+	w, err := workload.ByName(sp.Workload)
+	if err != nil {
+		return CellResult{}, err
+	}
+	spec, err := predictorByName(sp.Predictor)
+	if err != nil {
+		return CellResult{}, err
+	}
+	static, err := p.staticFor(w, spec)
+	if err != nil {
+		return CellResult{}, fmt.Errorf("table2 static %s/%s: %w", w.Name, spec.Name, err)
+	}
+	ests := append(table2Estimators(p, spec), static)
+	st, err := p.runOne(w, spec, false, ests...)
+	if err != nil {
+		return CellResult{}, fmt.Errorf("table2 %s/%s: %w", w.Name, spec.Name, err)
+	}
+	return CellResult{Stats: st}, nil
+}
+
 // Table2 runs the full grid. For each (workload, predictor) pair a single
 // simulation evaluates the JRS, saturating-counter and pattern-history
 // estimators together; the static estimator adds one profiling run.
@@ -63,18 +97,24 @@ func Table2(p Params) (*Table2Result, error) {
 			}
 		}
 	}
+	var gridSpecs []runner.Spec
 	for _, w := range suite() {
-		for pi, spec := range specs {
-			static, err := p.staticFor(w, spec)
-			if err != nil {
-				return nil, fmt.Errorf("table2 static %s/%s: %w", w.Name, spec.Name, err)
-			}
-			ests := append(table2Estimators(p, spec), static)
-			st, err := p.runOne(w, spec, false, ests...)
-			if err != nil {
-				return nil, fmt.Errorf("table2 %s/%s: %w", w.Name, spec.Name, err)
-			}
-			for e := range ests {
+		for _, spec := range specs {
+			gridSpecs = append(gridSpecs, runner.Spec{
+				Experiment: "table2", Workload: w.Name, Predictor: spec.Name, Variant: "main",
+			})
+		}
+	}
+	cells, err := p.runGrid(gridSpecs, table2Cell)
+	if err != nil {
+		return nil, err
+	}
+	i := 0
+	for range suite() {
+		for pi := range specs {
+			st := cells[i].Stats
+			i++
+			for e := range estNames {
 				cell := &res.Cells[e][pi]
 				cell.PerApp = append(cell.PerApp, st.Confidence[e].CommittedQ)
 			}

@@ -6,6 +6,7 @@ import (
 
 	"specctrl/internal/conf"
 	"specctrl/internal/metrics"
+	"specctrl/internal/workload"
 )
 
 // Table3Row is one benchmark's comparison of the two McFarling
@@ -24,18 +25,22 @@ type Table3Result struct {
 	Rows []Table3Row
 }
 
-// Table3 runs one McFarling simulation per workload with both variants
+// Table3 runs one McFarling cell per workload with both variants
 // attached.
 func Table3(p Params) (*Table3Result, error) {
-	spec := McFarlingSpec()
+	stats, err := p.suiteStats("table3", McFarlingSpec(), "main",
+		func(_ Params, _ workload.Workload) ([]conf.Estimator, error) {
+			return []conf.Estimator{
+				conf.SatCountersMcFarling{Variant: conf.BothStrong},
+				conf.SatCountersMcFarling{Variant: conf.EitherStrong},
+			}, nil
+		})
+	if err != nil {
+		return nil, err
+	}
 	res := &Table3Result{}
-	for _, w := range suite() {
-		st, err := p.runOne(w, spec, false,
-			conf.SatCountersMcFarling{Variant: conf.BothStrong},
-			conf.SatCountersMcFarling{Variant: conf.EitherStrong})
-		if err != nil {
-			return nil, fmt.Errorf("table3 %s: %w", w.Name, err)
-		}
+	for i, w := range suite() {
+		st := stats[i]
 		res.Rows = append(res.Rows, Table3Row{
 			Name:   w.Name,
 			Both:   st.Confidence[0].CommittedQ.Compute(),

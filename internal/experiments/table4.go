@@ -1,11 +1,14 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
 	"specctrl/internal/conf"
 	"specctrl/internal/metrics"
+	"specctrl/internal/runner"
+	"specctrl/internal/workload"
 )
 
 // Table4Row is one (estimator, predictor) suite-mean row of the paper's
@@ -23,12 +26,54 @@ type Table4Result struct {
 	Rows []Table4Row
 }
 
-// Table4 runs, per workload, one gshare simulation and one McFarling
-// simulation carrying every estimator in the table (JRS, saturating
-// counters, distance thresholds 1..7), plus the static profiling pass,
-// plus a SAg run for the history-pattern reference row.
+// table4DistMax is the largest distance threshold in the table.
+const table4DistMax = 7
+
+// table4Cell simulates one (workload, predictor) cell. Gshare and
+// McFarling cells run the full estimator battery (JRS, saturating
+// counters, static, distance 1..7) after a static-profiling pass; the
+// SAg cell runs the history-pattern reference estimator alone.
+func table4Cell(_ context.Context, p Params, sp runner.Spec) (CellResult, error) {
+	w, err := workload.ByName(sp.Workload)
+	if err != nil {
+		return CellResult{}, err
+	}
+	spec, err := predictorByName(sp.Predictor)
+	if err != nil {
+		return CellResult{}, err
+	}
+	if spec.Name == "sag" {
+		st, err := p.runOne(w, spec, false, conf.NewPatternHistory(spec.HistBits(p)))
+		if err != nil {
+			return CellResult{}, fmt.Errorf("table4 %s/sag: %w", w.Name, err)
+		}
+		return CellResult{Stats: st}, nil
+	}
+	static, err := p.staticFor(w, spec)
+	if err != nil {
+		return CellResult{}, fmt.Errorf("table4 static %s/%s: %w", w.Name, spec.Name, err)
+	}
+	ests := []conf.Estimator{
+		conf.NewJRS(conf.JRSConfig{Entries: 4096, Bits: 4, Threshold: 15, Enhanced: true}),
+		SatCntFor(spec, conf.BothStrong),
+		static,
+	}
+	for d := 1; d <= table4DistMax; d++ {
+		ests = append(ests, conf.NewDistance(d))
+	}
+	st, err := p.runOne(w, spec, false, ests...)
+	if err != nil {
+		return CellResult{}, fmt.Errorf("table4 %s/%s: %w", w.Name, spec.Name, err)
+	}
+	return CellResult{Stats: st}, nil
+}
+
+// Table4 runs, per workload, one gshare cell and one McFarling cell
+// carrying every estimator in the table (JRS, saturating counters,
+// distance thresholds 1..7), plus the static profiling pass, plus a SAg
+// cell for the history-pattern reference row.
 func Table4(p Params) (*Table4Result, error) {
-	const distMax = 7
+	const distMax = table4DistMax
 	type key struct{ est, pred string }
 	perApp := map[key][]metrics.Quadrant{}
 	rowOrder := []key{}
@@ -39,41 +84,40 @@ func Table4(p Params) (*Table4Result, error) {
 		perApp[k] = append(perApp[k], q)
 	}
 
+	// One cell per (workload, predictor): gshare and McFarling cells
+	// carry the full estimator battery; the SAg cell carries the
+	// history-pattern reference estimator.
+	var gridSpecs []runner.Spec
 	for _, w := range suite() {
+		for _, spec := range []PredictorSpec{GshareSpec(), McFarlingSpec(), SAgSpec()} {
+			gridSpecs = append(gridSpecs, runner.Spec{
+				Experiment: "table4", Workload: w.Name, Predictor: spec.Name, Variant: "main",
+			})
+		}
+	}
+	cells, err := p.runGrid(gridSpecs, table4Cell)
+	if err != nil {
+		return nil, err
+	}
+	i := 0
+	for range suite() {
 		for _, spec := range []PredictorSpec{GshareSpec(), McFarlingSpec()} {
-			static, err := p.staticFor(w, spec)
-			if err != nil {
-				return nil, fmt.Errorf("table4 static %s/%s: %w", w.Name, spec.Name, err)
-			}
-			ests := []conf.Estimator{
-				conf.NewJRS(conf.JRSConfig{Entries: 4096, Bits: 4, Threshold: 15, Enhanced: true}),
-				SatCntFor(spec, conf.BothStrong),
-				static,
-			}
+			st := cells[i].Stats
+			i++
 			names := []key{
 				{"JRS >=15", spec.Name},
 				{"Satur. Cntrs", spec.Name},
 				{"Static >90%", spec.Name},
 			}
 			for d := 1; d <= distMax; d++ {
-				ests = append(ests, conf.NewDistance(d))
 				names = append(names, key{fmt.Sprintf("Distance >%d", d), spec.Name})
 			}
-			st, err := p.runOne(w, spec, false, ests...)
-			if err != nil {
-				return nil, fmt.Errorf("table4 %s/%s: %w", w.Name, spec.Name, err)
-			}
-			for i, k := range names {
-				addQ(k, st.Confidence[i].CommittedQ)
+			for e, k := range names {
+				addQ(k, st.Confidence[e].CommittedQ)
 			}
 		}
-		// History-pattern reference row on SAg.
-		sag := SAgSpec()
-		st, err := p.runOne(w, sag, false, conf.NewPatternHistory(sag.HistBits(p)))
-		if err != nil {
-			return nil, fmt.Errorf("table4 %s/sag: %w", w.Name, err)
-		}
-		addQ(key{"Hist. Pattern", "sag"}, st.Confidence[0].CommittedQ)
+		addQ(key{"Hist. Pattern", "sag"}, cells[i].Stats.Confidence[0].CommittedQ)
+		i++
 	}
 
 	res := &Table4Result{}

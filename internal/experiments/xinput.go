@@ -4,9 +4,11 @@ import (
 	"fmt"
 	"strings"
 
+	"specctrl/internal/conf"
 	"specctrl/internal/metrics"
 	"specctrl/internal/pipeline"
 	"specctrl/internal/profile"
+	"specctrl/internal/workload"
 )
 
 // XInputRow compares one benchmark's static estimator self-profiled
@@ -31,44 +33,51 @@ type XInputResult struct {
 // both that cross-trained estimator and the self-profiled one on the
 // reference input, in a single evaluation run.
 func XInput(p Params) (*XInputResult, error) {
-	const altSeed = 0xA17E12 // arbitrary alternative input
-	res := &XInputResult{}
-	for _, w := range suite() {
-		// Profile pass on the reference input (self) and the alternative
-		// input (cross).
-		profileOn := func(alt bool) (map[int64]*pipeline.SiteStats, error) {
-			cfg := p.Pipeline
-			cfg.MaxCommitted = p.MaxCommitted
-			cfg.CollectSiteStats = true
-			prog := w.Build(p.BuildIters)
-			if alt {
-				prog = w.BuildSeeded(altSeed, p.BuildIters)
+	// altSeed is a fixed arbitrary alternative input. It is deliberately
+	// a constant — not derived from the cell seed — because it names a
+	// specific published input, not a random one.
+	const altSeed = 0xA17E12
+	stats, err := p.suiteStats("xinput", GshareSpec(), "main",
+		func(p Params, w workload.Workload) ([]conf.Estimator, error) {
+			// Profile pass on the reference input (self) and the
+			// alternative input (cross), both inside the cell.
+			profileOn := func(alt bool) (map[int64]*pipeline.SiteStats, error) {
+				cfg := p.Pipeline
+				cfg.MaxCommitted = p.MaxCommitted
+				cfg.CollectSiteStats = true
+				prog := w.Build(p.BuildIters)
+				if alt {
+					prog = w.BuildSeeded(altSeed, p.BuildIters)
+				}
+				sim := pipeline.New(cfg, prog, GshareSpec().New(p))
+				st, err := sim.Run()
+				if err != nil {
+					return nil, err
+				}
+				return st.Sites, nil
 			}
-			sim := pipeline.New(cfg, prog, GshareSpec().New(p))
-			st, err := sim.Run()
+			p.progress("xinput profile %s (self)", w.Name)
+			selfSites, err := profileOn(false)
 			if err != nil {
-				return nil, err
+				return nil, fmt.Errorf("xinput self %s: %w", w.Name, err)
 			}
-			return st.Sites, nil
-		}
-		p.progress("xinput profile %s (self)", w.Name)
-		selfSites, err := profileOn(false)
-		if err != nil {
-			return nil, fmt.Errorf("xinput self %s: %w", w.Name, err)
-		}
-		p.progress("xinput profile %s (cross)", w.Name)
-		crossSites, err := profileOn(true)
-		if err != nil {
-			return nil, fmt.Errorf("xinput cross %s: %w", w.Name, err)
-		}
-		opts := profile.Options{Threshold: p.StaticThreshold}
-		selfEst := profile.FromSites(selfSites, opts)
-		crossEst := profile.FromSites(crossSites, opts)
-
-		st, err := p.runOne(w, GshareSpec(), false, selfEst, crossEst)
-		if err != nil {
-			return nil, fmt.Errorf("xinput eval %s: %w", w.Name, err)
-		}
+			p.progress("xinput profile %s (cross)", w.Name)
+			crossSites, err := profileOn(true)
+			if err != nil {
+				return nil, fmt.Errorf("xinput cross %s: %w", w.Name, err)
+			}
+			opts := profile.Options{Threshold: p.StaticThreshold}
+			return []conf.Estimator{
+				profile.FromSites(selfSites, opts),
+				profile.FromSites(crossSites, opts),
+			}, nil
+		})
+	if err != nil {
+		return nil, err
+	}
+	res := &XInputResult{}
+	for i, w := range suite() {
+		st := stats[i]
 		res.Rows = append(res.Rows, XInputRow{
 			Name:  w.Name,
 			Self:  st.Confidence[0].CommittedQ.Compute(),

@@ -1,0 +1,69 @@
+package runner
+
+import (
+	"sync"
+
+	"specctrl/internal/obs"
+)
+
+// deque is a mutex-guarded work queue of spec indices. The owner pops
+// from the front (keeping execution roughly in spec order for progress
+// reporting); thieves take the back half. Contention is negligible —
+// operations are O(queue) pointer moves between multi-millisecond
+// simulation cells.
+type deque struct {
+	mu    sync.Mutex
+	items []int
+	gauge *obs.Gauge // queue depth, nil when obs is off
+}
+
+func (d *deque) publish() {
+	if d.gauge != nil {
+		d.gauge.SetUint(uint64(len(d.items)))
+	}
+}
+
+func (d *deque) push(items ...int) {
+	if len(items) == 0 {
+		return
+	}
+	d.mu.Lock()
+	d.items = append(d.items, items...)
+	d.publish()
+	d.mu.Unlock()
+}
+
+func (d *deque) pop() (int, bool) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if len(d.items) == 0 {
+		return 0, false
+	}
+	i := d.items[0]
+	d.items = d.items[1:]
+	d.publish()
+	return i, true
+}
+
+// stealHalf removes and returns the back half (at least one item) of
+// the queue, or nil when it is empty.
+func (d *deque) stealHalf() []int {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	n := len(d.items)
+	if n == 0 {
+		return nil
+	}
+	take := (n + 1) / 2
+	batch := make([]int, take)
+	copy(batch, d.items[n-take:])
+	d.items = d.items[:n-take]
+	d.publish()
+	return batch
+}
+
+func (d *deque) depth() int {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return len(d.items)
+}

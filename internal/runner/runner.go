@@ -1,0 +1,270 @@
+// Package runner executes experiment grids on a bounded work-stealing
+// worker pool.
+//
+// Every experiment in internal/experiments is a grid of independent
+// simulations — one cell per workload × predictor × estimator-config
+// combination. The runner's job is to execute those cells concurrently
+// without changing any observable result.
+//
+// # The Spec/Cell contract
+//
+// A grid is a []Spec; each Spec names exactly one cell and carries the
+// cell's private RNG seed. The cell body is a Cell func. The contract a
+// Cell must honor for the runner's determinism guarantee to hold:
+//
+//   - No shared mutable state. Every pipeline, predictor, estimator,
+//     cache, and workload program the cell needs is constructed inside
+//     the cell. Cells may close over read-only configuration only.
+//   - No process-global randomness. Any randomness is drawn from a
+//     generator seeded with spec.Seed (derived as
+//     DeriveSeed(baseSeed, spec.Key()) — a pure function of the spec,
+//     never of scheduling).
+//   - No dependence on execution order. A cell may not read another
+//     cell's output or any accumulator written by other cells.
+//
+// # Determinism
+//
+// Run returns results positionally aligned with the input specs, so the
+// caller's assemble step iterates in spec order — the same order the old
+// serial loops used — regardless of which worker finished which cell
+// first. Identical specs therefore produce byte-identical assembled
+// output at -jobs 1 and -jobs N, on any machine.
+//
+// # Scheduling
+//
+// Cells are dealt round-robin onto per-worker deques; an idle worker
+// steals half the largest remaining queue. Cell runtimes vary by an
+// order of magnitude across workloads (gcc vs compress), so stealing —
+// rather than a static partition — is what keeps the tail short.
+//
+// # Observability and cancellation
+//
+// When Options.Obs is set, the runner publishes per-worker queue depth
+// (specctrl_runner_queue_depth), completed cells and steal counts
+// (specctrl_runner_cells_total, specctrl_runner_steals_total), and the
+// worker count (specctrl_runner_workers) through the internal/obs
+// registry. Cancelling the context stops dispatch at the next cell
+// boundary; already-finished cells keep their results (Result.Ran
+// reports which ones ran) and Run returns ctx.Err().
+package runner
+
+import (
+	"context"
+	"fmt"
+	"strconv"
+	"sync"
+
+	"specctrl/internal/obs"
+)
+
+// Spec identifies one independent grid cell. The four name fields form
+// the cell's stable identity (Key); Seed is filled in by Run from the
+// base seed and that identity.
+type Spec struct {
+	Experiment string // experiment family, e.g. "table2"
+	Workload   string // benchmark name, e.g. "gcc"
+	Predictor  string // branch predictor name, e.g. "gshare"
+	Variant    string // estimator/config discriminator, e.g. "main"
+
+	// Seed is the cell's private RNG stream, derived by Run as
+	// DeriveSeed(baseSeed, Key()). Cells must take any randomness they
+	// need from this value and never from process-global state.
+	Seed uint64 `json:"-"`
+}
+
+// Key returns the stable identity of the spec, used for seed
+// derivation, sharding and cross-machine result merging.
+func (s Spec) Key() string {
+	return s.Experiment + "/" + s.Workload + "/" + s.Predictor + "/" + s.Variant
+}
+
+// Cell executes one spec and returns its result. See the package
+// comment for the isolation rules a Cell must follow.
+type Cell func(ctx context.Context, spec Spec) (any, error)
+
+// Result is the outcome of one cell. Run returns results positionally
+// aligned with its input specs.
+type Result struct {
+	Spec  Spec
+	Value any
+	Err   error
+	Ran   bool // false when skipped: not in this shard, or cancelled first
+}
+
+// Options configures a Runner.
+type Options struct {
+	// Jobs is the worker-pool size. Values <= 1 run serially (a single
+	// worker), which is also the reference order for determinism tests.
+	Jobs int
+
+	// BaseSeed is the root of every cell's derived seed. Zero selects
+	// DefaultBaseSeed so that library callers and the CLI agree.
+	BaseSeed uint64
+
+	// Shard restricts execution to every Count-th spec (see Shard).
+	// Skipped specs come back with Ran == false.
+	Shard Shard
+
+	// Obs, when non-nil, receives the runner's live metrics.
+	Obs *obs.Registry
+}
+
+// DefaultBaseSeed is the published base seed for all experiment grids;
+// results_full.txt and EXPERIMENTS.md are generated with it.
+const DefaultBaseSeed uint64 = 0x5eedc0de15ca1998
+
+// Runner executes spec grids. Construct with New; a Runner is safe for
+// sequential reuse across grids but a single Run call must complete
+// before the next begins.
+type Runner struct {
+	opts Options
+}
+
+// New returns a Runner with the given options.
+func New(opts Options) *Runner {
+	if opts.Jobs < 1 {
+		opts.Jobs = 1
+	}
+	if opts.BaseSeed == 0 {
+		opts.BaseSeed = DefaultBaseSeed
+	}
+	return &Runner{opts: opts}
+}
+
+// Run executes every spec owned by this runner's shard and returns one
+// Result per input spec, positionally aligned with specs.
+//
+// On a cell error the runner cancels outstanding work and returns the
+// lowest-indexed error among the cells that ran. On context
+// cancellation it returns ctx.Err().
+// In both cases the partial results are still returned: completed cells
+// carry their values and Ran == true.
+func (r *Runner) Run(ctx context.Context, specs []Spec, cell Cell) ([]Result, error) {
+	if err := r.opts.Shard.Validate(); err != nil {
+		return nil, err
+	}
+	results := make([]Result, len(specs))
+	for i := range specs {
+		sp := specs[i]
+		sp.Seed = DeriveSeed(r.opts.BaseSeed, sp.Key())
+		results[i].Spec = sp
+	}
+
+	// Shard filter: this machine owns every Count-th spec.
+	mine := make([]int, 0, len(specs))
+	for i := range specs {
+		if r.opts.Shard.Owns(i) {
+			mine = append(mine, i)
+		}
+	}
+	jobs := r.opts.Jobs
+	if jobs > len(mine) {
+		jobs = len(mine)
+	}
+	if jobs < 1 {
+		jobs = 1
+	}
+
+	var (
+		cellsDone *obs.Counter
+		steals    *obs.Counter
+	)
+	queueGauge := func(int) *obs.Gauge { return nil }
+	if reg := r.opts.Obs; reg != nil {
+		reg.Gauge("specctrl_runner_workers", nil).SetUint(uint64(jobs))
+		cellsDone = reg.Counter("specctrl_runner_cells_total", nil)
+		steals = reg.Counter("specctrl_runner_steals_total", nil)
+		queueGauge = func(w int) *obs.Gauge {
+			return reg.Gauge("specctrl_runner_queue_depth", obs.Labels{"worker": strconv.Itoa(w)})
+		}
+	}
+
+	// Deal cells round-robin so each worker starts with a spread of
+	// workloads (adjacent specs are usually the same slow benchmark).
+	deques := make([]*deque, jobs)
+	for w := range deques {
+		deques[w] = &deque{gauge: queueGauge(w)}
+	}
+	for k, i := range mine {
+		deques[k%jobs].push(i)
+	}
+
+	runCtx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	var (
+		errMu    sync.Mutex
+		errIdx   = -1
+		firstErr error
+	)
+	var wg sync.WaitGroup
+	for w := 0; w < jobs; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for runCtx.Err() == nil {
+				i, ok := deques[w].pop()
+				if !ok {
+					stolen, ok := stealInto(deques, w)
+					if !ok {
+						return
+					}
+					if steals != nil {
+						steals.Inc()
+					}
+					i = stolen
+				}
+				v, err := cell(runCtx, results[i].Spec)
+				results[i].Value = v
+				results[i].Err = err
+				results[i].Ran = true
+				if cellsDone != nil {
+					cellsDone.Inc()
+				}
+				if err != nil {
+					errMu.Lock()
+					if errIdx < 0 || i < errIdx {
+						errIdx, firstErr = i, err
+					}
+					errMu.Unlock()
+					cancel()
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	if errIdx >= 0 {
+		return results, fmt.Errorf("runner: cell %s: %w", results[errIdx].Spec.Key(), firstErr)
+	}
+	if err := ctx.Err(); err != nil {
+		return results, err
+	}
+	return results, nil
+}
+
+// stealInto takes work for worker w from the longest other deque,
+// moving half of it onto w's deque and returning one index to run.
+func stealInto(deques []*deque, w int) (int, bool) {
+	for {
+		victim, depth := -1, 0
+		for v := range deques {
+			if v == w {
+				continue
+			}
+			if d := deques[v].depth(); d > depth {
+				victim, depth = v, d
+			}
+		}
+		if victim < 0 {
+			return 0, false
+		}
+		batch := deques[victim].stealHalf()
+		if len(batch) == 0 {
+			continue // raced with the victim draining; look again
+		}
+		deques[w].push(batch[1:]...)
+		return batch[0], true
+	}
+}

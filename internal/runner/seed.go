@@ -1,0 +1,22 @@
+package runner
+
+import "specctrl/internal/rng"
+
+// DeriveSeed maps (base seed, spec key) to the cell's private RNG
+// stream: an FNV-1a hash of the key folded into the base and whitened
+// through one splitmix64 step. It is a pure function of its arguments —
+// never of worker identity or scheduling — which is what makes cell
+// results independent of execution order. The mapping is pinned by a
+// golden test; changing it changes every published experiment number.
+func DeriveSeed(base uint64, key string) uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for i := 0; i < len(key); i++ {
+		h ^= uint64(key[i])
+		h *= prime64
+	}
+	return rng.NewSplitMix64(base ^ h).Next()
+}

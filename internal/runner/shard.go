@@ -1,0 +1,68 @@
+package runner
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Shard restricts a Run to every Count-th spec, allowing a sweep to be
+// split across machines: shard i/n owns specs whose index ≡ i (mod n).
+// Because ownership is a function of spec index — not runtime load —
+// the n shards partition the grid exactly, and their dumped cell
+// results can be merged on any machine to reproduce the unsharded
+// output byte for byte.
+//
+// The zero value (Count 0) means "no sharding": one machine owns
+// everything.
+type Shard struct {
+	Index int
+	Count int
+}
+
+// ParseShard parses the CLI form "i/n" (e.g. "2/8", zero-based index).
+func ParseShard(s string) (Shard, error) {
+	idx, cnt, ok := strings.Cut(s, "/")
+	if !ok {
+		return Shard{}, fmt.Errorf("runner: shard %q: want i/n (e.g. 2/8)", s)
+	}
+	i, err1 := strconv.Atoi(idx)
+	n, err2 := strconv.Atoi(cnt)
+	if err1 != nil || err2 != nil {
+		return Shard{}, fmt.Errorf("runner: shard %q: want i/n (e.g. 2/8)", s)
+	}
+	sh := Shard{Index: i, Count: n}
+	if err := sh.Validate(); err != nil {
+		return Shard{}, err
+	}
+	return sh, nil
+}
+
+// Validate reports whether the shard is well-formed.
+func (s Shard) Validate() error {
+	if s.Count == 0 && s.Index == 0 {
+		return nil
+	}
+	if s.Count < 1 || s.Index < 0 || s.Index >= s.Count {
+		return fmt.Errorf("runner: invalid shard %d/%d: want 0 <= index < count", s.Index, s.Count)
+	}
+	return nil
+}
+
+// Active reports whether the shard restricts execution at all.
+func (s Shard) Active() bool { return s.Count > 1 }
+
+// Owns reports whether this shard executes the spec at index i.
+func (s Shard) Owns(i int) bool {
+	if s.Count <= 1 {
+		return true
+	}
+	return i%s.Count == s.Index
+}
+
+func (s Shard) String() string {
+	if s.Count == 0 {
+		return "0/0"
+	}
+	return fmt.Sprintf("%d/%d", s.Index, s.Count)
+}

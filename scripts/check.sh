@@ -1,8 +1,26 @@
 #!/bin/sh
 # check.sh — the full local gate: vet, build, and the test suite under
-# the race detector. CI and pre-commit both run exactly this.
+# the race detector, plus the parallel-runner determinism and RNG
+# hygiene gates. CI and pre-commit both run exactly this.
 set -eux
 cd "$(dirname "$0")/.."
 go vet ./...
 go build ./...
 go test -race ./...
+
+# Runner-specific gates (already covered by the suite above, but named
+# here so a failure points straight at the subsystem):
+#  - determinism: Jobs=1 vs Jobs=8 byte-identity and cell cache replay
+#  - cancellation: no goroutine leak under -race
+go test -race -count=1 -run 'TestGridDeterminism|TestGridCancellation|TestCellsRoundTrip|TestShardRun' ./internal/experiments
+go test -race -count=1 ./internal/runner
+
+# RNG hygiene: experiment cells must take randomness from spec.Seed only;
+# a process-global RNG would break cross-job determinism silently.
+if grep -rn 'math/rand' internal/experiments internal/runner internal/workload; then
+    echo "check.sh: process-global RNG import found (use seed-derived rng streams)" >&2
+    exit 1
+fi
+
+# Bench smoke: the runner benchmarks must at least execute.
+go test -bench='BenchmarkRunner' -benchtime=1x -run '^$' .
