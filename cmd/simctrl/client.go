@@ -1,0 +1,197 @@
+// simserved client: the -server mode submits the requested experiments
+// as one job, follows it to completion, and prints the rendered results
+// exactly as a local run would (the server guarantees byte-identical
+// output; printRendered guarantees byte-identical framing).
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"strings"
+	"time"
+
+	"specctrl/internal/serve"
+)
+
+type serverOpts struct {
+	base      string // simserved base URL
+	names     []string
+	committed uint64
+	cellsOut  string
+	verbose   bool
+	stdout    io.Writer
+	stderr    io.Writer
+
+	// pollInterval throttles status polling (default 200ms).
+	pollInterval time.Duration
+}
+
+// getJSON fetches url and decodes the 200 body into v; non-2xx bodies
+// are surfaced as the server's error message.
+func getJSON(hc *http.Client, url string, v any) error {
+	resp, err := hc.Get(url)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return err
+	}
+	if resp.StatusCode/100 != 2 {
+		return serverError(resp, body)
+	}
+	return json.Unmarshal(body, v)
+}
+
+// serverError turns a non-2xx response into a readable error,
+// preferring the API's JSON error field.
+func serverError(resp *http.Response, body []byte) error {
+	var e struct {
+		Error string `json:"error"`
+	}
+	if json.Unmarshal(body, &e) == nil && e.Error != "" {
+		if ra := resp.Header.Get("Retry-After"); ra != "" {
+			return fmt.Errorf("server: %s (retry after %ss)", e.Error, ra)
+		}
+		return fmt.Errorf("server: %s", e.Error)
+	}
+	return fmt.Errorf("server: HTTP %d: %s", resp.StatusCode, strings.TrimSpace(string(body)))
+}
+
+// runServerMode is the whole -server flow: submit, follow, render.
+func runServerMode(o serverOpts) error {
+	if o.pollInterval <= 0 {
+		o.pollInterval = 200 * time.Millisecond
+	}
+	base := strings.TrimRight(o.base, "/")
+	hc := &http.Client{}
+	defer hc.CloseIdleConnections()
+
+	req := serve.SubmitRequest{
+		Version:     serve.APIVersion,
+		Experiments: o.names,
+		Committed:   o.committed,
+	}
+	payload, err := json.Marshal(req)
+	if err != nil {
+		return err
+	}
+	resp, err := hc.Post(base+"/v1/jobs", "application/json", bytes.NewReader(payload))
+	if err != nil {
+		return fmt.Errorf("submitting to %s: %w", base, err)
+	}
+	body, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		return err
+	}
+	if resp.StatusCode != http.StatusAccepted {
+		return serverError(resp, body)
+	}
+	var sub serve.SubmitResponse
+	if err := json.Unmarshal(body, &sub); err != nil {
+		return fmt.Errorf("bad submit response: %w", err)
+	}
+	fmt.Fprintf(o.stderr, "simctrl: submitted %s to %s\n", sub.ID, base)
+
+	if o.verbose {
+		if err := streamEvents(hc, base+sub.Events, o.stderr); err != nil {
+			fmt.Fprintf(o.stderr, "simctrl: event stream: %v (falling back to polling)\n", err)
+		}
+	}
+
+	// Poll until terminal (the event stream, when used, already ended
+	// at the terminal event — this then finishes on the first probe).
+	var st serve.StatusResponse
+	for {
+		if err := getJSON(hc, base+sub.Status, &st); err != nil {
+			return err
+		}
+		if st.State == string(serve.StateDone) || st.State == string(serve.StateFailed) ||
+			st.State == string(serve.StateDrained) {
+			break
+		}
+		time.Sleep(o.pollInterval)
+	}
+	fmt.Fprintf(o.stderr, "simctrl: job %s %s: %d cells (%d cached, %d simulated)\n",
+		st.ID, st.State, st.Cells.Done, st.Cells.FromCache, st.Cells.Simulated)
+	switch st.State {
+	case string(serve.StateDone):
+	case string(serve.StateDrained):
+		if st.Checkpoint != "" {
+			return fmt.Errorf("job %s drained by server shutdown; completed cells checkpointed at %s (server-side)", st.ID, st.Checkpoint)
+		}
+		return fmt.Errorf("job %s drained by server shutdown", st.ID)
+	default:
+		return fmt.Errorf("job %s failed: %s", st.ID, st.Error)
+	}
+
+	var res serve.ResultResponse
+	if err := getJSON(hc, base+sub.Result, &res); err != nil {
+		return err
+	}
+	for _, out := range res.Outputs {
+		printRendered(o.stdout, out.Output)
+	}
+
+	if o.cellsOut != "" {
+		resp, err := hc.Get(base + sub.Cells)
+		if err != nil {
+			return err
+		}
+		data, err := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if err != nil {
+			return err
+		}
+		if resp.StatusCode != http.StatusOK {
+			return serverError(resp, data)
+		}
+		if err := os.WriteFile(o.cellsOut, data, 0o644); err != nil {
+			return err
+		}
+		fmt.Fprintf(o.stderr, "simctrl: wrote %d cells to %s\n", st.Cells.Done, o.cellsOut)
+	}
+	return nil
+}
+
+// streamEvents follows the job's NDJSON event stream, printing one
+// line per cell/experiment until the terminal job event.
+func streamEvents(hc *http.Client, url string, stderr io.Writer) error {
+	resp, err := hc.Get(url)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		body, _ := io.ReadAll(resp.Body)
+		return serverError(resp, body)
+	}
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	for sc.Scan() {
+		var e serve.Event
+		if err := json.Unmarshal(sc.Bytes(), &e); err != nil {
+			return err
+		}
+		switch e.Type {
+		case "cell":
+			src := "simulated"
+			if e.Cached {
+				src = "cached"
+			}
+			fmt.Fprintf(stderr, "cell %-40s %s (%.0fms)\n", e.Key, src, e.ElapsedMS)
+		case "experiment":
+			fmt.Fprintf(stderr, "experiment %s done\n", e.Name)
+		case "job":
+			fmt.Fprintf(stderr, "job %s\n", e.State)
+		}
+	}
+	return sc.Err()
+}

@@ -18,8 +18,16 @@
 //	simctrl -exp table2 -shard 1/2 -cells-out s1.json   # machine B
 //	simctrl -exp table2 -cells-in s0.json,s1.json       # merge + render
 //
+// Or submitted to a simserved instance instead of simulating locally —
+// the server memoizes every cell in a content-addressed cache, so
+// repeated grids render without simulating at all, byte-identical to
+// the local run:
+//
+//	simctrl -server http://localhost:8344 -exp table2
+//
 // See docs/REGENERATING.md for the full regeneration workflow and the
-// determinism guarantees behind it.
+// determinism guarantees behind it, and docs/SERVING.md for the
+// service.
 //
 // Long runs are observable while they execute: -progress prints a
 // periodic heartbeat (committed instructions, IPC, misprediction rate,
@@ -36,6 +44,7 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"runtime"
 	"sort"
@@ -46,104 +55,15 @@ import (
 	"specctrl/internal/runner"
 )
 
-// renderer is any experiment result that can print itself.
-type renderer interface{ Render() string }
-
-// detailed swaps a Table2Result's renderer for the per-application view.
-type detailed struct{ r *experiments.Table2Result }
-
-func (d detailed) Render() string { return d.r.Render() + "\n" + d.r.RenderDetailed() }
-
-// experimentFunc runs one experiment under the given parameters.
-type experimentFunc func(p experiments.Params) (renderer, error)
-
-var registry = map[string]struct {
-	fn   experimentFunc
-	desc string
-}{
-	"table1": {func(p experiments.Params) (renderer, error) { return experiments.Table1(p) },
-		"program characteristics: committed vs all instructions, misprediction rates"},
-	"table2": {func(p experiments.Params) (renderer, error) { return experiments.Table2(p) },
-		"four confidence estimators x three predictors, suite means"},
-	"table2-detail": {func(p experiments.Params) (renderer, error) {
-		r, err := experiments.Table2(p)
-		if err != nil {
-			return nil, err
-		}
-		return detailed{r}, nil
-	}, "table2 with per-application drill-down (the paper's [5] detail)"},
-	"table3": {func(p experiments.Params) (renderer, error) { return experiments.Table3(p) },
-		"Both-Strong vs Either-Strong saturating counters on McFarling"},
-	"table4": {func(p experiments.Params) (renderer, error) { return experiments.Table4(p) },
-		"misprediction-distance estimator vs JRS / SatCnt / Static"},
-	"fig1": {func(p experiments.Params) (renderer, error) { return experiments.Fig1(p), nil },
-		"analytic PVP/PVN parameter curves"},
-	"fig3": {func(p experiments.Params) (renderer, error) { return experiments.Fig3(p) },
-		"JRS base vs enhanced threshold sweep (gshare)"},
-	"fig4": {func(p experiments.Params) (renderer, error) {
-		return experiments.Fig45(p, experiments.GshareSpec())
-	}, "JRS design space: MDC entries x threshold (gshare)"},
-	"fig5": {func(p experiments.Params) (renderer, error) {
-		return experiments.Fig45(p, experiments.McFarlingSpec())
-	}, "JRS design space: MDC entries x threshold (McFarling)"},
-	"fig6": {func(p experiments.Params) (renderer, error) {
-		return experiments.FigDistance(p, experiments.GshareSpec(), false)
-	}, "precise misprediction distance (gshare)"},
-	"fig7": {func(p experiments.Params) (renderer, error) {
-		return experiments.FigDistance(p, experiments.McFarlingSpec(), false)
-	}, "precise misprediction distance (McFarling)"},
-	"fig8": {func(p experiments.Params) (renderer, error) {
-		return experiments.FigDistance(p, experiments.GshareSpec(), true)
-	}, "perceived misprediction distance (gshare)"},
-	"fig9": {func(p experiments.Params) (renderer, error) {
-		return experiments.FigDistance(p, experiments.McFarlingSpec(), true)
-	}, "perceived misprediction distance (McFarling)"},
-	"misest": {func(p experiments.Params) (renderer, error) { return experiments.Misest(p) },
-		"confidence mis-estimation clustering (section 4.1)"},
-	"boost": {func(p experiments.Params) (renderer, error) {
-		return experiments.Boost(p, experiments.GshareSpec(), 4)
-	}, "consecutive-low-confidence boosting (section 4.2)"},
-	"boost-mcf": {func(p experiments.Params) (renderer, error) {
-		return experiments.Boost(p, experiments.McFarlingSpec(), 4)
-	}, "boosting on the McFarling predictor"},
-	"abl-width": {func(p experiments.Params) (renderer, error) { return experiments.AblationWidth(p) },
-		"ablation: JRS miss-distance-counter width"},
-	"abl-spechist": {func(p experiments.Params) (renderer, error) { return experiments.AblationSpecHistory(p) },
-		"ablation: speculative vs non-speculative gshare history update"},
-	"abl-gating": {func(p experiments.Params) (renderer, error) { return experiments.AblationGating(p) },
-		"ablation: pipeline gating estimator x threshold design space"},
-	"abl-indirect": {func(p experiments.Params) (renderer, error) { return experiments.AblationIndirect(p) },
-		"ablation: perfect vs BTB/RAS-predicted indirect targets"},
-	"cost": {func(p experiments.Params) (renderer, error) { return experiments.Cost(p), nil },
-		"estimator implementation-cost inventory"},
-	"cir": {func(p experiments.Params) (renderer, error) { return experiments.CIR(p) },
-		"indexing-structure comparison: JRS vs CIR vs global-MDC-indexed CIR"},
-	"jrsmcf": {func(p experiments.Params) (renderer, error) { return experiments.JRSMcf(p) },
-		"future work: McFarling-structured two-table JRS"},
-	"tuned": {func(p experiments.Params) (renderer, error) { return experiments.Tuned(p) },
-		"future work: static confidence tuned to SPEC/PVN targets"},
-	"metrics": {func(p experiments.Params) (renderer, error) { return experiments.MetricsCmp(p) },
-		"section 2.1: paper metrics vs Jacobsen rate, with the rank inversion"},
-	"abl-depth": {func(p experiments.Params) (renderer, error) { return experiments.AblationDepth(p) },
-		"ablation: fetch-to-resolve depth vs speculation ratio, SAg staleness"},
-	"patterns": {func(p experiments.Params) (renderer, error) { return experiments.Patterns(p) },
-		"section 3.2: history-pattern dominance under gshare vs SAg"},
-	"smt": {func(p experiments.Params) (renderer, error) { return experiments.SMTStudy(p) },
-		"application: SMT fetch policies over thread mixes"},
-	"eager": {func(p experiments.Params) (renderer, error) { return experiments.EagerStudy(p) },
-		"application: eager-execution cost model estimator ranking"},
-	"xinput": {func(p experiments.Params) (renderer, error) { return experiments.XInput(p) },
-		"static estimator: self-profiled (paper's best case) vs cross-input training"},
-	"auc": {func(p experiments.Params) (renderer, error) { return experiments.AUCStudy(p) },
-		"estimator-family ROC AUC: threshold-independent comparison"},
-}
-
-// order fixes the presentation order for -exp all.
-var order = []string{
-	"table1", "metrics", "table2", "table2-detail", "fig1", "fig3", "fig4", "fig5",
-	"table3", "fig6", "fig7", "fig8", "fig9", "table4", "misest", "boost",
-	"boost-mcf", "cir", "auc", "patterns", "jrsmcf", "tuned", "xinput", "smt", "eager",
-	"abl-width", "abl-spechist", "abl-gating", "abl-indirect", "abl-depth", "cost",
+// printRendered writes one experiment's output, normalizing the
+// trailing blank line exactly as the original serial CLI did. Both the
+// local and -server paths go through it, which is what makes their
+// stdout byte-identical.
+func printRendered(w io.Writer, out string) {
+	fmt.Fprint(w, out)
+	if !strings.HasSuffix(out, "\n\n") {
+		fmt.Fprintln(w)
+	}
 }
 
 func main() {
@@ -158,17 +78,15 @@ func main() {
 		shard       = flag.String("shard", "", "run only shard i of n grid cells, as i/n (requires -cells-out)")
 		cellsOut    = flag.String("cells-out", "", "write computed grid cells to this JSON file")
 		cellsIn     = flag.String("cells-in", "", "comma-separated cell JSON files to reuse instead of simulating")
+		server      = flag.String("server", "", "submit to a simserved base URL instead of simulating locally")
 	)
 	flag.Parse()
 
 	if *list {
-		names := make([]string, 0, len(registry))
-		for n := range registry {
-			names = append(names, n)
-		}
-		sort.Strings(names)
-		for _, n := range names {
-			fmt.Printf("%-8s %s\n", n, registry[n].desc)
+		entries := experiments.Experiments()
+		sort.Slice(entries, func(i, j int) bool { return entries[i].Name < entries[j].Name })
+		for _, e := range entries {
+			fmt.Printf("%-8s %s\n", e.Name, e.Desc)
 		}
 		return
 	}
@@ -176,6 +94,41 @@ func main() {
 		fmt.Fprintln(os.Stderr, "simctrl: -exp required (try -list)")
 		flag.Usage()
 		os.Exit(2)
+	}
+
+	names := []string{*exp}
+	if *exp == "all" {
+		names = nil
+		for _, e := range experiments.Experiments() {
+			names = append(names, e.Name)
+		}
+	}
+	for _, name := range names {
+		if _, ok := experiments.Lookup(name); !ok {
+			fmt.Fprintf(os.Stderr, "simctrl: unknown experiment %q (try -list)\n", name)
+			os.Exit(2)
+		}
+	}
+
+	if *server != "" {
+		if *shard != "" {
+			fmt.Fprintln(os.Stderr, "simctrl: -shard is a local-run option; the server shards internally")
+			os.Exit(2)
+		}
+		err := runServerMode(serverOpts{
+			base:      *server,
+			names:     names,
+			committed: *committed,
+			cellsOut:  *cellsOut,
+			verbose:   *verbose,
+			stdout:    os.Stdout,
+			stderr:    os.Stderr,
+		})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "simctrl: %v\n", err)
+			os.Exit(1)
+		}
+		return
 	}
 
 	p := experiments.DefaultParams()
@@ -235,17 +188,8 @@ func main() {
 		defer stop()
 	}
 
-	names := []string{*exp}
-	if *exp == "all" {
-		names = order
-	}
 	for _, name := range names {
-		entry, ok := registry[name]
-		if !ok {
-			fmt.Fprintf(os.Stderr, "simctrl: unknown experiment %q (try -list)\n", name)
-			os.Exit(2)
-		}
-		r, err := entry.fn(p)
+		r, err := experiments.Run(name, p)
 		if errors.Is(err, experiments.ErrShardOnly) {
 			fmt.Fprintf(os.Stderr, "simctrl: %s: shard %s computed (%d cells so far)\n",
 				name, p.Shard, p.Record.Len())
@@ -255,11 +199,7 @@ func main() {
 			fmt.Fprintf(os.Stderr, "simctrl: %s: %v\n", name, err)
 			os.Exit(1)
 		}
-		out := r.Render()
-		fmt.Print(out)
-		if !strings.HasSuffix(out, "\n\n") {
-			fmt.Println()
-		}
+		printRendered(os.Stdout, r.Render())
 	}
 	if p.Record != nil {
 		data, err := p.Record.MarshalJSON()

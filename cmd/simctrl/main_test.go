@@ -1,71 +1,90 @@
 package main
 
 import (
-	"errors"
+	"bytes"
 	"strings"
 	"testing"
+	"time"
 
 	"specctrl/internal/experiments"
-	"specctrl/internal/runner"
+	"specctrl/internal/serve"
 )
 
-func TestOrderCoversRegistry(t *testing.T) {
-	seen := map[string]bool{}
-	for _, name := range order {
-		if _, ok := registry[name]; !ok {
-			t.Errorf("order entry %q missing from registry", name)
-		}
-		if seen[name] {
-			t.Errorf("order entry %q duplicated", name)
-		}
-		seen[name] = true
+func TestPrintRendered(t *testing.T) {
+	cases := []struct{ in, want string }{
+		{"table\n", "table\n\n"},   // single newline gets a blank line
+		{"table\n\n", "table\n\n"}, // already framed: unchanged
+		{"x", "x\n"},
 	}
-	for name := range registry {
-		if !seen[name] {
-			t.Errorf("registry entry %q missing from -exp all order", name)
+	for _, c := range cases {
+		var buf bytes.Buffer
+		printRendered(&buf, c.in)
+		if buf.String() != c.want {
+			t.Errorf("printRendered(%q) = %q, want %q", c.in, buf.String(), c.want)
 		}
 	}
 }
 
-func TestRegistryDescriptions(t *testing.T) {
-	for name, e := range registry {
-		if e.desc == "" || e.fn == nil {
-			t.Errorf("registry entry %q incomplete", name)
-		}
+// TestServerModeRoundTrip drives the -server client path end-to-end
+// against a real in-process simserved: the analytic fig1 experiment
+// (no simulation, so the test is fast) must render byte-identically to
+// the local registry path.
+func TestServerModeRoundTrip(t *testing.T) {
+	srv, err := serve.New(serve.Config{
+		Addr:     "127.0.0.1:0",
+		CacheDir: t.TempDir(),
+		Jobs:     2,
+	})
+	if err != nil {
+		t.Fatal(err)
 	}
-}
+	defer srv.Drain()
 
-// TestShardOnlyCoverage proves every simulation-backed registry entry
-// runs through the grid executor: under an active shard a grid driver
-// must return ErrShardOnly instead of rendering. A sparse shard (most
-// experiments own zero cells of it) keeps this fast.
-func TestShardOnlyCoverage(t *testing.T) {
-	p := experiments.TestParams()
-	p.MaxCommitted = 40_000
-	p.Shard = runner.Shard{Index: 63, Count: 64}
-	p.Record = experiments.NewCellStore()
-	for name, e := range registry {
-		if name == "fig1" || name == "cost" {
-			continue // analytic, no simulation grid
-		}
-		if _, err := e.fn(p); !errors.Is(err, experiments.ErrShardOnly) {
-			t.Errorf("%s: got %v, want ErrShardOnly (driver bypasses the grid?)", name, err)
-		}
+	var stdout, stderr bytes.Buffer
+	err = runServerMode(serverOpts{
+		base:         srv.URL(),
+		names:        []string{"fig1", "cost"},
+		verbose:      true,
+		stdout:       &stdout,
+		stderr:       &stderr,
+		pollInterval: 10 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatalf("runServerMode: %v\nstderr:\n%s", err, stderr.String())
 	}
-}
 
-func TestAnalyticExperimentRuns(t *testing.T) {
-	// fig1 and cost are pure computation: run them through the registry
-	// path end-to-end.
-	p := experiments.TestParams()
+	var want bytes.Buffer
+	p := experiments.DefaultParams()
 	for _, name := range []string{"fig1", "cost"} {
-		r, err := registry[name].fn(p)
+		r, err := experiments.Run(name, p)
 		if err != nil {
-			t.Fatalf("%s: %v", name, err)
+			t.Fatal(err)
 		}
-		out := r.Render()
-		if !strings.Contains(out, "\n") || len(out) < 100 {
-			t.Errorf("%s render suspiciously small:\n%s", name, out)
-		}
+		printRendered(&want, r.Render())
+	}
+	if stdout.String() != want.String() {
+		t.Errorf("served output differs from local run:\n--- served ---\n%s\n--- local ---\n%s",
+			stdout.String(), want.String())
+	}
+	if !strings.Contains(stderr.String(), "job done") {
+		t.Errorf("verbose stream missing terminal job event:\n%s", stderr.String())
+	}
+}
+
+func TestServerModeUnknownJobError(t *testing.T) {
+	srv, err := serve.New(serve.Config{Addr: "127.0.0.1:0", CacheDir: t.TempDir()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Drain()
+	var stdout, stderr bytes.Buffer
+	err = runServerMode(serverOpts{
+		base:   srv.URL(),
+		names:  []string{"definitely-not-an-experiment"},
+		stdout: &stdout,
+		stderr: &stderr,
+	})
+	if err == nil || !strings.Contains(err.Error(), "unknown experiment") {
+		t.Errorf("got %v, want unknown-experiment server error", err)
 	}
 }

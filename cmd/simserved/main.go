@@ -1,0 +1,109 @@
+// Command simserved serves the experiment harness as a long-running
+// simulation service (see internal/serve): clients submit jobs over a
+// versioned HTTP API, every grid cell is memoized in a
+// content-addressed on-disk cache, and a bounded admission queue
+// applies backpressure (429 + Retry-After) when saturated.
+//
+// Usage:
+//
+//	simserved -addr :8344 -cache-dir /var/lib/simserved
+//	simctrl -server http://localhost:8344 -exp table2    # submit + render
+//	curl http://localhost:8344/metrics                   # live metrics
+//
+// The same port serves the job API (/v1/jobs...), readiness (/readyz),
+// and the standard observability endpoints (/metrics, /metrics.json,
+// /healthz, /buildinfo, /debug/pprof/). Results are byte-identical to
+// running simctrl locally with the same parameters; repeated
+// submissions are served entirely from the cache.
+//
+// SIGTERM or SIGINT drains gracefully: in-flight cells finish, every
+// unfinished job's completed cells are checkpointed under -drain-dir as
+// -cells-in-loadable dumps, and the process exits 0. See
+// docs/SERVING.md for the API reference and cache semantics.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"specctrl/internal/experiments"
+	"specctrl/internal/serve"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stderr, nil); err != nil {
+		fmt.Fprintf(os.Stderr, "simserved: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+// run is main with its environment injected: stderr for logs and an
+// optional stop channel tests can signal instead of SIGTERM. It returns
+// after a graceful drain.
+func run(args []string, stderr io.Writer, stop <-chan struct{}) error {
+	fs := flag.NewFlagSet("simserved", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		addr      = fs.String("addr", ":8344", "listen address (use :0 for an ephemeral port)")
+		addrFile  = fs.String("addr-file", "", "write the bound base URL to this file once listening")
+		cacheDir  = fs.String("cache-dir", "simserved-cache", "content-addressed result cache directory")
+		drainDir  = fs.String("drain-dir", "", "drain checkpoint directory (default: <cache-dir>/drain)")
+		jobs      = fs.Int("jobs", 0, "runner pool width per grid (0 = all CPUs)")
+		jobConc   = fs.Int("job-concurrency", 2, "jobs executing concurrently")
+		queue     = fs.Int("queue", 0, "admission queue depth (0 = 2x pool width)")
+		jobTO     = fs.Duration("job-timeout", 0, "per-job execution timeout (0 = none)")
+		retry     = fs.Duration("retry-after", 10*time.Second, "Retry-After hint on 429/503")
+		committed = fs.Uint64("committed", 0, "default committed instructions per run (0 = paper default 2M)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	cfg := serve.Config{
+		Addr:           *addr,
+		CacheDir:       *cacheDir,
+		DrainDir:       *drainDir,
+		Jobs:           *jobs,
+		JobConcurrency: *jobConc,
+		QueueDepth:     *queue,
+		JobTimeout:     *jobTO,
+		RetryAfter:     *retry,
+	}
+	if *committed > 0 {
+		p := experiments.DefaultParams()
+		p.MaxCommitted = *committed
+		cfg.Params = p
+	}
+	srv, err := serve.New(cfg)
+	if err != nil {
+		return err
+	}
+	if *addrFile != "" {
+		if err := os.WriteFile(*addrFile, []byte(srv.URL()+"\n"), 0o644); err != nil {
+			srv.Drain()
+			return err
+		}
+	}
+	fmt.Fprintf(stderr, "simserved: serving on %s (cache %s)\n", srv.URL(), *cacheDir)
+	fmt.Fprintf(stderr, "simserved: job API /v1/jobs, metrics /metrics, readiness /readyz\n")
+
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, syscall.SIGTERM, syscall.SIGINT)
+	defer signal.Stop(sigc)
+	select {
+	case sig := <-sigc:
+		fmt.Fprintf(stderr, "simserved: %v: draining (in-flight cells finish, queued work is checkpointed)\n", sig)
+	case <-stop:
+		fmt.Fprintf(stderr, "simserved: stop requested: draining\n")
+	}
+	if err := srv.Drain(); err != nil {
+		return err
+	}
+	fmt.Fprintf(stderr, "simserved: drained\n")
+	return nil
+}

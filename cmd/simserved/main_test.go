@@ -1,0 +1,114 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestRunSmoke boots the real command loop on an ephemeral port,
+// exercises the health/readiness endpoints and one analytic job, then
+// stops it through the drain path.
+func TestRunSmoke(t *testing.T) {
+	dir := t.TempDir()
+	addrFile := filepath.Join(dir, "addr")
+	stop := make(chan struct{})
+	done := make(chan error, 1)
+	var logs bytes.Buffer
+	go func() {
+		done <- run([]string{
+			"-addr", "127.0.0.1:0",
+			"-addr-file", addrFile,
+			"-cache-dir", filepath.Join(dir, "cache"),
+		}, &logs, stop)
+	}()
+
+	var base string
+	for i := 0; i < 100; i++ {
+		if data, err := os.ReadFile(addrFile); err == nil && len(data) > 0 {
+			base = strings.TrimSpace(string(data))
+			break
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	if base == "" {
+		t.Fatalf("server never wrote %s; logs:\n%s", addrFile, logs.String())
+	}
+
+	get := func(path string) (int, string) {
+		t.Helper()
+		resp, err := http.Get(base + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		body, _ := io.ReadAll(resp.Body)
+		return resp.StatusCode, string(body)
+	}
+	if code, body := get("/healthz"); code != 200 || body != "ok\n" {
+		t.Errorf("/healthz: %d %q", code, body)
+	}
+	if code, _ := get("/readyz"); code != 200 {
+		t.Errorf("/readyz: %d", code)
+	}
+	if code, body := get("/buildinfo"); code != 200 || !strings.Contains(body, "goVersion") {
+		t.Errorf("/buildinfo: %d %q", code, body)
+	}
+
+	// One analytic job end-to-end through the public API.
+	resp, err := http.Post(base+"/v1/jobs", "application/json",
+		strings.NewReader(`{"version":1,"experiments":["fig1"]}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sub struct{ ID, Status string }
+	if err := json.NewDecoder(resp.Body).Decode(&sub); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit: HTTP %d", resp.StatusCode)
+	}
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		var st struct{ State string }
+		if _, body := get(sub.Status); body != "" {
+			if err := json.Unmarshal([]byte(body), &st); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if st.State == "done" {
+			break
+		}
+		if st.State == "failed" || time.Now().After(deadline) {
+			t.Fatalf("job state %q", st.State)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+
+	close(stop)
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("run: %v\nlogs:\n%s", err, logs.String())
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("run did not drain after stop")
+	}
+	if !strings.Contains(logs.String(), "drained") {
+		t.Errorf("logs missing drain message:\n%s", logs.String())
+	}
+}
+
+func TestRunBadFlags(t *testing.T) {
+	var logs bytes.Buffer
+	if err := run([]string{"-no-such-flag"}, &logs, nil); err == nil {
+		t.Error("bad flag accepted")
+	}
+}

@@ -1,0 +1,98 @@
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"specctrl/internal/trace"
+)
+
+func TestNewPredictor(t *testing.T) {
+	for _, name := range []string{"gshare", "mcfarling", "sag"} {
+		if _, err := newPredictor(name); err != nil {
+			t.Errorf("%s: %v", name, err)
+		}
+	}
+	if _, err := newPredictor("oracle"); err == nil {
+		t.Error("unknown predictor accepted")
+	}
+}
+
+// TestRecordAndSummarize is the command's smoke test: record a short
+// run to both sinks, then read the binary trace back and summarize it.
+func TestRecordAndSummarize(t *testing.T) {
+	dir := t.TempDir()
+	bin := filepath.Join(dir, "out.trc")
+	jsonl := filepath.Join(dir, "out.jsonl")
+	err := doRecord(recordOptions{
+		workload:  "compress",
+		predictor: "gshare",
+		binPath:   bin,
+		jsonlPath: jsonl,
+		committed: 20_000,
+		iters:     1 << 30,
+	})
+	if err != nil {
+		t.Fatalf("doRecord: %v", err)
+	}
+
+	f, err := os.Open(bin)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	events, err := trace.Read(f)
+	if err != nil {
+		t.Fatalf("reading recorded trace: %v", err)
+	}
+	if len(events) == 0 {
+		t.Fatal("no events recorded")
+	}
+	s := trace.Summarize(events)
+	if s.Committed == 0 {
+		t.Errorf("summary has no committed branches: %+v", s)
+	}
+
+	// The JSONL mirror of the same stream must be valid, non-empty JSON
+	// lines.
+	jf, err := os.Open(jsonl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer jf.Close()
+	sc := bufio.NewScanner(jf)
+	lines := 0
+	for sc.Scan() {
+		if !json.Valid(sc.Bytes()) {
+			t.Fatalf("invalid JSONL line: %s", sc.Text())
+		}
+		lines++
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if lines == 0 {
+		t.Error("no JSONL events written")
+	}
+
+	// -summarize over the file must succeed end-to-end.
+	if err := doSummarize(bin); err != nil {
+		t.Errorf("doSummarize: %v", err)
+	}
+}
+
+func TestRecordUnknownWorkload(t *testing.T) {
+	err := doRecord(recordOptions{
+		workload:  "no-such-benchmark",
+		predictor: "gshare",
+		binPath:   filepath.Join(t.TempDir(), "x.trc"),
+		committed: 1000,
+		iters:     1,
+	})
+	if err == nil {
+		t.Error("unknown workload accepted")
+	}
+}

@@ -1,0 +1,121 @@
+package experiments
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+
+	"specctrl/internal/cache"
+	"specctrl/internal/runner"
+)
+
+// cellAddressVersion versions the identity layout below. Bump it
+// whenever a field is added to (or removed from) the canonical
+// identity, so addresses from older layouts can never alias.
+const cellAddressVersion = 1
+
+// cacheIdentity is the determinism-relevant subset of cache.Config
+// (Name is cosmetic and excluded).
+type cacheIdentity struct {
+	SizeWords   int `json:"sizeWords"`
+	BlockWords  int `json:"blockWords"`
+	Assoc       int `json:"assoc"`
+	HitLatency  int `json:"hitLatency"`
+	MissPenalty int `json:"missPenalty"`
+}
+
+func cacheID(c cache.Config) cacheIdentity {
+	return cacheIdentity{
+		SizeWords:   c.SizeWords,
+		BlockWords:  c.BlockWords,
+		Assoc:       c.Assoc,
+		HitLatency:  c.HitLatency,
+		MissPenalty: c.MissPenalty,
+	}
+}
+
+// pipelineIdentity is the determinism-relevant subset of
+// pipeline.Config: every field that changes a simulation's outcome, and
+// none of the observability hooks (Tracer/Metrics/Progress), which are
+// side channels by contract.
+type pipelineIdentity struct {
+	FetchWidth             int           `json:"fetchWidth"`
+	ResolveDelay           int           `json:"resolveDelay"`
+	ExtraMispredictPenalty int           `json:"extraMispredictPenalty"`
+	ICache                 cacheIdentity `json:"icache"`
+	DCache                 cacheIdentity `json:"dcache"`
+	MaxCycles              uint64        `json:"maxCycles"`
+	IndirectPrediction     bool          `json:"indirectPrediction"`
+	BTBEntries             int           `json:"btbEntries"`
+	BTBAssoc               int           `json:"btbAssoc"`
+	RASDepth               int           `json:"rasDepth"`
+}
+
+// cellIdentity is the canonical identity of one grid cell: everything a
+// cell's result is a function of, and nothing else. It is hashed — not
+// stored — so field names only matter for canonical-encoding stability.
+type cellIdentity struct {
+	AddressVersion int    `json:"addressVersion"`
+	CellsVersion   int    `json:"cellsVersion"`
+	Key            string `json:"key"` // experiment/workload/predictor/variant
+	BaseSeed       uint64 `json:"baseSeed"`
+
+	MaxCommitted    uint64           `json:"maxCommitted"`
+	BuildIters      int              `json:"buildIters"`
+	GshareBits      uint             `json:"gshareBits"`
+	McFBits         uint             `json:"mcfBits"`
+	SAgBHTBits      uint             `json:"sagBHTBits"`
+	SAgHistBits     uint             `json:"sagHistBits"`
+	StaticThreshold float64          `json:"staticThreshold"`
+	Pipeline        pipelineIdentity `json:"pipeline"`
+}
+
+// CellAddress returns the content address of one grid cell under these
+// parameters: a hex SHA-256 of the canonical JSON encoding of the
+// cell's full identity — spec key, resolved base seed, committed-
+// instruction budget, predictor geometries, and pipeline configuration.
+// Two (Params, Spec) pairs share an address exactly when the cell
+// contract guarantees them byte-identical results, so the address is
+// safe to use as a forever cache key across processes and machines.
+//
+// The address deliberately does not include the code version: like
+// results_full.txt, cached cells are invalidated by clearing the store
+// when simulator behaviour changes (see docs/SERVING.md).
+func (p Params) CellAddress(sp runner.Spec) string {
+	seed := p.BaseSeed
+	if seed == 0 {
+		seed = runner.DefaultBaseSeed
+	}
+	id := cellIdentity{
+		AddressVersion:  cellAddressVersion,
+		CellsVersion:    CellsVersion,
+		Key:             sp.Key(),
+		BaseSeed:        seed,
+		MaxCommitted:    p.MaxCommitted,
+		BuildIters:      p.BuildIters,
+		GshareBits:      p.GshareBits,
+		McFBits:         p.McFBits,
+		SAgBHTBits:      p.SAgBHTBits,
+		SAgHistBits:     p.SAgHistBits,
+		StaticThreshold: p.StaticThreshold,
+		Pipeline: pipelineIdentity{
+			FetchWidth:             p.Pipeline.FetchWidth,
+			ResolveDelay:           p.Pipeline.ResolveDelay,
+			ExtraMispredictPenalty: p.Pipeline.ExtraMispredictPenalty,
+			ICache:                 cacheID(p.Pipeline.ICache),
+			DCache:                 cacheID(p.Pipeline.DCache),
+			MaxCycles:              p.Pipeline.MaxCycles,
+			IndirectPrediction:     p.Pipeline.IndirectPrediction,
+			BTBEntries:             p.Pipeline.BTBEntries,
+			BTBAssoc:               p.Pipeline.BTBAssoc,
+			RASDepth:               p.Pipeline.RASDepth,
+		},
+	}
+	data, err := json.Marshal(id)
+	if err != nil {
+		// cellIdentity is all scalars; Marshal cannot fail.
+		panic("experiments: cell identity encoding: " + err.Error())
+	}
+	sum := sha256.Sum256(data)
+	return hex.EncodeToString(sum[:])
+}

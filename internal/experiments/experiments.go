@@ -110,6 +110,12 @@ type Params struct {
 	// Record, when non-nil, receives every computed or reused cell
 	// result, for dumping with -cells-out.
 	Record *CellStore
+	// Cache, when non-nil, memoizes cell results by content address
+	// (CellAddress): cells found in the cache are served instead of
+	// simulated, and computed cells are stored through it. Cells
+	// preloaded via Cells take precedence. internal/serve supplies the
+	// on-disk singleflight implementation.
+	Cache CellCache
 }
 
 // DefaultParams returns the paper's configuration at a laptop-scale run

@@ -66,6 +66,22 @@ func (s *CellStore) Len() int {
 	return len(s.m)
 }
 
+// CellsVersion is the schema version of cell-dump JSON files
+// (-cells-out / -cells-in, the serve API's /cells responses, and drain
+// checkpoints). Bump it when CellResult's wire shape changes
+// incompatibly; decoders reject any other version with
+// UnsupportedCellVersionError rather than misparsing the payload.
+const CellsVersion = 1
+
+// UnsupportedCellVersionError reports a cell file whose version is not
+// CellsVersion (typically written by a newer build).
+type UnsupportedCellVersionError struct{ Version int }
+
+func (e *UnsupportedCellVersionError) Error() string {
+	return fmt.Sprintf("experiments: unsupported cell-file version %d (this build reads version %d)",
+		e.Version, CellsVersion)
+}
+
 // cellFile is the on-disk format for sharded cell dumps.
 type cellFile struct {
 	Version int                   `json:"version"`
@@ -77,19 +93,44 @@ type cellFile struct {
 func (s *CellStore) MarshalJSON() ([]byte, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	return json.Marshal(cellFile{Version: 1, Cells: s.m})
+	return json.Marshal(cellFile{Version: CellsVersion, Cells: s.m})
 }
 
 // UnmarshalCells decodes a cell file produced by CellStore.MarshalJSON.
+// The version field is checked before the cells payload is decoded, so
+// a future-version file fails with UnsupportedCellVersionError instead
+// of a confusing field-level JSON error.
 func UnmarshalCells(data []byte) (map[string]CellResult, error) {
-	var f cellFile
-	if err := json.Unmarshal(data, &f); err != nil {
+	var probe struct {
+		Version int             `json:"version"`
+		Cells   json.RawMessage `json:"cells"`
+	}
+	if err := json.Unmarshal(data, &probe); err != nil {
 		return nil, fmt.Errorf("experiments: bad cell file: %w", err)
 	}
-	if f.Version != 1 {
-		return nil, fmt.Errorf("experiments: unsupported cell-file version %d", f.Version)
+	if probe.Version != CellsVersion {
+		return nil, &UnsupportedCellVersionError{Version: probe.Version}
 	}
-	return f.Cells, nil
+	cells := map[string]CellResult{}
+	if len(probe.Cells) > 0 {
+		if err := json.Unmarshal(probe.Cells, &cells); err != nil {
+			return nil, fmt.Errorf("experiments: bad cell file: %w", err)
+		}
+	}
+	return cells, nil
+}
+
+// CellCache memoizes cell results across grid runs, keyed by the
+// content address Params.CellAddress assigns to each cell. runGrid
+// consults it (after Params.Cells) for every cell; an implementation
+// must call compute at most once per address across all concurrent
+// callers and return exactly what compute returned — because CellResult
+// round-trips exactly through JSON, a cached cell is indistinguishable
+// from a freshly simulated one. internal/serve provides the on-disk,
+// singleflight-deduplicated implementation.
+type CellCache interface {
+	GetOrCompute(ctx context.Context, addr string, spec runner.Spec,
+		compute func(context.Context) (CellResult, error)) (CellResult, error)
 }
 
 // runGrid executes one experiment grid: every spec becomes one cell
@@ -112,8 +153,15 @@ func (p Params) runGrid(specs []runner.Spec, cell CellFunc) ([]CellResult, error
 		key := sp.Key()
 		c, ok := p.Cells[key]
 		if !ok {
+			compute := func(ctx context.Context) (CellResult, error) {
+				return cell(ctx, p, sp)
+			}
 			var err error
-			c, err = cell(ctx, p, sp)
+			if p.Cache != nil {
+				c, err = p.Cache.GetOrCompute(ctx, p.CellAddress(sp), sp, compute)
+			} else {
+				c, err = compute(ctx)
+			}
 			if err != nil {
 				return nil, err
 			}

@@ -5,8 +5,11 @@ import (
 	"errors"
 	"reflect"
 	"runtime"
+	"sync"
 	"testing"
 	"time"
+
+	"specctrl/internal/runner"
 )
 
 // smallParams is a heavily reduced scale for grid-mechanics tests that
@@ -110,6 +113,117 @@ func TestCellsRoundTrip(t *testing.T) {
 	if direct.Render() != reloaded.Render() {
 		t.Fatal("render from reloaded cells differs from direct simulation")
 	}
+}
+
+// TestUnmarshalCellsVersion: cell files from a different (typically
+// future) schema version must fail with the typed version error before
+// any cell payload is decoded.
+func TestUnmarshalCellsVersion(t *testing.T) {
+	for _, bad := range []string{
+		`{"version":2,"cells":{}}`,  // future version
+		`{"version":0,"cells":{}}`,  // explicit zero
+		`{"cells":{}}`,              // version missing entirely
+		`{"version":-1,"cells":{}}`, // nonsense
+	} {
+		_, err := UnmarshalCells([]byte(bad))
+		var verr *UnsupportedCellVersionError
+		if !errors.As(err, &verr) {
+			t.Errorf("UnmarshalCells(%s) = %v, want UnsupportedCellVersionError", bad, err)
+		}
+	}
+	if _, err := UnmarshalCells([]byte(`{"version":1,"cells":{}}`)); err != nil {
+		t.Errorf("current version rejected: %v", err)
+	}
+	if _, err := UnmarshalCells([]byte(`not json`)); err == nil {
+		t.Error("malformed file accepted")
+	}
+}
+
+// countingCache is a minimal CellCache: an in-memory map that counts
+// computes, standing in for internal/serve's on-disk store.
+type countingCache struct {
+	mu       sync.Mutex
+	m        map[string]CellResult
+	computes int
+}
+
+func (c *countingCache) GetOrCompute(ctx context.Context, addr string, _ runner.Spec,
+	compute func(context.Context) (CellResult, error)) (CellResult, error) {
+	c.mu.Lock()
+	if hit, ok := c.m[addr]; ok {
+		c.mu.Unlock()
+		return hit, nil
+	}
+	c.mu.Unlock()
+	res, err := compute(ctx)
+	if err != nil {
+		return res, err
+	}
+	c.mu.Lock()
+	if c.m == nil {
+		c.m = map[string]CellResult{}
+	}
+	c.m[addr] = res
+	c.computes++
+	c.mu.Unlock()
+	return res, nil
+}
+
+// TestGridCellCache runs a grid twice through one CellCache with fresh
+// Params: the second run must compute nothing and render identically —
+// the property internal/serve's result cache is built on.
+func TestGridCellCache(t *testing.T) {
+	cc := &countingCache{}
+
+	first := smallParams()
+	first.Cache = cc
+	direct, err := Table3(first)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cc.computes != len(suite()) {
+		t.Fatalf("first run computed %d cells, want %d", cc.computes, len(suite()))
+	}
+
+	second := smallParams()
+	second.Cache = cc
+	replay, err := Table3(second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cc.computes != len(suite()) {
+		t.Fatalf("second run computed %d new cells, want 0", cc.computes-len(suite()))
+	}
+	if direct.Render() != replay.Render() {
+		t.Fatal("render from cached cells differs from direct simulation")
+	}
+
+	// Preloaded Cells take precedence over the cache: a poisoned cache
+	// never overrides explicitly supplied cells.
+	pre := smallParams()
+	pre.Cache = &countingCache{} // empty; would simulate if consulted
+	pre.Cells = cc.m2cells(t)
+	pre.Progress = func(msg string) { t.Fatalf("simulated despite preloaded cells: %s", msg) }
+	if _, err := Table3(pre); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// m2cells rekeys the cache's address-keyed entries by spec key for use
+// as a Params.Cells preload.
+func (c *countingCache) m2cells(t *testing.T) map[string]CellResult {
+	t.Helper()
+	p := smallParams()
+	out := map[string]CellResult{}
+	for _, w := range suite() {
+		sp := runner.Spec{Experiment: "table3", Workload: w.Name, Predictor: "mcfarling", Variant: "main"}
+		hit, ok := c.m[p.CellAddress(sp)]
+		if !ok {
+			t.Fatalf("cache missing cell for %s", sp.Key())
+		}
+		out[sp.Key()] = hit
+	}
+	return out
 }
 
 // TestShardRun checks that a sharded run returns ErrShardOnly, records

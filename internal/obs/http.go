@@ -1,11 +1,15 @@
 package obs
 
 import (
+	"encoding/json"
 	"expvar"
 	"fmt"
 	"net"
 	"net/http"
 	"net/http/pprof"
+	"runtime"
+	"runtime/debug"
+	"strings"
 	"sync"
 )
 
@@ -14,6 +18,8 @@ import (
 //
 //	/metrics       Prometheus text format
 //	/metrics.json  JSON snapshot
+//	/healthz       liveness probe (always 200 while serving)
+//	/buildinfo     module version + VCS stamp (JSON)
 //	/debug/vars    expvar (Go runtime memstats, cmdline)
 //	/debug/pprof/  CPU/heap/goroutine profiles
 //
@@ -27,13 +33,12 @@ type Server struct {
 	closed bool
 }
 
-// Serve starts an observability endpoint for reg on addr (host:port;
-// ":0" picks a free port). The returned server is already listening.
-func Serve(addr string, reg *Registry) (*Server, error) {
-	ln, err := net.Listen("tcp", addr)
-	if err != nil {
-		return nil, fmt.Errorf("obs: listen %s: %w", addr, err)
-	}
+// NewMux returns the standard observability mux for reg (the endpoint
+// set documented on Server). Callers that serve more than metrics —
+// cmd/simserved mounts its job API here — can register additional
+// handlers on the returned mux before passing it to ServeHandler, so
+// one port serves both the API and its observability.
+func NewMux(reg *Registry) *http.ServeMux {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
@@ -43,25 +48,73 @@ func Serve(addr string, reg *Registry) (*Server, error) {
 		w.Header().Set("Content-Type", "application/json")
 		_ = WriteJSON(w, reg)
 	})
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprintln(w, "ok")
+	})
+	mux.HandleFunc("/buildinfo", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(buildInfo())
+	})
 	mux.Handle("/debug/vars", expvar.Handler())
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
 	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
-	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
-		if r.URL.Path != "/" {
-			http.NotFound(w, r)
-			return
-		}
+	mux.HandleFunc("/{$}", func(w http.ResponseWriter, _ *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 		fmt.Fprintln(w, "specctrl observability endpoint")
 		fmt.Fprintln(w, "  /metrics       Prometheus text format")
 		fmt.Fprintln(w, "  /metrics.json  JSON snapshot")
+		fmt.Fprintln(w, "  /healthz       liveness probe")
+		fmt.Fprintln(w, "  /buildinfo     module version + VCS stamp")
 		fmt.Fprintln(w, "  /debug/vars    expvar")
 		fmt.Fprintln(w, "  /debug/pprof/  profiles")
 	})
-	s := &Server{ln: ln, srv: &http.Server{Handler: mux}}
+	return mux
+}
+
+// buildInfo collects the module version and VCS stamp embedded by the
+// Go linker. Fields missing from the build (e.g. test binaries without
+// a VCS stamp) are omitted.
+func buildInfo() map[string]string {
+	out := map[string]string{"goVersion": runtime.Version()}
+	bi, ok := debug.ReadBuildInfo()
+	if !ok {
+		return out
+	}
+	if bi.Main.Path != "" {
+		out["module"] = bi.Main.Path
+	}
+	if bi.Main.Version != "" {
+		out["version"] = bi.Main.Version
+	}
+	for _, s := range bi.Settings {
+		if strings.HasPrefix(s.Key, "vcs") && s.Value != "" {
+			out[s.Key] = s.Value
+		}
+	}
+	return out
+}
+
+// Serve starts an observability endpoint for reg on addr (host:port;
+// ":0" picks a free port). The returned server is already listening.
+func Serve(addr string, reg *Registry) (*Server, error) {
+	return ServeHandler(addr, NewMux(reg))
+}
+
+// ServeHandler starts an HTTP server for an arbitrary handler
+// (typically a NewMux with extra routes) on addr. The returned server
+// is already listening.
+func ServeHandler(addr string, h http.Handler) (*Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("obs: listen %s: %w", addr, err)
+	}
+	s := &Server{ln: ln, srv: &http.Server{Handler: h}}
 	go func() { _ = s.srv.Serve(ln) }()
 	return s, nil
 }

@@ -1,6 +1,8 @@
 package obs
 
 import (
+	"encoding/json"
+	"fmt"
 	"io"
 	"net/http"
 	"strings"
@@ -51,6 +53,58 @@ func TestServeEndpoints(t *testing.T) {
 	}
 	if code, _ := get(t, srv.URL()+"/nope"); code != 404 {
 		t.Errorf("unknown path: code %d, want 404", code)
+	}
+}
+
+func TestServeHealthz(t *testing.T) {
+	srv, err := Serve("127.0.0.1:0", NewRegistry())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	if code, body := get(t, srv.URL()+"/healthz"); code != 200 || body != "ok\n" {
+		t.Errorf("/healthz: code %d body %q", code, body)
+	}
+}
+
+func TestServeBuildinfo(t *testing.T) {
+	srv, err := Serve("127.0.0.1:0", NewRegistry())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	code, body := get(t, srv.URL()+"/buildinfo")
+	if code != 200 {
+		t.Fatalf("/buildinfo: code %d", code)
+	}
+	var info map[string]string
+	if err := json.Unmarshal([]byte(body), &info); err != nil {
+		t.Fatalf("/buildinfo not JSON: %v\n%s", err, body)
+	}
+	if info["goVersion"] == "" {
+		t.Errorf("/buildinfo missing goVersion: %v", info)
+	}
+	// In a `go test` binary the module path is always stamped.
+	if info["module"] != "specctrl" {
+		t.Errorf("/buildinfo module = %q, want specctrl", info["module"])
+	}
+}
+
+func TestServeHandlerExtraRoutes(t *testing.T) {
+	mux := NewMux(NewRegistry())
+	mux.HandleFunc("/v1/ping", func(w http.ResponseWriter, _ *http.Request) {
+		fmt.Fprintln(w, "pong")
+	})
+	srv, err := ServeHandler("127.0.0.1:0", mux)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	if code, body := get(t, srv.URL()+"/v1/ping"); code != 200 || body != "pong\n" {
+		t.Errorf("/v1/ping: code %d body %q", code, body)
+	}
+	if code, _ := get(t, srv.URL()+"/metrics"); code != 200 {
+		t.Errorf("/metrics on extended mux: code %d", code)
 	}
 }
 

@@ -1,0 +1,167 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+
+	"specctrl/internal/experiments"
+	"specctrl/internal/obs"
+)
+
+// Store is the content-addressed result cache: one JSON file per cell,
+// named by the cell's canonical address (experiments.CellAddress), plus
+// an in-memory singleflight table so concurrent requests for the same
+// address trigger exactly one simulation.
+//
+// Because a cell's address captures everything its result is a function
+// of, and experiments.CellResult round-trips exactly through JSON, a
+// cell served from the store is byte-for-byte indistinguishable from a
+// freshly simulated one — entries never expire. The store must be
+// cleared by the operator when simulator behaviour changes (the same
+// event that regenerates results_full.txt).
+//
+// Layout: <dir>/<first two hex digits>/<address>.json, sharded to keep
+// directories small. Writes go through a temp file + rename, so a
+// crashed writer leaves no partial entry; unreadable or corrupt entries
+// are treated as misses and overwritten.
+type Store struct {
+	dir string
+
+	mu       sync.Mutex
+	inflight map[string]*flight
+
+	hits, misses, dedup *obs.Counter
+}
+
+// flight is one in-progress computation; followers wait on done.
+type flight struct {
+	done chan struct{}
+	val  experiments.CellResult
+	err  error
+}
+
+// NewStore opens (creating if needed) a content-addressed store rooted
+// at dir. When reg is non-nil the store publishes
+// specctrl_serve_cache_{hits,misses,dedup}_total.
+func NewStore(dir string, reg *obs.Registry) (*Store, error) {
+	if dir == "" {
+		return nil, fmt.Errorf("serve: store directory required")
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("serve: store: %w", err)
+	}
+	s := &Store{dir: dir, inflight: make(map[string]*flight)}
+	if reg != nil {
+		s.hits = reg.Counter("specctrl_serve_cache_hits_total", nil)
+		s.misses = reg.Counter("specctrl_serve_cache_misses_total", nil)
+		s.dedup = reg.Counter("specctrl_serve_cache_dedup_total", nil)
+	}
+	return s, nil
+}
+
+// Dir returns the store's root directory.
+func (s *Store) Dir() string { return s.dir }
+
+func (s *Store) path(addr string) string {
+	return filepath.Join(s.dir, addr[:2], addr+".json")
+}
+
+// Lookup reads the cell stored under addr, reporting whether a valid
+// entry exists.
+func (s *Store) Lookup(addr string) (experiments.CellResult, bool) {
+	data, err := os.ReadFile(s.path(addr))
+	if err != nil {
+		return experiments.CellResult{}, false
+	}
+	var c experiments.CellResult
+	if err := json.Unmarshal(data, &c); err != nil {
+		return experiments.CellResult{}, false // corrupt: treat as miss
+	}
+	return c, true
+}
+
+// save writes the cell atomically (temp file + rename in the same
+// directory).
+func (s *Store) save(addr string, c experiments.CellResult) error {
+	data, err := json.Marshal(c)
+	if err != nil {
+		return fmt.Errorf("serve: store encode: %w", err)
+	}
+	dir := filepath.Dir(s.path(addr))
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return fmt.Errorf("serve: store: %w", err)
+	}
+	tmp, err := os.CreateTemp(dir, "."+addr+".tmp*")
+	if err != nil {
+		return fmt.Errorf("serve: store: %w", err)
+	}
+	if _, err := tmp.Write(append(data, '\n')); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return fmt.Errorf("serve: store write: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("serve: store write: %w", err)
+	}
+	if err := os.Rename(tmp.Name(), s.path(addr)); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("serve: store write: %w", err)
+	}
+	return nil
+}
+
+// GetOrCompute returns the cell stored under addr, computing and
+// storing it on a miss. Concurrent callers with the same address are
+// deduplicated: exactly one runs compute (with its own context), the
+// rest block until it finishes (or their ctx is cancelled) and share
+// the outcome. Compute errors are returned to every waiter and are not
+// cached — the next request retries.
+func (s *Store) GetOrCompute(ctx context.Context, addr string,
+	compute func(context.Context) (experiments.CellResult, error)) (experiments.CellResult, error) {
+	s.mu.Lock()
+	if f, ok := s.inflight[addr]; ok {
+		s.mu.Unlock()
+		select {
+		case <-f.done:
+			if f.err == nil && s.dedup != nil {
+				s.dedup.Inc()
+			}
+			return f.val, f.err
+		case <-ctx.Done():
+			return experiments.CellResult{}, ctx.Err()
+		}
+	}
+	f := &flight{done: make(chan struct{})}
+	s.inflight[addr] = f
+	s.mu.Unlock()
+
+	finish := func(val experiments.CellResult, err error) {
+		f.val, f.err = val, err
+		s.mu.Lock()
+		delete(s.inflight, addr)
+		s.mu.Unlock()
+		close(f.done)
+	}
+
+	if c, ok := s.Lookup(addr); ok {
+		finish(c, nil)
+		if s.hits != nil {
+			s.hits.Inc()
+		}
+		return c, nil
+	}
+	val, err := compute(ctx)
+	if err == nil {
+		err = s.save(addr, val)
+	}
+	finish(val, err)
+	if err == nil && s.misses != nil {
+		s.misses.Inc()
+	}
+	return val, err
+}

@@ -1,0 +1,201 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"os"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"specctrl/internal/experiments"
+	"specctrl/internal/obs"
+	"specctrl/internal/pipeline"
+)
+
+// addr returns a syntactically valid content address for tests.
+func testAddr(tag string) string {
+	return strings.Repeat("0", 64-len(tag)) + tag
+}
+
+func testCell(v float64) experiments.CellResult {
+	return experiments.CellResult{
+		Stats: &pipeline.Stats{},
+		Extra: map[string]float64{"v": v},
+	}
+}
+
+func TestStoreRoundTrip(t *testing.T) {
+	reg := obs.NewRegistry()
+	s, err := NewStore(t.TempDir(), reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := testAddr("aa")
+	computes := 0
+	compute := func(context.Context) (experiments.CellResult, error) {
+		computes++
+		return testCell(42), nil
+	}
+	c1, err := s.GetOrCompute(context.Background(), addr, compute)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c2, err := s.GetOrCompute(context.Background(), addr, compute)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if computes != 1 {
+		t.Errorf("computed %d times, want 1", computes)
+	}
+	if c1.Extra["v"] != 42 || c2.Extra["v"] != 42 {
+		t.Errorf("results: %v %v", c1, c2)
+	}
+	if h := reg.Counter("specctrl_serve_cache_hits_total", nil).Value(); h != 1 {
+		t.Errorf("hits = %d, want 1", h)
+	}
+	if m := reg.Counter("specctrl_serve_cache_misses_total", nil).Value(); m != 1 {
+		t.Errorf("misses = %d, want 1", m)
+	}
+
+	// A second store over the same directory sees the entry (the cache
+	// is a plain content-addressed directory, shareable across
+	// processes).
+	s2, err := NewStore(s.Dir(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := s2.Lookup(addr); !ok {
+		t.Error("second store over same dir misses the entry")
+	}
+}
+
+// TestStoreSingleflight is the dedup guarantee: N concurrent requests
+// for one address run compute exactly once and all see its result.
+func TestStoreSingleflight(t *testing.T) {
+	reg := obs.NewRegistry()
+	s, err := NewStore(t.TempDir(), reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := testAddr("bb")
+	var computes atomic.Int64
+	started := make(chan struct{})
+	release := make(chan struct{})
+	compute := func(context.Context) (experiments.CellResult, error) {
+		computes.Add(1)
+		close(started)
+		<-release
+		return testCell(7), nil
+	}
+
+	const followers = 8
+	var wg sync.WaitGroup
+	results := make([]experiments.CellResult, followers+1)
+	errs := make([]error, followers+1)
+	wg.Add(1)
+	go func() { defer wg.Done(); results[0], errs[0] = s.GetOrCompute(context.Background(), addr, compute) }()
+	<-started // leader is inside compute; everyone else must join it
+	for i := 1; i <= followers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			results[i], errs[i] = s.GetOrCompute(context.Background(), addr, compute)
+		}(i)
+	}
+	time.Sleep(10 * time.Millisecond) // let followers park on the flight
+	close(release)
+	wg.Wait()
+
+	if n := computes.Load(); n != 1 {
+		t.Errorf("computed %d times, want 1", n)
+	}
+	for i, err := range errs {
+		if err != nil {
+			t.Errorf("caller %d: %v", i, err)
+		}
+		if results[i].Extra["v"] != 7 {
+			t.Errorf("caller %d result: %v", i, results[i])
+		}
+	}
+	if d := reg.Counter("specctrl_serve_cache_dedup_total", nil).Value(); d != followers {
+		t.Errorf("dedup = %d, want %d", d, followers)
+	}
+}
+
+func TestStoreErrorNotCached(t *testing.T) {
+	s, err := NewStore(t.TempDir(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := testAddr("cc")
+	boom := errors.New("boom")
+	if _, err := s.GetOrCompute(context.Background(), addr,
+		func(context.Context) (experiments.CellResult, error) {
+			return experiments.CellResult{}, boom
+		}); !errors.Is(err, boom) {
+		t.Fatalf("got %v, want boom", err)
+	}
+	// The failure must not poison the address.
+	c, err := s.GetOrCompute(context.Background(), addr,
+		func(context.Context) (experiments.CellResult, error) { return testCell(1), nil })
+	if err != nil || c.Extra["v"] != 1 {
+		t.Errorf("retry after error: %v, %v", c, err)
+	}
+}
+
+func TestStoreCorruptEntryRecomputed(t *testing.T) {
+	s, err := NewStore(t.TempDir(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := testAddr("dd")
+	if _, err := s.GetOrCompute(context.Background(), addr,
+		func(context.Context) (experiments.CellResult, error) { return testCell(5), nil }); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(s.path(addr), []byte("{not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	c, err := s.GetOrCompute(context.Background(), addr,
+		func(context.Context) (experiments.CellResult, error) { return testCell(6), nil })
+	if err != nil || c.Extra["v"] != 6 {
+		t.Fatalf("corrupt entry not recomputed: %v, %v", c, err)
+	}
+	// And the recompute repaired the entry on disk.
+	if c, ok := s.Lookup(addr); !ok || c.Extra["v"] != 6 {
+		t.Errorf("entry not repaired: %v %v", c, ok)
+	}
+}
+
+func TestStoreFollowerCancellation(t *testing.T) {
+	s, err := NewStore(t.TempDir(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := testAddr("ee")
+	started := make(chan struct{})
+	release := make(chan struct{})
+	leaderDone := make(chan struct{})
+	go func() {
+		defer close(leaderDone)
+		s.GetOrCompute(context.Background(), addr,
+			func(context.Context) (experiments.CellResult, error) {
+				close(started)
+				<-release
+				return testCell(1), nil
+			})
+	}()
+	<-started
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err = s.GetOrCompute(ctx, addr,
+		func(context.Context) (experiments.CellResult, error) { return testCell(2), nil })
+	if !errors.Is(err, context.Canceled) {
+		t.Errorf("cancelled follower got %v, want context.Canceled", err)
+	}
+	close(release)
+	<-leaderDone // the leader writes into TempDir; let it finish before cleanup
+}

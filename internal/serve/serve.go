@@ -1,0 +1,374 @@
+// Package serve turns the batch experiment harness into a long-running
+// simulation service: simulation-as-a-service over the work-stealing
+// grid runner.
+//
+// Four layers:
+//
+//   - A job API over HTTP (see api.go): submit a set of experiments as
+//     a job, poll its status, stream per-cell completion events, and
+//     fetch the merged results — rendered text per experiment plus the
+//     cell dump in the same versioned JSON schema simctrl's -cells-out
+//     writes.
+//   - A content-addressed result cache (Store): every cell is keyed by
+//     the canonical hash of its full spec (experiments.CellAddress), so
+//     the same cell requested twice — by one job, by two concurrent
+//     jobs, or days apart — simulates exactly once and is served from
+//     disk forever after, byte-identical to a fresh simulation.
+//   - Admission control and backpressure: a bounded job queue sized off
+//     the runner pool width. A full queue rejects submissions with
+//     429 + Retry-After; a draining server rejects them with 503. Jobs
+//     carry a configurable timeout and are cancelled at the next cell
+//     boundary. Drain (SIGTERM in cmd/simserved) lets in-flight cells
+//     finish and checkpoints every unfinished job's completed cells as
+//     a -cells-in-loadable dump.
+//   - Wiring into the existing stack: jobs execute on internal/runner
+//     through internal/experiments' grid path, preserving byte-identical
+//     determinism, and the service publishes queue depth, cache
+//     hit/miss, inflight, and latency-histogram metrics through
+//     internal/obs on the same mux that serves the API.
+package serve
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"runtime"
+	"sync"
+	"time"
+
+	"specctrl/internal/experiments"
+	"specctrl/internal/obs"
+)
+
+// Config configures a Server. The zero value of every field has a
+// usable default except CacheDir, which is required.
+type Config struct {
+	// Addr is the listen address (":0" picks a free port).
+	Addr string
+	// CacheDir roots the content-addressed result store. Required.
+	CacheDir string
+	// DrainDir receives drain checkpoints (default: CacheDir/drain).
+	DrainDir string
+	// Jobs is the runner pool width per grid (default: all CPUs).
+	Jobs int
+	// JobConcurrency is how many jobs execute at once (default 2, so
+	// concurrent identical jobs exercise the singleflight dedup rather
+	// than trivially serializing).
+	JobConcurrency int
+	// QueueDepth bounds the admission queue, excluding executing jobs
+	// (default: 2×Jobs, minimum 4 — sized off the runner pool width so
+	// accepted work is at most a few pool-drains deep).
+	QueueDepth int
+	// JobTimeout cancels a job this long after it starts executing
+	// (0 = no timeout).
+	JobTimeout time.Duration
+	// RetryAfter is the Retry-After hint on 429/503 responses
+	// (default 10s).
+	RetryAfter time.Duration
+	// Params is the base parameter set jobs derive from; a zero
+	// MaxCommitted selects experiments.DefaultParams(). Per-request
+	// overrides (committed, baseSeed) apply on top.
+	Params experiments.Params
+	// Registry receives the service metrics (created when nil). It is
+	// also what /metrics on the server's mux exposes.
+	Registry *obs.Registry
+
+	// runExperiment is a test seam; nil means experiments.Run.
+	runExperiment func(name string, p experiments.Params) (experiments.Renderer, error)
+}
+
+// Server is a running simulation service. Construct with New; stop
+// with Drain.
+type Server struct {
+	cfg   Config
+	reg   *obs.Registry
+	store *Store
+	hs    *obs.Server
+
+	queue       chan *Job
+	drainCtx    context.Context
+	drainCancel context.CancelFunc
+	wg          sync.WaitGroup
+
+	mu       sync.Mutex
+	draining bool
+	drained  bool
+	jobs     map[string]*Job
+	nextID   int
+
+	queueDepth  *obs.Gauge
+	inflight    *obs.Gauge
+	jobSeconds  *obs.Histogram
+	cellSeconds *obs.Histogram
+}
+
+// jobSecondsBounds and cellSecondsBounds bucket service latencies; the
+// top buckets absorb full-scale (multi-minute) grids.
+var (
+	jobSecondsBounds  = []float64{0.1, 0.5, 1, 5, 15, 60, 300, 1800}
+	cellSecondsBounds = []float64{0.01, 0.05, 0.1, 0.5, 1, 5, 30, 120}
+)
+
+// New starts a Server: opens the store, mounts the job API on the
+// standard observability mux, binds Addr, and launches the executor
+// pool. The returned server is already accepting submissions.
+func New(cfg Config) (*Server, error) {
+	if cfg.Addr == "" {
+		cfg.Addr = "127.0.0.1:0"
+	}
+	if cfg.Jobs < 1 {
+		cfg.Jobs = runtime.NumCPU()
+	}
+	if cfg.JobConcurrency < 1 {
+		cfg.JobConcurrency = 2
+	}
+	if cfg.QueueDepth < 1 {
+		cfg.QueueDepth = max(4, 2*cfg.Jobs)
+	}
+	if cfg.RetryAfter <= 0 {
+		cfg.RetryAfter = 10 * time.Second
+	}
+	if cfg.Params.MaxCommitted == 0 {
+		cfg.Params = experiments.DefaultParams()
+	}
+	if cfg.DrainDir == "" {
+		if cfg.CacheDir == "" {
+			return nil, fmt.Errorf("serve: CacheDir required")
+		}
+		cfg.DrainDir = filepath.Join(cfg.CacheDir, "drain")
+	}
+	if cfg.Registry == nil {
+		cfg.Registry = obs.NewRegistry()
+	}
+	if cfg.runExperiment == nil {
+		cfg.runExperiment = experiments.Run
+	}
+
+	store, err := NewStore(cfg.CacheDir, cfg.Registry)
+	if err != nil {
+		return nil, err
+	}
+	s := &Server{
+		cfg:         cfg,
+		reg:         cfg.Registry,
+		store:       store,
+		queue:       make(chan *Job, cfg.QueueDepth),
+		jobs:        make(map[string]*Job),
+		queueDepth:  cfg.Registry.Gauge("specctrl_serve_queue_depth", nil),
+		inflight:    cfg.Registry.Gauge("specctrl_serve_inflight_jobs", nil),
+		jobSeconds:  cfg.Registry.Histogram("specctrl_serve_job_seconds", nil, jobSecondsBounds),
+		cellSeconds: cfg.Registry.Histogram("specctrl_serve_cell_seconds", nil, cellSecondsBounds),
+	}
+	cfg.Registry.Gauge("specctrl_serve_queue_capacity", nil).SetUint(uint64(cfg.QueueDepth))
+	s.drainCtx, s.drainCancel = context.WithCancel(context.Background())
+
+	mux := obs.NewMux(cfg.Registry)
+	s.routes(mux)
+	hs, err := obs.ServeHandler(cfg.Addr, mux)
+	if err != nil {
+		return nil, err
+	}
+	s.hs = hs
+
+	for i := 0; i < cfg.JobConcurrency; i++ {
+		s.wg.Add(1)
+		go s.executor()
+	}
+	return s, nil
+}
+
+// URL returns the server's base URL.
+func (s *Server) URL() string { return s.hs.URL() }
+
+// Store returns the server's content-addressed result cache.
+func (s *Server) Store() *Store { return s.store }
+
+// job looks up a job by id.
+func (s *Server) job(id string) (*Job, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, ok := s.jobs[id]
+	return j, ok
+}
+
+// submit admits a job or reports why it can't: errDraining when the
+// server is shutting down, errQueueFull when admission is saturated.
+var (
+	errDraining  = errors.New("serve: draining, not accepting jobs")
+	errQueueFull = errors.New("serve: job queue full")
+)
+
+func (s *Server) submit(req SubmitRequest) (*Job, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.draining {
+		return nil, errDraining
+	}
+	s.nextID++
+	j := newJob(fmt.Sprintf("job-%06d", s.nextID), req, time.Now())
+	select {
+	case s.queue <- j:
+		s.jobs[j.id] = j
+		s.queueDepth.SetUint(uint64(len(s.queue)))
+		return j, nil
+	default:
+		s.nextID-- // job was never admitted; reuse the id
+		return nil, errQueueFull
+	}
+}
+
+// jobParams derives one job's parameter set from the server base plus
+// the request overrides.
+func (s *Server) jobParams(req SubmitRequest) experiments.Params {
+	p := s.cfg.Params
+	if req.Committed > 0 {
+		p.MaxCommitted = req.Committed
+	}
+	if req.BaseSeed != 0 {
+		p.BaseSeed = req.BaseSeed
+	}
+	p.Jobs = s.cfg.Jobs
+	return p
+}
+
+// executor drains the queue until it closes (Drain).
+func (s *Server) executor() {
+	defer s.wg.Done()
+	for j := range s.queue {
+		s.queueDepth.SetUint(uint64(len(s.queue)))
+		s.runJob(j)
+	}
+}
+
+// runJob executes one job's experiments on the grid runner. Cancel
+// semantics: the grid stops dispatching at the next cell boundary, but
+// cells already executing always run to completion — that is what
+// makes drain checkpoints (and the result cache) loss-free.
+func (s *Server) runJob(j *Job) {
+	s.inflight.Add(1)
+	defer s.inflight.Add(-1)
+	start := time.Now()
+	j.setRunning(start)
+
+	ctx := s.drainCtx
+	cancel := context.CancelFunc(func() {})
+	if s.cfg.JobTimeout > 0 {
+		ctx, cancel = context.WithTimeout(ctx, s.cfg.JobTimeout)
+	}
+	defer cancel()
+
+	p := s.jobParams(j.req)
+	p.Ctx = ctx
+	p.Record = j.cells
+	p.Cache = &jobCache{store: s.store, job: j, cellSeconds: s.cellSeconds}
+
+	var outputs []ExperimentOutput
+	var runErr error
+	for _, name := range j.req.Experiments {
+		r, err := s.cfg.runExperiment(name, p)
+		if err != nil {
+			runErr = err
+			break
+		}
+		outputs = append(outputs, ExperimentOutput{Experiment: name, Output: r.Render()})
+		j.emit(Event{Type: "experiment", Name: name})
+	}
+
+	now := time.Now()
+	switch {
+	case runErr == nil:
+		j.finish(StateDone, outputs, "", "", now)
+	case errors.Is(runErr, context.Canceled) && s.drainCtx.Err() != nil:
+		path, cpErr := s.checkpoint(j)
+		msg := "interrupted by server drain"
+		if cpErr != nil {
+			msg = fmt.Sprintf("%s (checkpoint failed: %v)", msg, cpErr)
+		}
+		j.finish(StateDrained, nil, msg, path, now)
+	case errors.Is(runErr, context.DeadlineExceeded):
+		j.finish(StateFailed, nil, fmt.Sprintf("job timeout after %s", s.cfg.JobTimeout), "", now)
+	default:
+		j.finish(StateFailed, nil, runErr.Error(), "", now)
+	}
+	s.jobSeconds.Observe(time.Since(start).Seconds())
+	state, _, _ := j.result()
+	s.reg.Counter("specctrl_serve_jobs_total", obs.Labels{"state": string(state)}).Inc()
+}
+
+// checkpoint persists a job's completed cells as a versioned cell dump
+// (the exact schema simctrl -cells-in loads), returning its path. An
+// interrupted job is requeueable: resubmitting it replays the
+// checkpointed (and cached) cells and simulates only the remainder.
+func (s *Server) checkpoint(j *Job) (string, error) {
+	if err := os.MkdirAll(s.cfg.DrainDir, 0o755); err != nil {
+		return "", err
+	}
+	data, err := j.cells.MarshalJSON()
+	if err != nil {
+		return "", err
+	}
+	path := filepath.Join(s.cfg.DrainDir, j.id+".cells.json")
+	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+		return "", err
+	}
+	return path, nil
+}
+
+// Drain gracefully stops the server: new submissions are rejected with
+// 503, the running jobs' in-flight cells finish (queued cells are
+// abandoned), and every unfinished job — running or still queued — is
+// checkpointed into DrainDir as a requeueable cell dump. Drain returns
+// once every executor has exited and the listener is closed. It is
+// idempotent.
+func (s *Server) Drain() error {
+	s.mu.Lock()
+	if s.drained {
+		s.mu.Unlock()
+		return nil
+	}
+	alreadyDraining := s.draining
+	s.draining = true
+	s.mu.Unlock()
+	if alreadyDraining {
+		// A concurrent Drain is in progress; wait for the executors it
+		// is shutting down, then let the idempotent close run.
+		s.wg.Wait()
+	} else {
+		s.drainCancel()
+		// Checkpoint jobs still queued; executors may race us for them,
+		// which is fine — a job they pick up runs under a cancelled
+		// context and checkpoints itself through the same path.
+	drainQueue:
+		for {
+			select {
+			case j := <-s.queue:
+				path, err := s.checkpoint(j)
+				msg := "server drained before the job started"
+				if err != nil {
+					msg = fmt.Sprintf("%s (checkpoint failed: %v)", msg, err)
+				}
+				j.finish(StateDrained, nil, msg, path, time.Now())
+				s.reg.Counter("specctrl_serve_jobs_total", obs.Labels{"state": string(StateDrained)}).Inc()
+			default:
+				break drainQueue
+			}
+		}
+		s.queueDepth.SetUint(uint64(len(s.queue)))
+		close(s.queue)
+		s.wg.Wait()
+	}
+	s.mu.Lock()
+	s.drained = true
+	s.mu.Unlock()
+	return s.hs.Close()
+}
+
+// ready reports whether the server accepts submissions (the /readyz
+// readiness probe; /healthz on the same mux is pure liveness).
+func (s *Server) ready() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return !s.draining
+}

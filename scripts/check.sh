@@ -17,10 +17,58 @@ go test -race -count=1 ./internal/runner
 
 # RNG hygiene: experiment cells must take randomness from spec.Seed only;
 # a process-global RNG would break cross-job determinism silently.
-if grep -rn 'math/rand' internal/experiments internal/runner internal/workload; then
+if grep -rn 'math/rand' internal/experiments internal/runner internal/workload internal/serve; then
     echo "check.sh: process-global RNG import found (use seed-derived rng streams)" >&2
     exit 1
 fi
 
 # Bench smoke: the runner benchmarks must at least execute.
 go test -bench='BenchmarkRunner' -benchtime=1x -run '^$' .
+
+# Serving smoke: results fetched through simserved must be byte-identical
+# to a local simctrl run, and a resubmission must be served entirely from
+# the content-addressed cache (zero new simulations).
+SMOKE=$(mktemp -d)
+SERVED_PID=""
+cleanup() {
+    if [ -n "$SERVED_PID" ]; then
+        kill -TERM "$SERVED_PID" 2>/dev/null || true
+        wait "$SERVED_PID" || true
+    fi
+    rm -rf "$SMOKE"
+}
+trap cleanup EXIT INT TERM
+
+go build -o "$SMOKE/simctrl" ./cmd/simctrl
+go build -o "$SMOKE/simserved" ./cmd/simserved
+
+"$SMOKE/simctrl" -exp table3 -committed 60000 > "$SMOKE/local.txt"
+
+"$SMOKE/simserved" -addr 127.0.0.1:0 -addr-file "$SMOKE/addr" \
+    -cache-dir "$SMOKE/cache" -committed 60000 2> "$SMOKE/simserved.log" &
+SERVED_PID=$!
+for _ in $(seq 1 100); do
+    [ -s "$SMOKE/addr" ] && break
+    sleep 0.1
+done
+[ -s "$SMOKE/addr" ] || { echo "check.sh: simserved never published its address" >&2; cat "$SMOKE/simserved.log" >&2; exit 1; }
+URL=$(cat "$SMOKE/addr")
+
+"$SMOKE/simctrl" -server "$URL" -exp table3 -committed 60000 \
+    > "$SMOKE/served1.txt" 2> "$SMOKE/stats1.txt"
+"$SMOKE/simctrl" -server "$URL" -exp table3 -committed 60000 \
+    > "$SMOKE/served2.txt" 2> "$SMOKE/stats2.txt"
+
+# Byte-identity of both served runs against the local run.
+cmp "$SMOKE/local.txt" "$SMOKE/served1.txt"
+cmp "$SMOKE/local.txt" "$SMOKE/served2.txt"
+
+# First submission simulated everything; the resubmission hit the cache
+# for every cell (the stats line is "... N cells (C cached, S simulated)").
+grep -q '(0 cached' "$SMOKE/stats1.txt"
+grep -q ' 0 simulated)' "$SMOKE/stats2.txt"
+
+# Graceful drain: SIGTERM must exit 0.
+kill -TERM "$SERVED_PID"
+wait "$SERVED_PID"
+SERVED_PID=""
