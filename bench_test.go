@@ -146,7 +146,8 @@ func BenchmarkPipelineThroughput(b *testing.B) {
 	cfg := pipeline.DefaultConfig()
 	cfg.MaxCommitted = uint64(b.N)
 	cfg.MaxCycles = 0
-	sim := pipeline.New(cfg, prog, bpred.NewGshare(12), conf.NewJRS(conf.DefaultJRS))
+	cfg.Estimators = []conf.Estimator{conf.NewJRS(conf.DefaultJRS)}
+	sim := pipeline.MustNew(cfg, prog, bpred.NewGshare(12))
 	b.ResetTimer()
 	st, err := sim.Run()
 	if err != nil {
@@ -307,7 +308,8 @@ func pipelineObsBench(b *testing.B, wire func(*pipeline.Config)) {
 	if wire != nil {
 		wire(&cfg)
 	}
-	sim := pipeline.New(cfg, prog, bpred.NewGshare(12), conf.NewJRS(conf.DefaultJRS))
+	cfg.Estimators = []conf.Estimator{conf.NewJRS(conf.DefaultJRS)}
+	sim := pipeline.MustNew(cfg, prog, bpred.NewGshare(12))
 	b.ResetTimer()
 	st, err := sim.Run()
 	if err != nil {

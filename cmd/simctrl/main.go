@@ -50,8 +50,8 @@ import (
 	"sort"
 	"strings"
 
+	"specctrl/internal/cliflags"
 	"specctrl/internal/experiments"
-	"specctrl/internal/obs"
 	"specctrl/internal/runner"
 )
 
@@ -68,17 +68,16 @@ func printRendered(w io.Writer, out string) {
 
 func main() {
 	var (
-		exp         = flag.String("exp", "", "experiment to run (see -list), or 'all'")
-		committed   = flag.Uint64("committed", 0, "committed instructions per run (0 = default 2M)")
-		verbose     = flag.Bool("v", false, "print per-run progress to stderr")
-		list        = flag.Bool("list", false, "list available experiments")
-		metricsAddr = flag.String("metrics-addr", "", "serve live metrics/expvar/pprof on this address (e.g. :9090)")
-		progress    = flag.Duration("progress", 0, "print a heartbeat to stderr at this interval (e.g. 1s; 0 = off)")
-		jobs        = flag.Int("jobs", runtime.NumCPU(), "parallel grid cells (output is identical at any value)")
-		shard       = flag.String("shard", "", "run only shard i of n grid cells, as i/n (requires -cells-out)")
-		cellsOut    = flag.String("cells-out", "", "write computed grid cells to this JSON file")
-		cellsIn     = flag.String("cells-in", "", "comma-separated cell JSON files to reuse instead of simulating")
-		server      = flag.String("server", "", "submit to a simserved base URL instead of simulating locally")
+		exp       = flag.String("exp", "", "experiment to run (see -list), or 'all'")
+		committed = cliflags.Committed(flag.CommandLine, 0, "committed instructions per run (0 = default 2M)")
+		verbose   = flag.Bool("v", false, "print per-run progress to stderr")
+		list      = flag.Bool("list", false, "list available experiments")
+		obsFlags  = cliflags.RegisterObs(flag.CommandLine)
+		jobs      = cliflags.Jobs(flag.CommandLine, runtime.NumCPU(), "parallel grid cells (output is identical at any value)")
+		shard     = cliflags.Shard(flag.CommandLine)
+		cellsOut  = cliflags.CellsOut(flag.CommandLine)
+		cellsIn   = cliflags.CellsIn(flag.CommandLine)
+		server    = flag.String("server", "", "submit to a simserved base URL instead of simulating locally")
 	)
 	flag.Parse()
 
@@ -155,38 +154,21 @@ func main() {
 		p.Record = experiments.NewCellStore()
 	}
 	if *cellsIn != "" {
-		p.Cells = map[string]experiments.CellResult{}
-		for _, path := range strings.Split(*cellsIn, ",") {
-			data, err := os.ReadFile(path)
-			if err != nil {
-				fmt.Fprintf(os.Stderr, "simctrl: %v\n", err)
-				os.Exit(1)
-			}
-			cells, err := experiments.UnmarshalCells(data)
-			if err != nil {
-				fmt.Fprintf(os.Stderr, "simctrl: %s: %v\n", path, err)
-				os.Exit(1)
-			}
-			for k, c := range cells {
-				p.Cells[k] = c
-			}
-		}
-	}
-	if *metricsAddr != "" {
-		p.Obs = obs.NewRegistry()
-		srv, err := obs.Serve(*metricsAddr, p.Obs)
+		cells, err := cliflags.LoadCells(*cellsIn)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "simctrl: %v\n", err)
 			os.Exit(1)
 		}
-		defer srv.Close()
-		fmt.Fprintf(os.Stderr, "simctrl: serving metrics on %s/metrics (pprof on /debug/pprof/)\n", srv.URL())
+		p.Cells = cells
 	}
-	if *progress > 0 {
-		p.Run = obs.NewProgress()
-		stop := obs.StartHeartbeat(os.Stderr, *progress, p.Run)
-		defer stop()
+	started, err := obsFlags.Start("simctrl", os.Stderr)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "simctrl: %v\n", err)
+		os.Exit(1)
 	}
+	defer started.Stop()
+	p.Obs = started.Registry
+	p.Run = started.Run
 
 	for _, name := range names {
 		r, err := experiments.Run(name, p)

@@ -31,6 +31,7 @@ import (
 	"syscall"
 	"time"
 
+	"specctrl/internal/cliflags"
 	"specctrl/internal/experiments"
 	"specctrl/internal/serve"
 )
@@ -53,12 +54,12 @@ func run(args []string, stderr io.Writer, stop <-chan struct{}) error {
 		addrFile  = fs.String("addr-file", "", "write the bound base URL to this file once listening")
 		cacheDir  = fs.String("cache-dir", "simserved-cache", "content-addressed result cache directory")
 		drainDir  = fs.String("drain-dir", "", "drain checkpoint directory (default: <cache-dir>/drain)")
-		jobs      = fs.Int("jobs", 0, "runner pool width per grid (0 = all CPUs)")
+		jobs      = cliflags.Jobs(fs, 0, "runner pool width per grid (0 = all CPUs)")
 		jobConc   = fs.Int("job-concurrency", 2, "jobs executing concurrently")
 		queue     = fs.Int("queue", 0, "admission queue depth (0 = 2x pool width)")
 		jobTO     = fs.Duration("job-timeout", 0, "per-job execution timeout (0 = none)")
 		retry     = fs.Duration("retry-after", 10*time.Second, "Retry-After hint on 429/503")
-		committed = fs.Uint64("committed", 0, "default committed instructions per run (0 = paper default 2M)")
+		committed = cliflags.Committed(fs, 0, "default committed instructions per run (0 = paper default 2M)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err

@@ -21,9 +21,9 @@ import (
 	"flag"
 	"fmt"
 	"os"
-	"time"
 
 	"specctrl/internal/bpred"
+	"specctrl/internal/cliflags"
 	"specctrl/internal/conf"
 	"specctrl/internal/isa"
 	"specctrl/internal/obs"
@@ -40,11 +40,10 @@ func main() {
 		record      = flag.String("record", "", "simulate and write the binary branch trace to this file")
 		recordJSONL = flag.String("record-jsonl", "", "simulate and write JSONL branch events to this file")
 		summarize   = flag.String("summarize", "", "read a trace file and print its summary")
-		committed   = flag.Uint64("committed", 500_000, "committed instructions for -record")
+		committed   = cliflags.Committed(flag.CommandLine, 500_000, "committed instructions for -record")
 		iters       = flag.Int("iters", 1<<30, "workload outer iterations")
 		pred        = flag.String("pred", "gshare", "predictor for -record: gshare|mcfarling|sag")
-		metricsAddr = flag.String("metrics-addr", "", "serve live metrics/expvar/pprof on this address (e.g. :9090)")
-		progress    = flag.Duration("progress", 0, "print a heartbeat to stderr at this interval (0 = off)")
+		obsFlags    = cliflags.RegisterObs(flag.CommandLine)
 	)
 	flag.Parse()
 
@@ -68,14 +67,13 @@ func main() {
 		fmt.Print(isa.Disassemble(p, nil))
 	case *record != "" || *recordJSONL != "":
 		opts := recordOptions{
-			workload:    *wname,
-			predictor:   *pred,
-			binPath:     *record,
-			jsonlPath:   *recordJSONL,
-			committed:   *committed,
-			iters:       *iters,
-			metricsAddr: *metricsAddr,
-			progress:    *progress,
+			workload:  *wname,
+			predictor: *pred,
+			binPath:   *record,
+			jsonlPath: *recordJSONL,
+			committed: *committed,
+			iters:     *iters,
+			obs:       obsFlags,
 		}
 		if err := doRecord(opts); err != nil {
 			fail(err)
@@ -109,8 +107,7 @@ type recordOptions struct {
 	binPath, jsonlPath  string
 	committed           uint64
 	iters               int
-	metricsAddr         string
-	progress            time.Duration
+	obs                 cliflags.Obs
 }
 
 func doRecord(o recordOptions) error {
@@ -151,24 +148,25 @@ func doRecord(o recordOptions) error {
 	cfg.MaxCommitted = o.committed
 	cfg.Tracer = obs.MultiSink(sinks...)
 
-	if o.metricsAddr != "" {
-		cfg.Metrics = obs.NewRegistry()
-		cfg.MetricsLabels = obs.Labels{"workload": w.Name, "predictor": o.predictor}
-		srv, err := obs.Serve(o.metricsAddr, cfg.Metrics)
-		if err != nil {
-			return err
-		}
-		defer srv.Close()
-		fmt.Fprintf(os.Stderr, "simtrace: serving metrics on %s/metrics\n", srv.URL())
+	started, err := o.obs.Start("simtrace", os.Stderr)
+	if err != nil {
+		return err
 	}
-	if o.progress > 0 {
-		cfg.Progress = obs.NewProgress()
+	defer started.Stop()
+	if started.Registry != nil {
+		cfg.Metrics = started.Registry
+		cfg.MetricsLabels = obs.Labels{"workload": w.Name, "predictor": o.predictor}
+	}
+	if started.Run != nil {
+		cfg.Progress = started.Run
 		cfg.Progress.StartRun(w.Name+"/"+o.predictor, o.committed)
-		stop := obs.StartHeartbeat(os.Stderr, o.progress, cfg.Progress)
-		defer stop()
 	}
 
-	sim := pipeline.New(cfg, w.Build(o.iters), pred, conf.NewJRS(conf.DefaultJRS))
+	cfg.Estimators = []conf.Estimator{conf.NewJRS(conf.DefaultJRS)}
+	sim, err := pipeline.New(cfg, w.Build(o.iters), pred)
+	if err != nil {
+		return err
+	}
 	if _, err := sim.Run(); err != nil {
 		return err
 	}

@@ -36,7 +36,11 @@ func main() {
 		conf.NewDistance(5),
 		conf.Always{High: false}, // fork on everything (degenerate)
 	}
-	sim := pipeline.New(cfg, w.Build(1<<30), bpred.NewGshare(12), ests...)
+	cfg.Estimators = ests
+	sim, err := pipeline.New(cfg, w.Build(1<<30), bpred.NewGshare(12))
+	if err != nil {
+		log.Fatal(err)
+	}
 	st, err := sim.Run()
 	if err != nil {
 		log.Fatal(err)

@@ -35,7 +35,11 @@ func main() {
 	jrs := conf.NewJRS(conf.DefaultJRS) // the hardware-intensive estimator
 	sat := conf.SatCounters{}           // the free one (predictor state)
 	dist := conf.NewDistance(4)         // the one-counter one (§4.1)
-	sim := pipeline.New(cfg, prog, bpred.NewGshare(12), jrs, sat, dist)
+	cfg.Estimators = []conf.Estimator{jrs, sat, dist}
+	sim, err := pipeline.New(cfg, prog, bpred.NewGshare(12))
+	if err != nil {
+		log.Fatal(err) // a ConfigError names the offending Config field
+	}
 
 	stats, err := sim.Run()
 	if err != nil {

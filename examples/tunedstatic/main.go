@@ -29,7 +29,10 @@ func main() {
 	// 1. Profile pass: per-branch-site accuracy under the predictor.
 	pcfg := cfg
 	pcfg.CollectSiteStats = true
-	train := pipeline.New(pcfg, prog, bpred.NewGshare(12))
+	train, err := pipeline.New(pcfg, prog, bpred.NewGshare(12))
+	if err != nil {
+		log.Fatal(err)
+	}
 	tst, err := train.Run()
 	if err != nil {
 		log.Fatal(err)
@@ -60,8 +63,11 @@ func main() {
 	// 4. Evaluate everything in one run.
 	names := []string{"Static>90% (paper)", "Tuned SPEC>=70%", "Tuned SPEC>=90%",
 		"Tuned PVN>=30%", "And(SPEC70, SatCnt)"}
-	sim := pipeline.New(cfg, prog, bpred.NewGshare(12),
-		fixed, spec70, spec90, pvn30, combo)
+	cfg.Estimators = []conf.Estimator{fixed, spec70, spec90, pvn30, combo}
+	sim, err := pipeline.New(cfg, prog, bpred.NewGshare(12))
+	if err != nil {
+		log.Fatal(err)
+	}
 	st, err := sim.Run()
 	if err != nil {
 		log.Fatal(err)

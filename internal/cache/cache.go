@@ -53,7 +53,19 @@ type Cache struct {
 	sets      [][]way
 	setMask   int64
 	blockBits uint
+	setBits   uint // log2(set count); tag = block >> setBits
 	tick      uint64
+
+	// last{Block,Way} short-circuit the set scan when an access hits
+	// the same block as the previous one — the common case for
+	// sequential instruction fetch. The fast path performs exactly the
+	// state updates the full path would (tick, lru, hit count), so
+	// timing and replacement behaviour are bit-identical. The pointer
+	// is valid because eviction only happens in the accessed block's
+	// set: any access that could evict lastWay's block also replaces
+	// lastBlock first.
+	lastBlock int64
+	lastWay   *way
 
 	hits, misses uint64
 }
@@ -74,11 +86,16 @@ func New(cfg Config) *Cache {
 	for 1<<blockBits < cfg.BlockWords {
 		blockBits++
 	}
+	setBits := uint(0)
+	for 1<<setBits < nsets {
+		setBits++
+	}
 	return &Cache{
 		cfg:       cfg,
 		sets:      sets,
 		setMask:   int64(nsets - 1),
 		blockBits: blockBits,
+		setBits:   setBits,
 	}
 }
 
@@ -88,12 +105,18 @@ func New(cfg Config) *Cache {
 func (c *Cache) Access(addr int64) (latency int, hit bool) {
 	c.tick++
 	block := addr >> c.blockBits
+	if w := c.lastWay; w != nil && block == c.lastBlock {
+		w.lru = c.tick
+		c.hits++
+		return c.cfg.HitLatency, true
+	}
 	set := c.sets[block&c.setMask]
-	tag := block >> uint(popcount(uint64(c.setMask)))
+	tag := block >> c.setBits
 	for i := range set {
 		if set[i].valid && set[i].tag == tag {
 			set[i].lru = c.tick
 			c.hits++
+			c.lastBlock, c.lastWay = block, &set[i]
 			return c.cfg.HitLatency, true
 		}
 	}
@@ -115,6 +138,7 @@ func (c *Cache) Access(addr int64) (latency int, hit bool) {
 	}
 	set[victim] = way{valid: true, tag: tag, lru: c.tick}
 	c.misses++
+	c.lastBlock, c.lastWay = block, &set[victim]
 	return c.cfg.HitLatency + c.cfg.MissPenalty, false
 }
 
@@ -141,15 +165,7 @@ func (c *Cache) Reset() {
 		}
 	}
 	c.hits, c.misses, c.tick = 0, 0, 0
-}
-
-func popcount(x uint64) int {
-	n := 0
-	for x != 0 {
-		x &= x - 1
-		n++
-	}
-	return n
+	c.lastBlock, c.lastWay = 0, nil
 }
 
 // Default configurations matching the paper's simulator (§3.1): a 64 kB

@@ -1,0 +1,142 @@
+// Package cliflags declares the command-line flags shared by the
+// specctrl binaries (simctrl, simserved, simtrace). Each shared flag's
+// name — and, where the semantics coincide, its help text — is defined
+// once here, so the binaries stay byte-compatible with each other and
+// with the documentation: `-jobs` can never drift into `-workers` in
+// one tool only.
+//
+// All registration functions take an explicit *flag.FlagSet; binaries
+// using the global flag set pass flag.CommandLine.
+package cliflags
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+	"time"
+
+	"specctrl/internal/experiments"
+	"specctrl/internal/obs"
+)
+
+// Flag names shared across binaries. Registration goes through the
+// functions below; these constants exist for error messages and tests.
+const (
+	JobsFlag        = "jobs"
+	ShardFlag       = "shard"
+	CellsOutFlag    = "cells-out"
+	CellsInFlag     = "cells-in"
+	CommittedFlag   = "committed"
+	MetricsAddrFlag = "metrics-addr"
+	ProgressFlag    = "progress"
+)
+
+// Jobs registers -jobs. The default and help text are the caller's:
+// simctrl counts parallel grid cells (default all CPUs), simserved
+// counts runner-pool width per grid (0 = all CPUs).
+func Jobs(fs *flag.FlagSet, def int, usage string) *int {
+	return fs.Int(JobsFlag, def, usage)
+}
+
+// Committed registers -committed. The default and help text are the
+// caller's: the grid tools treat 0 as "the paper default of 2M",
+// simtrace records a fixed 500k by default.
+func Committed(fs *flag.FlagSet, def uint64, usage string) *uint64 {
+	return fs.Uint64(CommittedFlag, def, usage)
+}
+
+// Shard registers -shard, the i/n grid-splitting selector.
+func Shard(fs *flag.FlagSet) *string {
+	return fs.String(ShardFlag, "", "run only shard i of n grid cells, as i/n (requires -cells-out)")
+}
+
+// CellsOut registers -cells-out, the computed-cell JSON output path.
+func CellsOut(fs *flag.FlagSet) *string {
+	return fs.String(CellsOutFlag, "", "write computed grid cells to this JSON file")
+}
+
+// CellsIn registers -cells-in, the precomputed-cell JSON input list.
+func CellsIn(fs *flag.FlagSet) *string {
+	return fs.String(CellsInFlag, "", "comma-separated cell JSON files to reuse instead of simulating")
+}
+
+// Obs bundles the two observability flags every long-running binary
+// offers. Register with RegisterObs, then call Start after parsing.
+type Obs struct {
+	MetricsAddr *string
+	Progress    *time.Duration
+}
+
+// RegisterObs registers -metrics-addr and -progress.
+func RegisterObs(fs *flag.FlagSet) Obs {
+	return Obs{
+		MetricsAddr: fs.String(MetricsAddrFlag, "",
+			"serve live metrics/expvar/pprof on this address (e.g. :9090)"),
+		Progress: fs.Duration(ProgressFlag, 0,
+			"print a heartbeat to stderr at this interval (e.g. 1s; 0 = off)"),
+	}
+}
+
+// Started holds whatever observability the parsed flags asked for.
+// Fields are nil when the corresponding flag was not given.
+type Started struct {
+	Registry *obs.Registry
+	Run      *obs.Progress
+
+	closers []func()
+}
+
+// Stop shuts down the metrics server and heartbeat, if running.
+func (s *Started) Stop() {
+	for i := len(s.closers) - 1; i >= 0; i-- {
+		s.closers[i]()
+	}
+	s.closers = nil
+}
+
+// Start brings up the observability the flags requested: an HTTP
+// metrics endpoint when -metrics-addr was given (announced on stderr
+// under the binary name prog) and a stderr heartbeat when -progress
+// was given. Call Stop on the result before exiting. The zero Obs
+// (flags never registered, as in tests that bypass flag parsing)
+// starts nothing.
+func (o Obs) Start(prog string, stderr io.Writer) (*Started, error) {
+	s := &Started{}
+	if o.MetricsAddr != nil && *o.MetricsAddr != "" {
+		s.Registry = obs.NewRegistry()
+		srv, err := obs.Serve(*o.MetricsAddr, s.Registry)
+		if err != nil {
+			return nil, err
+		}
+		s.closers = append(s.closers, func() { srv.Close() })
+		fmt.Fprintf(stderr, "%s: serving metrics on %s/metrics (pprof on /debug/pprof/)\n", prog, srv.URL())
+	}
+	if o.Progress != nil && *o.Progress > 0 {
+		s.Run = obs.NewProgress()
+		stop := obs.StartHeartbeat(stderr, *o.Progress, s.Run)
+		s.closers = append(s.closers, stop)
+	}
+	return s, nil
+}
+
+// LoadCells reads a -cells-in value: a comma-separated list of cell
+// JSON files, merged in order (later files win on key collisions).
+func LoadCells(arg string) (map[string]experiments.CellResult, error) {
+	merged := map[string]experiments.CellResult{}
+	for _, path := range strings.Split(arg, ",") {
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return nil, err
+		}
+		cells, err := experiments.UnmarshalCells(data)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", path, err)
+		}
+		for k, c := range cells {
+			merged[k] = c
+		}
+	}
+	return merged, nil
+}

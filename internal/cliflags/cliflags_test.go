@@ -1,0 +1,100 @@
+package cliflags
+
+import (
+	"flag"
+	"io"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+// TestFlagNamesPinned: the shared flag names are a compatibility
+// surface — scripts and docs reference them — so registration must
+// produce exactly these names.
+func TestFlagNamesPinned(t *testing.T) {
+	fs := flag.NewFlagSet("t", flag.ContinueOnError)
+	Jobs(fs, 4, "jobs usage")
+	Shard(fs)
+	CellsOut(fs)
+	CellsIn(fs)
+	Committed(fs, 0, "committed usage")
+	RegisterObs(fs)
+
+	want := map[string]bool{
+		"jobs": true, "shard": true, "cells-out": true, "cells-in": true,
+		"committed": true, "metrics-addr": true, "progress": true,
+	}
+	got := map[string]bool{}
+	fs.VisitAll(func(f *flag.Flag) { got[f.Name] = true })
+	for name := range want {
+		if !got[name] {
+			t.Errorf("flag -%s not registered", name)
+		}
+	}
+	for name := range got {
+		if !want[name] {
+			t.Errorf("unexpected flag -%s registered", name)
+		}
+	}
+}
+
+func TestObsParsesAndStarts(t *testing.T) {
+	fs := flag.NewFlagSet("t", flag.ContinueOnError)
+	o := RegisterObs(fs)
+	if err := fs.Parse([]string{"-progress", "250ms"}); err != nil {
+		t.Fatal(err)
+	}
+	if *o.Progress != 250*time.Millisecond {
+		t.Fatalf("-progress parsed to %v", *o.Progress)
+	}
+	s, err := o.Start("t", io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Stop()
+	if s.Run == nil {
+		t.Error("heartbeat requested but Started.Run is nil")
+	}
+	if s.Registry != nil {
+		t.Error("no -metrics-addr given but a registry was started")
+	}
+}
+
+// TestObsZeroValueStartsNothing: tests that build options structs
+// directly (bypassing flag parsing) carry a zero Obs; Start must be a
+// no-op, not a nil dereference.
+func TestObsZeroValueStartsNothing(t *testing.T) {
+	var o Obs
+	s, err := o.Start("t", io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Stop()
+	if s.Registry != nil || s.Run != nil {
+		t.Error("zero Obs started observability")
+	}
+}
+
+func TestLoadCellsMergesInOrder(t *testing.T) {
+	dir := t.TempDir()
+	a := filepath.Join(dir, "a.json")
+	b := filepath.Join(dir, "b.json")
+	// Minimal versioned cell files: empty maps merge to empty; a bad
+	// path errors.
+	for _, p := range []string{a, b} {
+		if err := os.WriteFile(p, []byte(`{"version":1,"cells":{}}`), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	cells, err := LoadCells(a + "," + b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cells) != 0 {
+		t.Fatalf("expected empty merge, got %d cells", len(cells))
+	}
+	if _, err := LoadCells(filepath.Join(dir, "missing.json")); err == nil {
+		t.Error("LoadCells accepted a missing file")
+	}
+}

@@ -67,7 +67,18 @@ type LoadStore interface {
 // both, and returns the architectural effect. It is the single source of
 // truth for instruction semantics.
 func Exec(s *State, m LoadStore, in isa.Instruction) Result {
-	r := Result{NextPC: s.PC + 1}
+	var r Result
+	ExecInto(s, m, in, &r)
+	return r
+}
+
+// ExecInto is Exec with a caller-supplied Result, for per-cycle loops
+// that cannot afford the by-value return copy (the pipeline simulator
+// executes one instruction per fetch slot). r is fully overwritten; it
+// may be a reused scratch variable. Semantics are identical to Exec —
+// this is the same code, not a copy.
+func ExecInto(s *State, m LoadStore, in isa.Instruction, r *Result) {
+	*r = Result{NextPC: s.PC + 1}
 	set := func(rd isa.Reg, v int64) {
 		if rd != isa.Zero {
 			s.Regs[rd] = v
@@ -175,7 +186,6 @@ func Exec(s *State, m LoadStore, in isa.Instruction) Result {
 	}
 
 	s.PC = r.NextPC
-	return r
 }
 
 func boolToInt(b bool) int64 {

@@ -226,7 +226,7 @@ func AblationGating(p Params) (*AblationGatingResult, error) {
 		progs := map[string]*isa.Program{}
 		var order []string
 		for _, w := range suite() {
-			progs[w.Name] = w.Build(p.BuildIters)
+			progs[w.Name] = buildProgram(w, p.BuildIters)
 			order = append(order, w.Name)
 		}
 		p.progress("gating %s threshold %d", est.name, thr)
@@ -321,7 +321,10 @@ func AblationIndirect(p Params) (*AblationIndirectResult, error) {
 		cfg := p.Pipeline
 		cfg.MaxCommitted = p.MaxCommitted
 		cfg.IndirectPrediction = true
-		sim := pipeline.New(cfg, w.Build(p.BuildIters), bpred.NewGshare(p.GshareBits))
+		sim, err := pipeline.New(cfg, buildProgram(w, p.BuildIters), bpred.NewGshare(p.GshareBits))
+		if err != nil {
+			return CellResult{}, fmt.Errorf("ablation indirect btb %s: %w", w.Name, err)
+		}
 		p.progress("run %-9s with BTB/RAS", w.Name)
 		st, err := sim.Run()
 		if err != nil {

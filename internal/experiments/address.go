@@ -6,13 +6,17 @@ import (
 	"encoding/json"
 
 	"specctrl/internal/cache"
+	"specctrl/internal/conf"
 	"specctrl/internal/runner"
 )
 
 // cellAddressVersion versions the identity layout below. Bump it
 // whenever a field is added to (or removed from) the canonical
 // identity, so addresses from older layouts can never alias.
-const cellAddressVersion = 1
+//
+// v2: pipelineIdentity gained Estimators (the Name() of every
+// estimator carried in pipeline.Config.Estimators).
+const cellAddressVersion = 2
 
 // cacheIdentity is the determinism-relevant subset of cache.Config
 // (Name is cosmetic and excluded).
@@ -49,6 +53,23 @@ type pipelineIdentity struct {
 	BTBEntries             int           `json:"btbEntries"`
 	BTBAssoc               int           `json:"btbAssoc"`
 	RASDepth               int           `json:"rasDepth"`
+
+	// Estimators lists the Name() of every estimator configured on the
+	// base pipeline config, in order. Cell functions add their own
+	// spec-derived estimators on top; those are already identified by
+	// Key, so only the config-level set needs hashing here.
+	Estimators []string `json:"estimators"`
+}
+
+// estimatorNames flattens an estimator set to its report names for
+// hashing. Returns a non-nil slice so the JSON encoding is stable
+// ([] rather than null) whether or not estimators are configured.
+func estimatorNames(ests []conf.Estimator) []string {
+	names := make([]string, len(ests))
+	for i, e := range ests {
+		names[i] = e.Name()
+	}
+	return names
 }
 
 // cellIdentity is the canonical identity of one grid cell: everything a
@@ -109,6 +130,7 @@ func (p Params) CellAddress(sp runner.Spec) string {
 			BTBEntries:             p.Pipeline.BTBEntries,
 			BTBAssoc:               p.Pipeline.BTBAssoc,
 			RASDepth:               p.Pipeline.RASDepth,
+			Estimators:             estimatorNames(p.Pipeline.Estimators),
 		},
 	}
 	data, err := json.Marshal(id)

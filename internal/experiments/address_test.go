@@ -3,6 +3,7 @@ package experiments
 import (
 	"testing"
 
+	"specctrl/internal/conf"
 	"specctrl/internal/runner"
 )
 
@@ -91,6 +92,29 @@ func TestCellAddressSensitivity(t *testing.T) {
 	perturb("Pipeline.ICache.HitLatency", func(p *Params) { p.Pipeline.ICache.HitLatency++ }, sp)
 	perturb("Pipeline.ICache.MissPenalty", func(p *Params) { p.Pipeline.ICache.MissPenalty++ }, sp)
 	perturb("Pipeline.DCache.SizeWords", func(p *Params) { p.Pipeline.DCache.SizeWords *= 2 }, sp)
+	perturb("Pipeline.Estimators", func(p *Params) {
+		p.Pipeline.Estimators = []conf.Estimator{conf.SatCounters{}}
+	}, sp)
+}
+
+// TestCellAddressHashesEstimatorOrder: the estimator set is hashed by
+// name in configured order — reordering changes which Confidence column
+// is which, so it must move the address.
+func TestCellAddressHashesEstimatorOrder(t *testing.T) {
+	ab := DefaultParams()
+	ab.Pipeline.Estimators = []conf.Estimator{conf.SatCounters{}, conf.NewJRS(conf.DefaultJRS)}
+	ba := DefaultParams()
+	ba.Pipeline.Estimators = []conf.Estimator{conf.NewJRS(conf.DefaultJRS), conf.SatCounters{}}
+	if ab.CellAddress(addrSpec()) == ba.CellAddress(addrSpec()) {
+		t.Error("reordering Pipeline.Estimators did not change the address")
+	}
+	// Fresh instances with the same Name() must address identically:
+	// the hash covers configuration, not object identity.
+	ab2 := DefaultParams()
+	ab2.Pipeline.Estimators = []conf.Estimator{conf.SatCounters{}, conf.NewJRS(conf.DefaultJRS)}
+	if ab.CellAddress(addrSpec()) != ab2.CellAddress(addrSpec()) {
+		t.Error("identically-configured estimator sets address differently")
+	}
 }
 
 // TestCellAddressIgnoresSideChannels: fields that cannot change a

@@ -72,7 +72,7 @@ func SMTStudy(p Params) (*SMTResult, error) {
 			if err != nil {
 				return CellResult{}, fmt.Errorf("smt mix %s: %w", sp.Workload, err)
 			}
-			progs = append(progs, w.Build(p.BuildIters))
+			progs = append(progs, buildProgram(w, p.BuildIters))
 		}
 		cfg := smt.Config{
 			CycleBudget: p.MaxCommitted / 4, // roughly IPC~2+ worth of work

@@ -52,13 +52,17 @@ func depthCell(_ context.Context, p Params, sp runner.Spec) (CellResult, error) 
 	cfg := p.Pipeline
 	cfg.ResolveDelay = depth
 	cfg.MaxCommitted = p.MaxCommitted
-	prog := w.Build(p.BuildIters)
+	prog := buildProgram(w, p.BuildIters)
 	p.progress("depth %d on %s (%s)", depth, w.Name, sp.Predictor)
 	var sim *pipeline.Sim
 	if sp.Predictor == SAgSpec().Name {
-		sim = pipeline.New(cfg, prog, SAgSpec().New(p))
+		sim, err = pipeline.New(cfg, prog, SAgSpec().New(p))
 	} else {
-		sim = pipeline.New(cfg, prog, GshareSpec().New(p), conf.NewJRS(conf.DefaultJRS))
+		cfg.Estimators = []conf.Estimator{conf.NewJRS(conf.DefaultJRS)}
+		sim, err = pipeline.New(cfg, prog, GshareSpec().New(p))
+	}
+	if err != nil {
+		return CellResult{}, fmt.Errorf("depth %d %s %s: %w", depth, w.Name, sp.Predictor, err)
 	}
 	st, err := sim.Run()
 	if err != nil {

@@ -53,9 +53,11 @@ import (
 	"context"
 	"fmt"
 	"strings"
+	"sync"
 
 	"specctrl/internal/bpred"
 	"specctrl/internal/conf"
+	"specctrl/internal/isa"
 	"specctrl/internal/obs"
 	"specctrl/internal/pipeline"
 	"specctrl/internal/profile"
@@ -202,6 +204,32 @@ func SatCntFor(spec PredictorSpec, variant conf.McFarlingVariant) conf.Estimator
 // ipcBounds buckets per-run IPC observations for the suite histogram.
 var ipcBounds = []float64{0.5, 0.75, 1.0, 1.25, 1.5, 1.75, 2.0, 2.5, 3.0}
 
+// progCache memoizes Workload.Build results across grid cells. Cells
+// are isolated by contract, but an isa.Program is immutable once built
+// (the simulator copies the data image into its own memory and only
+// reads Code), so every cell of the same workload can share one build.
+// Build is deterministic per (name, iters), making a cache hit
+// indistinguishable from a rebuild; profiles showed the per-cell
+// builder cost at ~5% of a full grid run.
+var progCache sync.Map // progKey → *isa.Program
+
+type progKey struct {
+	name  string
+	iters int
+}
+
+// buildProgram returns w.Build(iters), memoized per workload name and
+// iteration count. Seeded alternative-input builds (BuildSeeded) are
+// not cached; only xinput uses them, once per grid.
+func buildProgram(w workload.Workload, iters int) *isa.Program {
+	key := progKey{w.Name, iters}
+	if p, ok := progCache.Load(key); ok {
+		return p.(*isa.Program)
+	}
+	p, _ := progCache.LoadOrStore(key, w.Build(iters))
+	return p.(*isa.Program)
+}
+
 // runOne simulates one workload on one predictor with the given
 // estimators and returns the statistics. When Params carries an obs
 // registry or progress view, the run publishes live metrics under
@@ -218,7 +246,19 @@ func (p Params) runOne(w workload.Workload, spec PredictorSpec, record bool, est
 		cfg.Progress = p.Run
 		p.Run.StartRun(w.Name+"/"+spec.Name, p.MaxCommitted)
 	}
-	sim := pipeline.New(cfg, w.Build(p.BuildIters), spec.New(p), ests...)
+	// Per-cell estimators come first so Stats.Confidence indices match
+	// the ests argument; estimators configured on Params.Pipeline (hashed
+	// into CellAddress) ride along at the tail.
+	if base := p.Pipeline.Estimators; len(base) > 0 {
+		combined := make([]conf.Estimator, 0, len(ests)+len(base))
+		cfg.Estimators = append(append(combined, ests...), base...)
+	} else {
+		cfg.Estimators = ests
+	}
+	sim, err := pipeline.New(cfg, buildProgram(w, p.BuildIters), spec.New(p))
+	if err != nil {
+		return nil, fmt.Errorf("run %s/%s: %w", w.Name, spec.Name, err)
+	}
 	p.progress("run %-9s on %-9s (%d estimators)", w.Name, spec.Name, len(ests))
 	st, err := sim.Run()
 	if err == nil && p.Obs != nil {
@@ -235,7 +275,7 @@ func (p Params) staticFor(w workload.Workload, spec PredictorSpec) (conf.Static,
 	cfg := p.Pipeline
 	cfg.MaxCommitted = p.MaxCommitted
 	p.progress("profile %-9s on %-9s", w.Name, spec.Name)
-	return profile.Collect(cfg, w.Build(p.BuildIters), spec.New(p),
+	return profile.Collect(cfg, buildProgram(w, p.BuildIters), spec.New(p),
 		profile.Options{Threshold: p.StaticThreshold})
 }
 

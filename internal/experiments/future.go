@@ -128,7 +128,10 @@ func Tuned(p Params) (*TunedResult, error) {
 			cfg.MaxCommitted = p.MaxCommitted
 			cfg.CollectSiteStats = true
 			p.progress("profile %-9s for tuning", w.Name)
-			train := pipeline.New(cfg, w.Build(p.BuildIters), GshareSpec().New(p))
+			train, err := pipeline.New(cfg, buildProgram(w, p.BuildIters), GshareSpec().New(p))
+			if err != nil {
+				return nil, fmt.Errorf("tuned profile %s: %w", w.Name, err)
+			}
 			tst, err := train.Run()
 			if err != nil {
 				return nil, fmt.Errorf("tuned profile %s: %w", w.Name, err)

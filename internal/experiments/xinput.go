@@ -45,11 +45,14 @@ func XInput(p Params) (*XInputResult, error) {
 				cfg := p.Pipeline
 				cfg.MaxCommitted = p.MaxCommitted
 				cfg.CollectSiteStats = true
-				prog := w.Build(p.BuildIters)
+				prog := buildProgram(w, p.BuildIters)
 				if alt {
 					prog = w.BuildSeeded(altSeed, p.BuildIters)
 				}
-				sim := pipeline.New(cfg, prog, GshareSpec().New(p))
+				sim, err := pipeline.New(cfg, prog, GshareSpec().New(p))
+				if err != nil {
+					return nil, err
+				}
 				st, err := sim.Run()
 				if err != nil {
 					return nil, err

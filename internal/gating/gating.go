@@ -70,13 +70,22 @@ func Run(cfg Config, prog *isa.Program, newPred func() bpred.Predictor, newEst f
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
-	base := pipeline.New(cfg.Pipeline, prog, newPred(), newEst())
+	pcfg := cfg.Pipeline
+	pcfg.Estimators = []conf.Estimator{newEst()}
+	base, err := pipeline.New(pcfg, prog, newPred())
+	if err != nil {
+		return nil, fmt.Errorf("gating baseline: %w", err)
+	}
 	baseStats, err := base.Run()
 	if err != nil {
 		return nil, fmt.Errorf("gating baseline: %w", err)
 	}
 
-	sim := pipeline.New(cfg.Pipeline, prog, newPred(), newEst())
+	pcfg.Estimators = []conf.Estimator{newEst()}
+	sim, err := pipeline.New(pcfg, prog, newPred())
+	if err != nil {
+		return nil, fmt.Errorf("gating run: %w", err)
+	}
 	for {
 		allow := sim.PendingLowConf() < cfg.Threshold
 		done, err := sim.Tick(allow)

@@ -22,6 +22,12 @@ type page [pageSize]int64
 type Memory struct {
 	pages map[int64]*page
 
+	// last is a one-entry page cache: simulated access streams are
+	// strongly page-local, so most Read/Write calls resolve without the
+	// map lookup that otherwise dominates memory-model time.
+	lastKey  int64
+	lastPage *page
+
 	// journal, when non-nil, records the previous value of every word
 	// written so the write can be undone.
 	journal []journalEntry
@@ -53,10 +59,16 @@ func NewFromImage(image map[int64]int64) *Memory {
 
 func (m *Memory) pageFor(addr int64, create bool) *page {
 	key := addr >> pageShift
+	if p := m.lastPage; p != nil && key == m.lastKey {
+		return p
+	}
 	p := m.pages[key]
 	if p == nil && create {
 		p = new(page)
 		m.pages[key] = p
+	}
+	if p != nil {
+		m.lastKey, m.lastPage = key, p
 	}
 	return p
 }

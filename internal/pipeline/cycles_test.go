@@ -80,7 +80,7 @@ func TestCycleAccountingBucketsPlausible(t *testing.T) {
 // the gated bucket mirrors GatedCycles under external scheduling.
 func TestCycleAccountingGated(t *testing.T) {
 	cfg := testConfig()
-	sim := New(cfg, loopProgram(5000), bpred.NewGshare(10))
+	sim := MustNew(cfg, loopProgram(5000), bpred.NewGshare(10))
 	i := 0
 	for {
 		done, err := sim.Tick(i%3 != 0) // withhold fetch every third cycle
@@ -122,7 +122,7 @@ func TestCycleAccountingIndirect(t *testing.T) {
 func TestCycleAccountingErrorPath(t *testing.T) {
 	cfg := testConfig()
 	cfg.MaxCycles = 500
-	sim := New(cfg, loopProgram(1<<30), bpred.NewGshare(10))
+	sim := MustNew(cfg, loopProgram(1<<30), bpred.NewGshare(10))
 	st, err := sim.Run()
 	if err == nil {
 		t.Fatal("expected MaxCycles error")

@@ -21,8 +21,11 @@ func Example() {
 	cfg := pipeline.DefaultConfig()
 	cfg.MaxCommitted = 200_000
 
-	sim := pipeline.New(cfg, w.Build(1<<30), bpred.NewGshare(12),
-		conf.NewJRS(conf.DefaultJRS), conf.SatCounters{})
+	cfg.Estimators = []conf.Estimator{conf.NewJRS(conf.DefaultJRS), conf.SatCounters{}}
+	sim, err := pipeline.New(cfg, w.Build(1<<30), bpred.NewGshare(12))
+	if err != nil {
+		log.Fatal(err)
+	}
 	st, err := sim.Run()
 	if err != nil {
 		log.Fatal(err)

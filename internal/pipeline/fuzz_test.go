@@ -122,7 +122,7 @@ func TestFuzzLockstep(t *testing.T) {
 
 		cfg := DefaultConfig()
 		cfg.MaxCycles = 2_000_000
-		sim := New(cfg, prog, pred, est)
+		sim := newSim(cfg, prog, pred, est)
 		st, err := sim.Run()
 		if err != nil {
 			t.Logf("seed %d: sim error: %v", seed, err)
@@ -176,7 +176,7 @@ func TestFuzzGatingLockstep(t *testing.T) {
 		prog := genProgram(seed)
 		cfg := DefaultConfig()
 		cfg.MaxCycles = 2_000_000
-		sim := New(cfg, prog, bpred.NewGshare(8), conf.SatCounters{})
+		sim := newSim(cfg, prog, bpred.NewGshare(8), conf.SatCounters{})
 		cycle := 0
 		for {
 			// Withhold fetch on a pseudo-random subset of cycles.
@@ -301,7 +301,7 @@ func TestFuzzCallLockstepIndirect(t *testing.T) {
 		cfg.IndirectPrediction = true
 		cfg.RASDepth = 4 // small stack: force wraps and corruption repair
 		cfg.MaxCycles = 2_000_000
-		sim := New(cfg, prog, bpred.NewGshare(8), conf.NewJRS(conf.DefaultJRS))
+		sim := newSim(cfg, prog, bpred.NewGshare(8), conf.NewJRS(conf.DefaultJRS))
 		st, err := sim.Run()
 		if err != nil {
 			t.Logf("seed %d: %v", seed, err)

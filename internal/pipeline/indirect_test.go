@@ -92,7 +92,7 @@ func TestIndirectLockstep(t *testing.T) {
 	// With target prediction enabled, committed execution must still be
 	// bit-identical to the emulator on call/ret and computed-jump code.
 	for _, prog := range []*isa.Program{callRetProgram(2000), dispatchProgram(2000)} {
-		sim := New(indirectConfig(), prog, bpred.NewGshare(10), conf.NewJRS(conf.DefaultJRS))
+		sim := newSim(indirectConfig(), prog, bpred.NewGshare(10), conf.NewJRS(conf.DefaultJRS))
 		st, err := sim.Run()
 		if err != nil {
 			t.Fatal(err)
@@ -111,7 +111,7 @@ func TestIndirectLockstep(t *testing.T) {
 }
 
 func TestRASPredictsNestedReturns(t *testing.T) {
-	sim := New(indirectConfig(), callRetProgram(3000), bpred.NewGshare(10))
+	sim := MustNew(indirectConfig(), callRetProgram(3000), bpred.NewGshare(10))
 	st, err := sim.Run()
 	if err != nil {
 		t.Fatal(err)
@@ -128,7 +128,7 @@ func TestRASPredictsNestedReturns(t *testing.T) {
 }
 
 func TestBTBLearnsDispatch(t *testing.T) {
-	sim := New(indirectConfig(), dispatchProgram(5000), bpred.NewGshare(10))
+	sim := MustNew(indirectConfig(), dispatchProgram(5000), bpred.NewGshare(10))
 	st, err := sim.Run()
 	if err != nil {
 		t.Fatal(err)
@@ -152,7 +152,7 @@ func TestBTBLearnsDispatch(t *testing.T) {
 func TestIndirectDisabledIsPerfect(t *testing.T) {
 	// Without IndirectPrediction, targets are perfect: no target
 	// squashes, no Returns/IndirectBr accounting.
-	sim := New(testConfig(), dispatchProgram(1000), bpred.NewGshare(10))
+	sim := MustNew(testConfig(), dispatchProgram(1000), bpred.NewGshare(10))
 	st, err := sim.Run()
 	if err != nil {
 		t.Fatal(err)
@@ -172,7 +172,7 @@ func TestIndirectOnXlisp(t *testing.T) {
 	prog := w.Build(1 << 30)
 	cfg := indirectConfig()
 	cfg.MaxCommitted = 100_000
-	sim := New(cfg, prog, bpred.NewGshare(12), conf.NewJRS(conf.DefaultJRS))
+	sim := newSim(cfg, prog, bpred.NewGshare(12), conf.NewJRS(conf.DefaultJRS))
 	st, err := sim.Run()
 	if err != nil {
 		t.Fatal(err)
@@ -194,7 +194,7 @@ func TestIndirectFuzzLockstep(t *testing.T) {
 		prog := genProgram(seed)
 		cfg := indirectConfig()
 		cfg.MaxCycles = 2_000_000
-		sim := New(cfg, prog, bpred.NewMcFarling(8), conf.SatCounters{})
+		sim := newSim(cfg, prog, bpred.NewMcFarling(8), conf.SatCounters{})
 		st, err := sim.Run()
 		if err != nil {
 			t.Fatal(err)

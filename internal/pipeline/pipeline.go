@@ -98,6 +98,15 @@ type Config struct {
 	// (defaults 512 / 4 / 16 when zero).
 	BTBEntries, BTBAssoc, RASDepth int
 
+	// Estimators is the set of confidence estimators observing the run
+	// (zero estimators disables confidence bookkeeping). The set is part
+	// of the validated configuration — estimators must be non-nil, at
+	// most 1024 are supported, and at most 64 with RecordEvents (events
+	// carry one confidence bit per estimator) — and
+	// experiments.CellAddress hashes the estimator names into a cell's
+	// content address along with every other field here.
+	Estimators []conf.Estimator
+
 	// Tracer, when non-nil, receives one structured event per fetched
 	// conditional branch (the obs hook behind internal/trace's binary
 	// writer and obs.JSONL). Nil is the null sink: the hot path pays a
@@ -136,20 +145,51 @@ func DefaultConfig() Config {
 	}
 }
 
-// Validate checks the configuration.
+// ConfigError reports an invalid Config, naming the offending field so
+// callers (CLIs, the serve API) can point users at exactly what to fix.
+type ConfigError struct {
+	// Field is the Config field that failed validation, e.g.
+	// "FetchWidth" or "Estimators[3]".
+	Field string
+	// Reason describes the violated constraint.
+	Reason string
+}
+
+func (e *ConfigError) Error() string {
+	return fmt.Sprintf("pipeline: invalid Config.%s: %s", e.Field, e.Reason)
+}
+
+// Validate checks the configuration; failures are *ConfigError values
+// naming the offending field.
 func (c Config) Validate() error {
 	switch {
 	case c.FetchWidth < 1 || c.FetchWidth > 16:
-		return fmt.Errorf("pipeline: fetch width %d out of range", c.FetchWidth)
+		return &ConfigError{"FetchWidth", fmt.Sprintf("%d out of range [1,16]", c.FetchWidth)}
 	case c.ResolveDelay < 1 || c.ResolveDelay > 64:
-		return fmt.Errorf("pipeline: resolve delay %d out of range", c.ResolveDelay)
+		return &ConfigError{"ResolveDelay", fmt.Sprintf("%d out of range [1,64]", c.ResolveDelay)}
 	case c.ExtraMispredictPenalty < 0:
-		return fmt.Errorf("pipeline: negative misprediction penalty")
+		return &ConfigError{"ExtraMispredictPenalty", fmt.Sprintf("%d is negative", c.ExtraMispredictPenalty)}
 	}
 	if err := c.ICache.Validate(); err != nil {
-		return err
+		return &ConfigError{"ICache", err.Error()}
 	}
-	return c.DCache.Validate()
+	if err := c.DCache.Validate(); err != nil {
+		return &ConfigError{"DCache", err.Error()}
+	}
+	if len(c.Estimators) > 1024 {
+		return &ConfigError{"Estimators", fmt.Sprintf("%d estimators exceed the limit of 1024", len(c.Estimators))}
+	}
+	if c.RecordEvents && len(c.Estimators) > 64 {
+		// BranchEvent.ConfMask carries one bit per estimator.
+		return &ConfigError{"Estimators", fmt.Sprintf(
+			"%d estimators with RecordEvents; events carry at most 64 confidence bits", len(c.Estimators))}
+	}
+	for i, e := range c.Estimators {
+		if e == nil {
+			return &ConfigError{fmt.Sprintf("Estimators[%d]", i), "estimator is nil"}
+		}
+	}
+	return nil
 }
 
 // BranchEvent records one fetched conditional branch.
@@ -244,8 +284,8 @@ type Stats struct {
 	CommittedQ metrics.Quadrant
 	AllQ       metrics.Quadrant
 
-	// Confidence holds per-estimator statistics, in the order the
-	// estimators were passed to New. Estimators observe the run without
+	// Confidence holds per-estimator statistics, in Config.Estimators
+	// order. Estimators observe the run without
 	// influencing it, so a single simulation evaluates many estimator
 	// configurations at once.
 	Confidence []ConfStats
@@ -333,6 +373,22 @@ type Sim struct {
 	pred bpred.Predictor
 	ests []conf.Estimator
 
+	// Concrete-type fast paths for the three predictors the experiments
+	// sweep. Interface dispatch on Predict/Resolve/Recover showed up in
+	// per-branch profiles; exactly one of these is non-nil when the
+	// predictor is of the matching concrete type, and the devirtualized
+	// call sites let the compiler inline the small table lookups. The
+	// generic interface path remains for every other Predictor.
+	predG *bpred.Gshare
+	predM *bpred.McFarling
+	predS *bpred.SAg
+
+	// estFast mirrors ests with concrete-type fast paths for the four
+	// estimator families the paper's main tables sweep; their Estimate
+	// bodies are a handful of instructions, so the interface call was
+	// most of their cost. estGeneric entries fall back to the interface.
+	estFast []estFast
+
 	state  emu.State
 	mem    *mem.Memory
 	icache *cache.Cache
@@ -364,11 +420,13 @@ type Sim struct {
 	recoverRegs   [isa.NumRegs]int64
 	recoverPC     int64
 
-	// pending holds fetched, unresolved conditional branches in fetch
-	// order. Correct-path branches resolve from the front; wrong-path
-	// branches are tracked only for event bookkeeping (they are
-	// recorded at fetch and need no resolution).
-	pending []inflight
+	// pending holds fetched, unresolved correct-path conditional
+	// branches in fetch order, in a preallocated ring buffer (branches
+	// resolve from the front; the occupancy bound is
+	// (ResolveDelay+1)*FetchWidth, so the ring never grows after New).
+	// Wrong-path branches are recorded at fetch and need no resolution,
+	// so they are never enqueued.
+	pending inflightRing
 
 	// Distance counters (see Stats).
 	distPreciseAll       int
@@ -381,29 +439,30 @@ type Sim struct {
 	// out to the estimators.
 	hcScratch []bool
 
+	// execRes is the scratch result for emu.ExecInto: returning the
+	// ~7-word Result by value was a measurable share of per-slot fetch
+	// cost. Valid only within one fetchGroup slot.
+	execRes emu.Result
+
 	halted bool
 }
 
 // New prepares a simulation of prog on the given predictor, observed by
-// the given confidence estimators (zero estimators disables confidence
-// bookkeeping; at most 64 are supported so events can carry a bitmask).
-// It panics on invalid configurations.
-func New(cfg Config, prog *isa.Program, pred bpred.Predictor, ests ...conf.Estimator) *Sim {
+// the confidence estimators in cfg.Estimators. It returns a *ConfigError
+// (wrapped) when the configuration is invalid and a plain error when
+// prog or pred is missing; MustNew is the panicking convenience wrapper
+// for static configurations.
+func New(cfg Config, prog *isa.Program, pred bpred.Predictor) (*Sim, error) {
 	if err := cfg.Validate(); err != nil {
-		panic(err)
+		return nil, err
 	}
-	if cfg.RecordEvents && len(ests) > 64 {
-		// BranchEvent.ConfMask carries one bit per estimator.
-		panic("pipeline: more than 64 estimators with RecordEvents")
+	if prog == nil {
+		return nil, fmt.Errorf("pipeline: nil program")
 	}
-	if len(ests) > 1024 {
-		panic("pipeline: more than 1024 estimators")
+	if pred == nil {
+		return nil, fmt.Errorf("pipeline: nil predictor")
 	}
-	for i, e := range ests {
-		if e == nil {
-			panic(fmt.Sprintf("pipeline: estimator %d is nil", i))
-		}
-	}
+	ests := cfg.Estimators
 	s := &Sim{
 		cfg:    cfg,
 		prog:   prog,
@@ -413,6 +472,34 @@ func New(cfg Config, prog *isa.Program, pred bpred.Predictor, ests ...conf.Estim
 		icache: cache.New(cfg.ICache),
 		dcache: cache.New(cfg.DCache),
 	}
+	switch p := pred.(type) {
+	case *bpred.Gshare:
+		s.predG = p
+	case *bpred.McFarling:
+		s.predM = p
+	case *bpred.SAg:
+		s.predS = p
+	}
+	s.estFast = make([]estFast, len(ests))
+	for i, e := range ests {
+		switch v := e.(type) {
+		case *conf.JRS:
+			s.estFast[i] = estFast{kind: estJRS, jrs: v}
+		case conf.SatCounters:
+			s.estFast[i] = estFast{kind: estSat}
+		case conf.SatCountersMcFarling:
+			s.estFast[i] = estFast{kind: estSatMcF, satM: v}
+		case conf.PatternHistory:
+			s.estFast[i] = estFast{kind: estPattern, pat: v}
+		case conf.Static:
+			s.estFast[i] = estFast{kind: estStatic, st: v}
+		}
+	}
+	// The ring's occupancy bound: every pending branch resolves within
+	// ResolveDelay+1 cycles of fetch and at most FetchWidth branches are
+	// fetched per cycle, so this capacity makes steady state
+	// allocation-free.
+	s.pending.init((cfg.ResolveDelay + 2) * cfg.FetchWidth)
 	s.state.PC = prog.Entry
 	if cfg.IndirectPrediction {
 		entries, assoc, depth := cfg.BTBEntries, cfg.BTBAssoc, cfg.RASDepth
@@ -447,6 +534,19 @@ func New(cfg Config, prog *isa.Program, pred bpred.Predictor, ests ...conf.Estim
 	if cfg.Metrics != nil {
 		s.gauges = newSimGauges(cfg.Metrics, cfg.MetricsLabels, s.stats.Confidence)
 	}
+	if cfg.RecordEvents {
+		s.stats.Events = make([]BranchEvent, 0, 4096)
+	}
+	return s, nil
+}
+
+// MustNew is New for statically known-good configurations; it panics on
+// error. Tests and examples use it.
+func MustNew(cfg Config, prog *isa.Program, pred bpred.Predictor) *Sim {
+	s, err := New(cfg, prog, pred)
+	if err != nil {
+		panic(err)
+	}
 	return s
 }
 
@@ -457,14 +557,114 @@ func (s *Sim) fetchInstr(pc int64) isa.Instruction {
 	return s.prog.Code[pc]
 }
 
+// predict dispatches Predict through the concrete fast path when one
+// applies (see the predG/predM/predS fields).
+func (s *Sim) predict(pc int64) (bool, bpred.Checkpoint, bpred.Info) {
+	switch {
+	case s.predG != nil:
+		return s.predG.Predict(pc)
+	case s.predM != nil:
+		return s.predM.Predict(pc)
+	case s.predS != nil:
+		return s.predS.Predict(pc)
+	}
+	return s.pred.Predict(pc)
+}
+
+// resolvePred dispatches Resolve through the concrete fast path.
+func (s *Sim) resolvePred(pc int64, info bpred.Info, taken bool) {
+	switch {
+	case s.predG != nil:
+		s.predG.Resolve(pc, info, taken)
+	case s.predM != nil:
+		s.predM.Resolve(pc, info, taken)
+	case s.predS != nil:
+		s.predS.Resolve(pc, info, taken)
+	default:
+		s.pred.Resolve(pc, info, taken)
+	}
+}
+
+// recoverPred dispatches Recover through the concrete fast path.
+func (s *Sim) recoverPred(ckpt bpred.Checkpoint, pc int64, taken bool) {
+	switch {
+	case s.predG != nil:
+		s.predG.Recover(ckpt, pc, taken)
+	case s.predM != nil:
+		s.predM.Recover(ckpt, pc, taken)
+	case s.predS != nil:
+		s.predS.Recover(ckpt, pc, taken)
+	default:
+		s.pred.Recover(ckpt, pc, taken)
+	}
+}
+
+// estKind tags the concrete estimator families with devirtualized call
+// sites; estGeneric (the zero value) routes through the interface.
+type estKind uint8
+
+const (
+	estGeneric estKind = iota
+	estJRS
+	estSat
+	estSatMcF
+	estPattern
+	estStatic
+)
+
+// estFast caches one estimator's concrete identity for direct dispatch
+// (value-type estimators are stored by value; copying conf.Static only
+// copies its map header, the profile itself is shared).
+type estFast struct {
+	kind estKind
+	jrs  *conf.JRS
+	satM conf.SatCountersMcFarling
+	pat  conf.PatternHistory
+	st   conf.Static
+}
+
+// estimate dispatches ests[i].Estimate through the concrete fast path.
+func (s *Sim) estimate(i int, pc int64, info bpred.Info) bool {
+	switch f := &s.estFast[i]; f.kind {
+	case estJRS:
+		return f.jrs.Estimate(pc, info)
+	case estSat:
+		return conf.SatCounters{}.Estimate(pc, info)
+	case estSatMcF:
+		return f.satM.Estimate(pc, info)
+	case estPattern:
+		return f.pat.Estimate(pc, info)
+	case estStatic:
+		return f.st.Estimate(pc, info)
+	}
+	return s.ests[i].Estimate(pc, info)
+}
+
+// estResolve dispatches ests[i].Resolve through the concrete fast path;
+// the value-type families' Resolve methods are empty, so their cases
+// compile to nothing.
+func (s *Sim) estResolve(i int, pc int64, info bpred.Info, correct bool) {
+	switch f := &s.estFast[i]; f.kind {
+	case estJRS:
+		f.jrs.Resolve(pc, info, correct)
+	case estSat, estSatMcF, estPattern, estStatic:
+	default:
+		s.ests[i].Resolve(pc, info, correct)
+	}
+}
+
 // resolveDue processes every pending correct-path branch whose resolve
 // cycle has arrived. It returns true if a misprediction recovery
 // happened (which redirects fetch).
 func (s *Sim) resolveDue() bool {
 	recovered := false
-	for len(s.pending) > 0 && s.pending[0].resolveCycle <= s.cycle {
-		br := s.pending[0]
-		s.pending = s.pending[1:]
+	for s.pending.len() > 0 && s.pending.front().resolveCycle <= s.cycle {
+		// Resolve through the slot pointer: popFront/clear only move
+		// indices (slots are not zeroed and nothing pushes inside this
+		// loop), so the entry stays intact while we read it and the
+		// ~10-word copy is avoided.
+		br := s.pending.front()
+		s.pending.popFront()
 		if br.indirect {
 			if !br.isReturn {
 				s.btb.Update(br.pc, br.target)
@@ -477,12 +677,12 @@ func (s *Sim) resolveDue() bool {
 			}
 			continue
 		}
-		s.pred.Resolve(br.pc, br.info, br.outcome)
-		for _, e := range s.ests {
-			e.Resolve(br.pc, br.info, br.pred == br.outcome)
+		s.resolvePred(br.pc, br.info, br.outcome)
+		for i := range s.ests {
+			s.estResolve(i, br.pc, br.info, br.pred == br.outcome)
 		}
 		if br.mispredicted {
-			s.pred.Recover(br.ckpt, br.pc, br.outcome)
+			s.recoverPred(br.ckpt, br.pc, br.outcome)
 			if s.ras != nil {
 				s.ras.Restore(br.rasCkpt)
 			}
@@ -508,7 +708,7 @@ func (s *Sim) squash() {
 	s.state.Regs = s.recoverRegs
 	s.state.PC = s.recoverPC
 	s.mem.Rollback()
-	s.pending = s.pending[:0] // everything younger was wrong-path
+	s.pending.clear() // everything younger was wrong-path
 	s.wrongPath = false
 	s.wrongPathIdle = false
 	s.stats.Squashes++
@@ -523,12 +723,12 @@ func (s *Sim) squash() {
 // wrong-path entry for a conditional branch fetched at pc whose oracle
 // outcome is known. It returns the PC the front end should follow.
 func (s *Sim) onCondBranch(pc int64, outcome bool, takenTarget, notTakenTarget int64) int64 {
-	pred, ckpt, info := s.pred.Predict(pc)
+	pred, ckpt, info := s.predict(pc)
 	correct := pred == outcome
 	hc0 := true // first estimator's view, mirrored into CommittedQ/AllQ
 	var confMask uint64
-	for i, e := range s.ests {
-		hc := e.Estimate(pc, info)
+	for i := range s.ests {
+		hc := s.estimate(i, pc, info)
 		s.hcScratch[i] = hc
 		if hc {
 			confMask |= 1 << uint(i)
@@ -612,13 +812,13 @@ func (s *Sim) onCondBranch(pc int64, outcome bool, takenTarget, notTakenTarget i
 	if s.ras != nil {
 		rasCkpt = s.ras.Checkpoint()
 	}
-	s.pending = append(s.pending, inflight{
+	*s.pending.push() = inflight{
 		pc: pc, info: info, ckpt: ckpt, outcome: outcome, pred: pred,
 		resolveCycle: s.cycle + uint64(s.cfg.ResolveDelay),
 		mispredicted: !correct,
 		lowConf:      len(s.ests) > 0 && !hc0,
 		rasCkpt:      rasCkpt,
-	})
+	}
 	if correct {
 		return predTarget
 	}
@@ -698,7 +898,7 @@ func (s *Sim) tickDone() bool {
 
 // finished reports whether the run is fully complete: program halted and
 // no branch left in flight.
-func (s *Sim) finished() bool { return s.halted && len(s.pending) == 0 }
+func (s *Sim) finished() bool { return s.halted && s.pending.len() == 0 }
 
 // Finish seals the statistics after the last Tick: rolls back any
 // dangling wrong path and snapshots cache counters. Run calls it
@@ -726,17 +926,16 @@ func (s *Sim) Done() bool { return s.finished() }
 // Pipeline gating and SMT fetch policies key off this occupancy count.
 func (s *Sim) PendingLowConf() int {
 	n := 0
-	for _, br := range s.pending {
-		if !br.lowConf {
-			continue
+	for i := 0; i < s.pending.len(); i++ {
+		if s.pending.at(i).lowConf {
+			n++
 		}
-		n++
 	}
 	return n
 }
 
 // PendingBranches returns the number of in-flight conditional branches.
-func (s *Sim) PendingBranches() int { return len(s.pending) }
+func (s *Sim) PendingBranches() int { return s.pending.len() }
 
 // Run executes the simulation until HALT or a configured limit and
 // returns the statistics. A Sim is single-use.
@@ -850,8 +1049,10 @@ func (s *Sim) fetchGroup() CycleBucket {
 			haveTargetPred = true
 		}
 
-		// Non-branch: execute functionally.
-		res := emu.Exec(&s.state, s.mem, in)
+		// Non-branch: execute functionally (into the scratch result to
+		// skip the by-value return copy — see Sim.execRes).
+		res := &s.execRes
+		emu.ExecInto(&s.state, s.mem, in, res)
 		s.countInstr()
 		if res.Mem.IsLoad || res.Mem.IsStore {
 			if dlat, dhit := s.dcache.Access(res.Mem.Addr); !dhit {
@@ -919,7 +1120,7 @@ func (s *Sim) onIndirect(pc int64, predTarget, actual int64, isReturn bool, rasC
 		s.state.PC = predTarget
 		return
 	}
-	s.pending = append(s.pending, inflight{
+	*s.pending.push() = inflight{
 		pc:           pc,
 		ckpt:         s.pred.Snapshot(),
 		resolveCycle: s.cycle + uint64(s.cfg.ResolveDelay),
@@ -928,7 +1129,7 @@ func (s *Sim) onIndirect(pc int64, predTarget, actual int64, isReturn bool, rasC
 		isReturn:     isReturn,
 		target:       actual,
 		rasCkpt:      rasCkpt,
-	})
+	}
 	if !mispredicted {
 		return
 	}

@@ -1,6 +1,8 @@
 package pipeline
 
 import (
+	"errors"
+	"strings"
 	"testing"
 
 	"specctrl/internal/bpred"
@@ -56,9 +58,16 @@ func biasedProgram(iters int) *isa.Program {
 	return b.MustBuild()
 }
 
+// newSim builds a Sim with the given estimator set, panicking on
+// configuration errors (test configurations are statically good).
+func newSim(cfg Config, p *isa.Program, pred bpred.Predictor, ests ...conf.Estimator) *Sim {
+	cfg.Estimators = ests
+	return MustNew(cfg, p, pred)
+}
+
 func mustRun(t *testing.T, cfg Config, p *isa.Program, pred bpred.Predictor, ests ...conf.Estimator) (*Stats, *Sim) {
 	t.Helper()
-	sim := New(cfg, p, pred, ests...)
+	sim := newSim(cfg, p, pred, ests...)
 	st, err := sim.Run()
 	if err != nil {
 		t.Fatal(err)
@@ -286,7 +295,7 @@ func TestMaxCyclesAborts(t *testing.T) {
 	b.Label("l").Jump("l")
 	cfg := testConfig()
 	cfg.MaxCycles = 1000
-	sim := New(cfg, b.MustBuild(), bpred.NewGshare(8))
+	sim := MustNew(cfg, b.MustBuild(), bpred.NewGshare(8))
 	if _, err := sim.Run(); err == nil {
 		t.Error("expected MaxCycles error on non-terminating program")
 	}
@@ -408,7 +417,7 @@ func BenchmarkPipelineGshareJRS(b *testing.B) {
 	cfg := DefaultConfig()
 	cfg.MaxCommitted = uint64(b.N)
 	cfg.MaxCycles = uint64(b.N)*10 + 10_000
-	sim := New(cfg, p, bpred.NewGshare(12), conf.NewJRS(conf.DefaultJRS))
+	sim := newSim(cfg, p, bpred.NewGshare(12), conf.NewJRS(conf.DefaultJRS))
 	b.ResetTimer()
 	if _, err := sim.Run(); err != nil {
 		b.Fatal(err)
@@ -464,26 +473,59 @@ func TestEventConfMask(t *testing.T) {
 	}
 }
 
-func TestTooManyEstimatorsPanics(t *testing.T) {
-	defer func() {
-		if recover() == nil {
-			t.Error("New accepted 65 estimators with RecordEvents")
-		}
-	}()
+func TestTooManyEstimatorsError(t *testing.T) {
 	ests := make([]conf.Estimator, 65)
 	for i := range ests {
 		ests[i] = conf.Always{High: true}
 	}
 	cfg := testConfig()
 	cfg.RecordEvents = true
-	New(cfg, loopProgram(1), bpred.NewGshare(8), ests...)
+	cfg.Estimators = ests
+	_, err := New(cfg, loopProgram(1), bpred.NewGshare(8))
+	var ce *ConfigError
+	if !errors.As(err, &ce) {
+		t.Fatalf("New accepted 65 estimators with RecordEvents (err=%v)", err)
+	}
+	if ce.Field != "Estimators" {
+		t.Errorf("ConfigError.Field = %q, want Estimators", ce.Field)
+	}
 }
 
-func TestNilEstimatorPanics(t *testing.T) {
-	defer func() {
-		if recover() == nil {
-			t.Error("New accepted a nil estimator")
+func TestNilEstimatorError(t *testing.T) {
+	cfg := testConfig()
+	cfg.Estimators = []conf.Estimator{conf.Always{High: true}, nil}
+	_, err := New(cfg, loopProgram(1), bpred.NewGshare(8))
+	var ce *ConfigError
+	if !errors.As(err, &ce) {
+		t.Fatalf("New accepted a nil estimator (err=%v)", err)
+	}
+	if ce.Field != "Estimators[1]" {
+		t.Errorf("ConfigError.Field = %q, want Estimators[1]", ce.Field)
+	}
+}
+
+func TestConfigErrorNamesField(t *testing.T) {
+	cfg := testConfig()
+	cfg.FetchWidth = 0
+	_, err := New(cfg, loopProgram(1), bpred.NewGshare(8))
+	var ce *ConfigError
+	if !errors.As(err, &ce) {
+		t.Fatalf("New accepted FetchWidth=0 (err=%v)", err)
+	}
+	if ce.Field != "FetchWidth" {
+		t.Errorf("ConfigError.Field = %q, want FetchWidth", ce.Field)
+	}
+	if !strings.Contains(ce.Error(), "FetchWidth") {
+		t.Errorf("ConfigError.Error() = %q does not name the field", ce.Error())
+	}
+	bad := testConfig()
+	bad.ICache.Assoc = 0
+	if err := bad.Validate(); err == nil {
+		t.Error("Validate accepted a zero-assoc I-cache")
+	} else {
+		var ice *ConfigError
+		if !errors.As(err, &ice) || ice.Field != "ICache" {
+			t.Errorf("ICache validation error = %v, want ConfigError{Field: ICache}", err)
 		}
-	}()
-	New(testConfig(), loopProgram(1), bpred.NewGshare(8), nil)
+	}
 }

@@ -47,7 +47,10 @@ func Collect(cfg pipeline.Config, prog *isa.Program, pred bpred.Predictor, opts 
 	}
 	cfg.CollectSiteStats = true
 	cfg.RecordEvents = false
-	sim := pipeline.New(cfg, prog, pred)
+	sim, err := pipeline.New(cfg, prog, pred)
+	if err != nil {
+		return conf.Static{}, fmt.Errorf("profile: bad pipeline config: %w", err)
+	}
 	st, err := sim.Run()
 	if err != nil {
 		return conf.Static{}, fmt.Errorf("profile: training run failed: %w", err)

@@ -4,6 +4,7 @@ import (
 	"testing"
 
 	"specctrl/internal/bpred"
+	"specctrl/internal/conf"
 	"specctrl/internal/isa"
 	"specctrl/internal/pipeline"
 	"specctrl/internal/rng"
@@ -94,7 +95,9 @@ func TestSelfProfiledEstimatorBeatsChance(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	sim := pipeline.New(cfg(), p, bpred.NewGshare(12), est)
+	c := cfg()
+	c.Estimators = []conf.Estimator{est}
+	sim := pipeline.MustNew(c, p, bpred.NewGshare(12))
 	st, err := sim.Run()
 	if err != nil {
 		t.Fatal(err)
@@ -189,7 +192,7 @@ func TestTuneAchievesSPECEndToEnd(t *testing.T) {
 	p := mixedProgram(8000)
 	c := cfg()
 	c.CollectSiteStats = true
-	train := pipeline.New(c, p, bpred.NewGshare(12))
+	train := pipeline.MustNew(c, p, bpred.NewGshare(12))
 	tst, err := train.Run()
 	if err != nil {
 		t.Fatal(err)
@@ -199,7 +202,9 @@ func TestTuneAchievesSPECEndToEnd(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		sim := pipeline.New(cfg(), p, bpred.NewGshare(12), est)
+		rc := cfg()
+		rc.Estimators = []conf.Estimator{est}
+		sim := pipeline.MustNew(rc, p, bpred.NewGshare(12))
 		st, err := sim.Run()
 		if err != nil {
 			t.Fatal(err)

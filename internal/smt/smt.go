@@ -114,7 +114,13 @@ func Run(cfg Config, progs []*isa.Program, newPred func() bpred.Predictor, newEs
 	sims := make([]*pipeline.Sim, len(progs))
 	done := make([]bool, len(progs))
 	for i, p := range progs {
-		sims[i] = pipeline.New(pcfg, p, newPred(), newEst())
+		tcfg := pcfg
+		tcfg.Estimators = []conf.Estimator{newEst()}
+		sim, err := pipeline.New(tcfg, p, newPred())
+		if err != nil {
+			return nil, fmt.Errorf("smt thread %d: %w", i, err)
+		}
+		sims[i] = sim
 	}
 
 	next := 0 // rotation cursor

@@ -98,7 +98,8 @@ func TestCompactness(t *testing.T) {
 	cfg.MaxCommitted = 100_000
 	cfg.MaxCycles = 10_000_000
 	cfg.RecordEvents = true
-	sim := pipeline.New(cfg, w.Build(1<<30), bpred.NewGshare(12), conf.NewJRS(conf.DefaultJRS))
+	cfg.Estimators = []conf.Estimator{conf.NewJRS(conf.DefaultJRS)}
+	sim := pipeline.MustNew(cfg, w.Build(1<<30), bpred.NewGshare(12))
 	st, err := sim.Run()
 	if err != nil {
 		t.Fatal(err)
@@ -122,7 +123,8 @@ func TestSimulationTraceRoundTrip(t *testing.T) {
 	cfg.MaxCommitted = 50_000
 	cfg.MaxCycles = 10_000_000
 	cfg.RecordEvents = true
-	sim := pipeline.New(cfg, w.Build(1<<30), bpred.NewGshare(12), conf.SatCounters{})
+	cfg.Estimators = []conf.Estimator{conf.SatCounters{}}
+	sim := pipeline.MustNew(cfg, w.Build(1<<30), bpred.NewGshare(12))
 	st, err := sim.Run()
 	if err != nil {
 		t.Fatal(err)

@@ -117,7 +117,7 @@ func TestBehaviourBands(t *testing.T) {
 			cfg := pipeline.DefaultConfig()
 			cfg.MaxCommitted = 300_000
 			cfg.MaxCycles = 20_000_000
-			sim := pipeline.New(cfg, w.Build(1_000_000), bpred.NewGshare(12))
+			sim := pipeline.MustNew(cfg, w.Build(1_000_000), bpred.NewGshare(12))
 			st, err := sim.Run()
 			if err != nil {
 				t.Fatal(err)
@@ -150,7 +150,7 @@ func TestSuiteSpreads(t *testing.T) {
 		cfg := pipeline.DefaultConfig()
 		cfg.MaxCommitted = 200_000
 		cfg.MaxCycles = 20_000_000
-		sim := pipeline.New(cfg, w.Build(1_000_000), bpred.NewGshare(12))
+		sim := pipeline.MustNew(cfg, w.Build(1_000_000), bpred.NewGshare(12))
 		st, err := sim.Run()
 		if err != nil {
 			t.Fatal(err)

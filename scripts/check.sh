@@ -22,8 +22,12 @@ if grep -rn 'math/rand' internal/experiments internal/runner internal/workload i
     exit 1
 fi
 
-# Bench smoke: the runner benchmarks must at least execute.
-go test -bench='BenchmarkRunner' -benchtime=1x -run '^$' .
+# Bench gate: wall-clock and allocation regressions against the
+# checked-in baseline (BENCH_PIPELINE.json). A >5% min-of-count ns/op
+# regression (10% for the end-to-end runner) or any allocation on the
+# allocation-free hot path fails the build; refresh the baseline with
+# `go run ./scripts/benchgate.go -update` after intentional changes.
+go run ./scripts/benchgate.go
 
 # Serving smoke: results fetched through simserved must be byte-identical
 # to a local simctrl run, and a resubmission must be served entirely from
