@@ -52,6 +52,7 @@ import (
 
 	"specctrl/internal/cliflags"
 	"specctrl/internal/experiments"
+	"specctrl/internal/replay"
 	"specctrl/internal/runner"
 )
 
@@ -77,6 +78,8 @@ func main() {
 		shard     = cliflags.Shard(flag.CommandLine)
 		cellsOut  = cliflags.CellsOut(flag.CommandLine)
 		cellsIn   = cliflags.CellsIn(flag.CommandLine)
+		replayF   = cliflags.Replay(flag.CommandLine)
+		cacheMB   = cliflags.TraceCacheMB(flag.CommandLine)
 		server    = flag.String("server", "", "submit to a simserved base URL instead of simulating locally")
 	)
 	flag.Parse()
@@ -134,6 +137,12 @@ func main() {
 	if *committed > 0 {
 		p.MaxCommitted = *committed
 	}
+	replayMode, err := cliflags.ParseReplay(*replayF)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "simctrl: %v\n", err)
+		os.Exit(2)
+	}
+	p.Replay = replayMode
 	if *verbose {
 		p.Progress = func(msg string) { fmt.Fprintln(os.Stderr, msg) }
 	}
@@ -169,6 +178,9 @@ func main() {
 	defer started.Stop()
 	p.Obs = started.Registry
 	p.Run = started.Run
+	if *cacheMB != 0 || p.Obs != nil {
+		p.TraceCache = replay.NewCache(int64(*cacheMB)<<20, p.Obs)
+	}
 
 	for _, name := range names {
 		r, err := experiments.Run(name, p)

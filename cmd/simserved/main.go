@@ -60,26 +60,34 @@ func run(args []string, stderr io.Writer, stop <-chan struct{}) error {
 		jobTO     = fs.Duration("job-timeout", 0, "per-job execution timeout (0 = none)")
 		retry     = fs.Duration("retry-after", 10*time.Second, "Retry-After hint on 429/503")
 		committed = cliflags.Committed(fs, 0, "default committed instructions per run (0 = paper default 2M)")
+		replayF   = cliflags.Replay(fs)
+		cacheMB   = cliflags.TraceCacheMB(fs)
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 
+	replayMode, err := cliflags.ParseReplay(*replayF)
+	if err != nil {
+		return err
+	}
 	cfg := serve.Config{
-		Addr:           *addr,
-		CacheDir:       *cacheDir,
-		DrainDir:       *drainDir,
-		Jobs:           *jobs,
-		JobConcurrency: *jobConc,
-		QueueDepth:     *queue,
-		JobTimeout:     *jobTO,
-		RetryAfter:     *retry,
+		Addr:            *addr,
+		CacheDir:        *cacheDir,
+		DrainDir:        *drainDir,
+		Jobs:            *jobs,
+		JobConcurrency:  *jobConc,
+		QueueDepth:      *queue,
+		JobTimeout:      *jobTO,
+		RetryAfter:      *retry,
+		TraceCacheBytes: int64(*cacheMB) << 20,
 	}
+	p := experiments.DefaultParams()
 	if *committed > 0 {
-		p := experiments.DefaultParams()
 		p.MaxCommitted = *committed
-		cfg.Params = p
 	}
+	p.Replay = replayMode
+	cfg.Params = p
 	srv, err := serve.New(cfg)
 	if err != nil {
 		return err

@@ -28,9 +28,11 @@ const (
 	ShardFlag       = "shard"
 	CellsOutFlag    = "cells-out"
 	CellsInFlag     = "cells-in"
-	CommittedFlag   = "committed"
-	MetricsAddrFlag = "metrics-addr"
-	ProgressFlag    = "progress"
+	CommittedFlag    = "committed"
+	MetricsAddrFlag  = "metrics-addr"
+	ProgressFlag     = "progress"
+	ReplayFlag       = "replay"
+	TraceCacheMBFlag = "trace-cache-mb"
 )
 
 // Jobs registers -jobs. The default and help text are the caller's:
@@ -60,6 +62,32 @@ func CellsOut(fs *flag.FlagSet) *string {
 // CellsIn registers -cells-in, the precomputed-cell JSON input list.
 func CellsIn(fs *flag.FlagSet) *string {
 	return fs.String(CellsInFlag, "", "comma-separated cell JSON files to reuse instead of simulating")
+}
+
+// Replay registers -replay, the estimator-evaluation mode selector.
+func Replay(fs *flag.FlagSet) *string {
+	return fs.String(ReplayFlag, experiments.ReplayAuto,
+		"estimator evaluation mode: auto (record each simulation once, replay estimator sweeps) or off (simulate every cell directly)")
+}
+
+// ParseReplay validates a -replay value and returns the canonical
+// Params.Replay string.
+func ParseReplay(v string) (string, error) {
+	switch v {
+	case "", experiments.ReplayAuto:
+		return experiments.ReplayAuto, nil
+	case experiments.ReplayOff:
+		return experiments.ReplayOff, nil
+	}
+	return "", fmt.Errorf("-%s must be %q or %q, got %q",
+		ReplayFlag, experiments.ReplayAuto, experiments.ReplayOff, v)
+}
+
+// TraceCacheMB registers -trace-cache-mb, the in-process replay trace
+// cache budget (0 selects replay.DefaultCacheBytes).
+func TraceCacheMB(fs *flag.FlagSet) *int {
+	return fs.Int(TraceCacheMBFlag, 0,
+		"replay trace cache budget in MiB (LRU by retained bytes; 0 = default 256)")
 }
 
 // Obs bundles the two observability flags every long-running binary

@@ -20,10 +20,13 @@ func TestFlagNamesPinned(t *testing.T) {
 	CellsIn(fs)
 	Committed(fs, 0, "committed usage")
 	RegisterObs(fs)
+	Replay(fs)
+	TraceCacheMB(fs)
 
 	want := map[string]bool{
 		"jobs": true, "shard": true, "cells-out": true, "cells-in": true,
 		"committed": true, "metrics-addr": true, "progress": true,
+		"replay": true, "trace-cache-mb": true,
 	}
 	got := map[string]bool{}
 	fs.VisitAll(func(f *flag.Flag) { got[f.Name] = true })
@@ -73,6 +76,28 @@ func TestObsZeroValueStartsNothing(t *testing.T) {
 	defer s.Stop()
 	if s.Registry != nil || s.Run != nil {
 		t.Error("zero Obs started observability")
+	}
+}
+
+func TestParseReplay(t *testing.T) {
+	for _, tc := range []struct {
+		in, want string
+		ok       bool
+	}{
+		{"", "auto", true},
+		{"auto", "auto", true},
+		{"off", "off", true},
+		{"on", "", false},
+		{"AUTO", "", false},
+	} {
+		got, err := ParseReplay(tc.in)
+		if tc.ok != (err == nil) {
+			t.Errorf("ParseReplay(%q) error = %v, want ok=%v", tc.in, err, tc.ok)
+			continue
+		}
+		if tc.ok && got != tc.want {
+			t.Errorf("ParseReplay(%q) = %q, want %q", tc.in, got, tc.want)
+		}
 	}
 }
 

@@ -169,6 +169,12 @@ func (j *JRS) Counter(pc int64, info bpred.Info) int {
 	return int(j.table[j.index(pc, info)])
 }
 
+// Config returns the estimator's configuration. Table state depends
+// only on the non-Threshold fields (the threshold is compared at
+// Estimate time, never stored), which is what lets a replay evaluator
+// share one table across a threshold sweep.
+func (j *JRS) Config() JRSConfig { return j.cfg }
+
 func b2u(b bool) uint64 {
 	if b {
 		return 1

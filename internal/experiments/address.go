@@ -72,6 +72,25 @@ func estimatorNames(ests []conf.Estimator) []string {
 	return names
 }
 
+// pipelineID captures the determinism-relevant subset of the base
+// pipeline configuration for hashing (shared by CellAddress and
+// TraceAddress).
+func (p Params) pipelineID() pipelineIdentity {
+	return pipelineIdentity{
+		FetchWidth:             p.Pipeline.FetchWidth,
+		ResolveDelay:           p.Pipeline.ResolveDelay,
+		ExtraMispredictPenalty: p.Pipeline.ExtraMispredictPenalty,
+		ICache:                 cacheID(p.Pipeline.ICache),
+		DCache:                 cacheID(p.Pipeline.DCache),
+		MaxCycles:              p.Pipeline.MaxCycles,
+		IndirectPrediction:     p.Pipeline.IndirectPrediction,
+		BTBEntries:             p.Pipeline.BTBEntries,
+		BTBAssoc:               p.Pipeline.BTBAssoc,
+		RASDepth:               p.Pipeline.RASDepth,
+		Estimators:             estimatorNames(p.Pipeline.Estimators),
+	}
+}
+
 // cellIdentity is the canonical identity of one grid cell: everything a
 // cell's result is a function of, and nothing else. It is hashed — not
 // stored — so field names only matter for canonical-encoding stability.
@@ -119,24 +138,71 @@ func (p Params) CellAddress(sp runner.Spec) string {
 		SAgBHTBits:      p.SAgBHTBits,
 		SAgHistBits:     p.SAgHistBits,
 		StaticThreshold: p.StaticThreshold,
-		Pipeline: pipelineIdentity{
-			FetchWidth:             p.Pipeline.FetchWidth,
-			ResolveDelay:           p.Pipeline.ResolveDelay,
-			ExtraMispredictPenalty: p.Pipeline.ExtraMispredictPenalty,
-			ICache:                 cacheID(p.Pipeline.ICache),
-			DCache:                 cacheID(p.Pipeline.DCache),
-			MaxCycles:              p.Pipeline.MaxCycles,
-			IndirectPrediction:     p.Pipeline.IndirectPrediction,
-			BTBEntries:             p.Pipeline.BTBEntries,
-			BTBAssoc:               p.Pipeline.BTBAssoc,
-			RASDepth:               p.Pipeline.RASDepth,
-			Estimators:             estimatorNames(p.Pipeline.Estimators),
-		},
+		Pipeline:        p.pipelineID(),
 	}
 	data, err := json.Marshal(id)
 	if err != nil {
 		// cellIdentity is all scalars; Marshal cannot fail.
 		panic("experiments: cell identity encoding: " + err.Error())
+	}
+	sum := sha256.Sum256(data)
+	return hex.EncodeToString(sum[:])
+}
+
+// traceAddressVersion versions traceIdentity the way cellAddressVersion
+// versions cellIdentity.
+const traceAddressVersion = 1
+
+// traceIdentity is the canonical identity of one recorded branch-event
+// trace: everything the estimator-visible event stream is a function
+// of, and nothing else. Compared to cellIdentity it drops the spec key
+// (experiment and variant select estimators, which cannot influence the
+// stream) and the static estimator's profile threshold — that is
+// exactly why one trace serves every estimator configuration of a
+// (workload, predictor) pair across all experiments.
+type traceIdentity struct {
+	AddressVersion int    `json:"addressVersion"`
+	Workload       string `json:"workload"`
+	Predictor      string `json:"predictor"`
+	BaseSeed       uint64 `json:"baseSeed"`
+
+	MaxCommitted uint64           `json:"maxCommitted"`
+	BuildIters   int              `json:"buildIters"`
+	GshareBits   uint             `json:"gshareBits"`
+	McFBits      uint             `json:"mcfBits"`
+	SAgBHTBits   uint             `json:"sagBHTBits"`
+	SAgHistBits  uint             `json:"sagHistBits"`
+	Pipeline     pipelineIdentity `json:"pipeline"`
+}
+
+// TraceAddress returns the content address of the branch-event trace a
+// (workload, predictor) simulation under these parameters would record:
+// a hex SHA-256 of the canonical JSON encoding of the trace's identity.
+// Two (Params, workload, predictor) triples share an address exactly
+// when their simulations produce bit-identical estimator-visible event
+// streams, so the address keys the replay trace cache the same way
+// CellAddress keys the result cache.
+func (p Params) TraceAddress(workload string, spec PredictorSpec) string {
+	seed := p.BaseSeed
+	if seed == 0 {
+		seed = runner.DefaultBaseSeed
+	}
+	id := traceIdentity{
+		AddressVersion: traceAddressVersion,
+		Workload:       workload,
+		Predictor:      spec.Name,
+		BaseSeed:       seed,
+		MaxCommitted:   p.MaxCommitted,
+		BuildIters:     p.BuildIters,
+		GshareBits:     p.GshareBits,
+		McFBits:        p.McFBits,
+		SAgBHTBits:     p.SAgBHTBits,
+		SAgHistBits:    p.SAgHistBits,
+		Pipeline:       p.pipelineID(),
+	}
+	data, err := json.Marshal(id)
+	if err != nil {
+		panic("experiments: trace identity encoding: " + err.Error())
 	}
 	sum := sha256.Sum256(data)
 	return hex.EncodeToString(sum[:])

@@ -1,0 +1,100 @@
+package experiments
+
+import (
+	"testing"
+
+	"specctrl/internal/conf"
+	"specctrl/internal/replay"
+	"specctrl/internal/workload"
+)
+
+// fig45Configs is the Fig 4/5 JRS sweep shape: five table sizes, the
+// full threshold ladder of 4-bit counters, enhanced indexing — 80
+// estimator configurations over one (workload, predictor) pair. This
+// is the workload the record/replay layer was built for.
+func fig45Configs() []conf.JRSConfig {
+	sizes := []int{256, 512, 1024, 2048, 4096}
+	var configs []conf.JRSConfig
+	for _, n := range sizes {
+		for _, t := range thresholds(4) {
+			configs = append(configs, conf.JRSConfig{Entries: n, Bits: 4, Threshold: t, Enhanced: true})
+		}
+	}
+	return configs
+}
+
+func benchEstimators(cfgs []conf.JRSConfig, lo, hi int) []conf.Estimator {
+	ests := make([]conf.Estimator, hi-lo)
+	for j := lo; j < hi; j++ {
+		ests[j-lo] = conf.NewJRS(cfgs[j])
+	}
+	return ests
+}
+
+// BenchmarkSweepDirect measures the pre-replay evaluation strategy: one
+// direct simulation carrying all 80 estimators through the pipeline.
+// It is the baseline BenchmarkSweepReplay is gated against (the ≥2×
+// pre_replay_seed entries in BENCH_PIPELINE.json).
+func BenchmarkSweepDirect(b *testing.B) {
+	p := DefaultParams()
+	p.MaxCommitted = 200_000
+	p.Replay = ReplayOff
+	w, _ := workload.ByName("gcc")
+	spec, _ := predictorByName("gshare")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		cfgs := fig45Configs()
+		if _, err := p.runOne(w, spec, false, benchEstimators(cfgs, 0, len(cfgs))...); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSweepReplay measures the replay strategy end to end from a
+// cold cache: record the estimator-visible event stream once, then
+// replay it for the 80 configurations in runner-sized batches. The
+// fresh cache per iteration charges the recording to every iteration —
+// this is the worst case; sweeps that share traces across experiments
+// (or across benchmark iterations) only pay the replay part.
+func BenchmarkSweepReplay(b *testing.B) {
+	w, _ := workload.ByName("gcc")
+	spec, _ := predictorByName("gshare")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		p := DefaultParams()
+		p.MaxCommitted = 200_000
+		p.TraceCache = replay.NewCache(0, nil)
+		cfgs := fig45Configs()
+		for lo := 0; lo < len(cfgs); lo += replayBatch {
+			hi := min(lo+replayBatch, len(cfgs))
+			if _, _, err := p.replayConfs(w, spec, benchEstimators(cfgs, lo, hi)); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+// BenchmarkSweepReplayWarm isolates the replay cost once the trace is
+// resident — the steady-state cost of adding one more estimator sweep
+// to a cached (workload, predictor) pair.
+func BenchmarkSweepReplayWarm(b *testing.B) {
+	p := DefaultParams()
+	p.MaxCommitted = 200_000
+	p.TraceCache = replay.NewCache(0, nil)
+	w, _ := workload.ByName("gcc")
+	spec, _ := predictorByName("gshare")
+	if _, _, err := p.traceFor(w, spec); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cfgs := fig45Configs()
+		for lo := 0; lo < len(cfgs); lo += replayBatch {
+			hi := min(lo+replayBatch, len(cfgs))
+			if _, _, err := p.replayConfs(w, spec, benchEstimators(cfgs, lo, hi)); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}

@@ -61,6 +61,7 @@ import (
 	"specctrl/internal/obs"
 	"specctrl/internal/pipeline"
 	"specctrl/internal/profile"
+	"specctrl/internal/replay"
 	"specctrl/internal/runner"
 	"specctrl/internal/workload"
 )
@@ -118,7 +119,29 @@ type Params struct {
 	// preloaded via Cells take precedence. internal/serve supplies the
 	// on-disk singleflight implementation.
 	Cache CellCache
+
+	// Replay selects how estimator-sweep experiments evaluate their
+	// estimators: "" or ReplayAuto records each (workload, predictor,
+	// pipeline) simulation once and replays estimator configurations
+	// against the recorded branch-event trace; ReplayOff forces direct
+	// simulation of every cell (the escape hatch the differential smoke
+	// in scripts/check.sh uses). Rendered output is byte-identical in
+	// both modes; only wall-clock changes. Grid cell keys differ
+	// between modes, so sharded sweeps must use one mode consistently
+	// across shard and merge machines (docs/REGENERATING.md).
+	Replay string
+	// TraceCache holds recorded branch-event traces for replay; nil
+	// selects a process-wide shared cache with replay.DefaultCacheBytes
+	// of capacity and no metrics. Long-running servers pass their own
+	// cache to bound memory and publish hit/eviction counters.
+	TraceCache *replay.Cache
 }
+
+// Replay mode values for Params.Replay and the shared -replay flag.
+const (
+	ReplayAuto = "auto"
+	ReplayOff  = "off"
+)
 
 // DefaultParams returns the paper's configuration at a laptop-scale run
 // length (raise MaxCommitted for tighter confidence intervals).

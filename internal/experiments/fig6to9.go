@@ -77,7 +77,7 @@ func FigDistance(p Params, spec PredictorSpec, perceived bool) (*FigDistanceResu
 	// perceived histograms are collected together), so the cells are
 	// keyed "figdist" without a perceived marker: a merged cell dump
 	// renders Figures 6-9 from one suite of runs per predictor.
-	stats, err := p.suiteStats("figdist", spec, "main",
+	stats, err := p.suiteStats("figdist", spec, "main", 0,
 		func(_ Params, _ workload.Workload) ([]conf.Estimator, error) { return nil, nil })
 	if err != nil {
 		return nil, err

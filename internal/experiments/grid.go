@@ -220,9 +220,20 @@ func suiteSpecs(experiment string, spec PredictorSpec, variant string) []runner.
 // suiteStats runs the most common grid shape — one simulation per suite
 // benchmark on one predictor — and returns the statistics in suite
 // order. ests builds the cell's estimator list (fresh instances; it may
-// run a profiling pass, e.g. for the static estimator).
-func (p Params) suiteStats(experiment string, spec PredictorSpec, variant string,
+// run a profiling pass, e.g. for the static estimator) and must return
+// exactly nEsts estimators; the count is passed separately so the
+// replay path can enumerate its cells without invoking the builder.
+//
+// Under replayActive parameters the sweep runs record-once /
+// replay-many (suiteStatsReplay): one simulation per workload, shared
+// across every estimator configuration and every other replay-backed
+// experiment, with estimator batches replayed as independent grid
+// cells. The returned statistics are identical either way.
+func (p Params) suiteStats(experiment string, spec PredictorSpec, variant string, nEsts int,
 	ests func(p Params, w workload.Workload) ([]conf.Estimator, error)) ([]*pipeline.Stats, error) {
+	if p.replayActive() {
+		return p.suiteStatsReplay(experiment, spec, variant, nEsts, ests)
+	}
 	cells, err := p.runGrid(suiteSpecs(experiment, spec, variant),
 		func(_ context.Context, p Params, sp runner.Spec) (CellResult, error) {
 			w, err := workload.ByName(sp.Workload)

@@ -175,7 +175,11 @@ func (c *countingCache) GetOrCompute(ctx context.Context, addr string, _ runner.
 func TestGridCellCache(t *testing.T) {
 	cc := &countingCache{}
 
+	// Direct mode: this test pins the one-cell-per-workload grid shape
+	// whose addresses m2cells re-derives (replay-mode grids have their
+	// own shape, covered by the replay tests).
 	first := smallParams()
+	first.Replay = ReplayOff
 	first.Cache = cc
 	direct, err := Table3(first)
 	if err != nil {
@@ -186,6 +190,7 @@ func TestGridCellCache(t *testing.T) {
 	}
 
 	second := smallParams()
+	second.Replay = ReplayOff
 	second.Cache = cc
 	replay, err := Table3(second)
 	if err != nil {
@@ -201,6 +206,7 @@ func TestGridCellCache(t *testing.T) {
 	// Preloaded Cells take precedence over the cache: a poisoned cache
 	// never overrides explicitly supplied cells.
 	pre := smallParams()
+	pre.Replay = ReplayOff
 	pre.Cache = &countingCache{} // empty; would simulate if consulted
 	pre.Cells = cc.m2cells(t)
 	pre.Progress = func(msg string) { t.Fatalf("simulated despite preloaded cells: %s", msg) }
@@ -267,8 +273,10 @@ func TestShardRun(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if total != len(suite()) {
-		t.Fatalf("shards produced %d cells, want %d", total, len(suite()))
+	// Default params run replay-shaped grids: per workload, one record
+	// cell plus one replay cell (Table3's two estimators fit one batch).
+	if want := 2 * len(suite()); total != want {
+		t.Fatalf("shards produced %d cells, want %d", total, want)
 	}
 	if want.Render() != got.Render() {
 		t.Fatal("merged shard render differs from direct run")

@@ -51,7 +51,7 @@ func patternsCell(_ context.Context, p Params, sp runner.Spec) (CellResult, erro
 	}
 	bits := spec.HistBits(p)
 	prof := NewPatternCollector(bits)
-	st, err := p.runOne(w, spec, false, prof.Profiler, conf.NewPatternHistory(bits))
+	st, err := p.evalEstimators(w, spec, prof.Profiler, conf.NewPatternHistory(bits))
 	if err != nil {
 		return CellResult{}, fmt.Errorf("patterns %s/%s: %w", w.Name, spec.Name, err)
 	}

@@ -1,0 +1,139 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"specctrl/internal/replay"
+)
+
+// TestReplayRenderMatchesDirect is the experiments-level exactness
+// gate: the same experiment rendered under record/replay evaluation
+// and under direct simulation must be byte-identical. The selection
+// covers the replay-backed grid shapes — suite sweeps with stateful
+// sweep estimators (fig3), small fixed estimator sets (table3),
+// profiling-dependent builders (table2's static column), and
+// evalEstimators cells with a training profiler (patterns).
+func TestReplayRenderMatchesDirect(t *testing.T) {
+	for _, exp := range []string{"table2", "table3", "fig3", "patterns"} {
+		t.Run(exp, func(t *testing.T) {
+			direct := smallParams()
+			direct.Replay = ReplayOff
+			want, err := Run(exp, direct)
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			rep := smallParams()
+			rep.TraceCache = replay.NewCache(0, nil) // isolate from other tests
+			got, err := Run(exp, rep)
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			if want.Render() != got.Render() {
+				t.Errorf("replay-mode render differs from direct simulation:\n--- direct ---\n%s\n--- replay ---\n%s",
+					want.Render(), got.Render())
+			}
+		})
+	}
+}
+
+// TestReplayTraceSharedAcrossExperiments: the trace cache is keyed
+// below the experiment, so a second experiment touching the same
+// (workload, predictor) pairs replays entirely from cache — zero new
+// recordings. This is the property that lets `-exp all` simulate each
+// pair once.
+func TestReplayTraceSharedAcrossExperiments(t *testing.T) {
+	cache := replay.NewCache(0, nil)
+	records := func(exp string) int {
+		p := smallParams()
+		p.TraceCache = cache
+		n := 0
+		p.Progress = func(msg string) {
+			if strings.HasPrefix(msg, "record ") {
+				n++
+			}
+		}
+		if _, err := Run(exp, p); err != nil {
+			t.Fatal(err)
+		}
+		return n
+	}
+
+	if n := records("table3"); n != len(suite()) {
+		t.Fatalf("table3 recorded %d traces, want one per workload (%d)", n, len(suite()))
+	}
+	// Same workloads, same predictor: everything replays from cache.
+	if n := records("table3"); n != 0 {
+		t.Fatalf("second table3 run recorded %d traces, want 0", n)
+	}
+	if c := cache.Len(); c != len(suite()) {
+		t.Fatalf("cache holds %d traces, want %d", c, len(suite()))
+	}
+}
+
+// TestReplayDeterminismAcrossJobs: replay-shaped grids keep the
+// byte-identity guarantee under parallel execution (record cells and
+// replay cells interleave freely on the worker pool).
+func TestReplayDeterminismAcrossJobs(t *testing.T) {
+	serial := smallParams()
+	serial.Jobs = 1
+	serial.TraceCache = replay.NewCache(0, nil)
+	wide := smallParams()
+	wide.Jobs = 8
+	wide.TraceCache = replay.NewCache(0, nil)
+
+	r1, err := Run("fig3", serial)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r8, err := Run("fig3", wide)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.Render() != r8.Render() {
+		t.Fatal("fig3 replay render differs between Jobs=1 and Jobs=8")
+	}
+}
+
+// TestTraceAddressExcludesEstimatorIdentity: two parameter sets that
+// differ only in estimator-facing knobs must share a trace address,
+// while pipeline- or predictor-facing changes must not.
+func TestTraceAddressExcludesEstimatorIdentity(t *testing.T) {
+	base := smallParams()
+	spec, err := predictorByName("gshare")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := base.TraceAddress("gcc", spec)
+
+	same := base
+	same.StaticThreshold = 0.5 // estimator construction knob only
+	if same.TraceAddress("gcc", spec) != addr {
+		t.Error("StaticThreshold changed the trace address")
+	}
+
+	for name, mutate := range map[string]func(*Params){
+		"MaxCommitted": func(p *Params) { p.MaxCommitted++ },
+		"BaseSeed":     func(p *Params) { p.BaseSeed++ },
+		"GshareBits":   func(p *Params) { p.GshareBits++ },
+		"FetchWidth":   func(p *Params) { p.Pipeline.FetchWidth++ },
+	} {
+		p := base
+		mutate(&p)
+		if p.TraceAddress("gcc", spec) == addr {
+			t.Errorf("%s change did not change the trace address", name)
+		}
+	}
+	if base.TraceAddress("perl", spec) == addr {
+		t.Error("workload change did not change the trace address")
+	}
+	mcf, err := predictorByName("mcfarling")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if base.TraceAddress("gcc", mcf) == addr {
+		t.Error("predictor change did not change the trace address")
+	}
+}

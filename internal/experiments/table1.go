@@ -53,7 +53,7 @@ func Table1(p Params) (*Table1Result, error) {
 		if err != nil {
 			return CellResult{}, err
 		}
-		st, err := p.runOne(w, spec, false)
+		st, err := p.evalEstimators(w, spec)
 		if err != nil {
 			return CellResult{}, fmt.Errorf("table1 %s: %w", sp.Key(), err)
 		}

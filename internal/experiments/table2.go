@@ -69,7 +69,7 @@ func table2Cell(_ context.Context, p Params, sp runner.Spec) (CellResult, error)
 		return CellResult{}, fmt.Errorf("table2 static %s/%s: %w", w.Name, spec.Name, err)
 	}
 	ests := append(table2Estimators(p, spec), static)
-	st, err := p.runOne(w, spec, false, ests...)
+	st, err := p.evalEstimators(w, spec, ests...)
 	if err != nil {
 		return CellResult{}, fmt.Errorf("table2 %s/%s: %w", w.Name, spec.Name, err)
 	}

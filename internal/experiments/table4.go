@@ -43,7 +43,7 @@ func table4Cell(_ context.Context, p Params, sp runner.Spec) (CellResult, error)
 		return CellResult{}, err
 	}
 	if spec.Name == "sag" {
-		st, err := p.runOne(w, spec, false, conf.NewPatternHistory(spec.HistBits(p)))
+		st, err := p.evalEstimators(w, spec, conf.NewPatternHistory(spec.HistBits(p)))
 		if err != nil {
 			return CellResult{}, fmt.Errorf("table4 %s/sag: %w", w.Name, err)
 		}
@@ -61,7 +61,7 @@ func table4Cell(_ context.Context, p Params, sp runner.Spec) (CellResult, error)
 	for d := 1; d <= table4DistMax; d++ {
 		ests = append(ests, conf.NewDistance(d))
 	}
-	st, err := p.runOne(w, spec, false, ests...)
+	st, err := p.evalEstimators(w, spec, ests...)
 	if err != nil {
 		return CellResult{}, fmt.Errorf("table4 %s/%s: %w", w.Name, spec.Name, err)
 	}

@@ -37,7 +37,7 @@ func XInput(p Params) (*XInputResult, error) {
 	// a constant — not derived from the cell seed — because it names a
 	// specific published input, not a random one.
 	const altSeed = 0xA17E12
-	stats, err := p.suiteStats("xinput", GshareSpec(), "main",
+	stats, err := p.suiteStats("xinput", GshareSpec(), "main", 2,
 		func(p Params, w workload.Workload) ([]conf.Estimator, error) {
 			// Profile pass on the reference input (self) and the
 			// alternative input (cross), both inside the cell.

@@ -233,7 +233,11 @@ type DistanceHist struct {
 	Mispredict [DistanceBuckets]uint64
 }
 
-func (h *DistanceHist) record(dist int, mispredicted bool) {
+// Record counts one branch observed dist branches after the previous
+// reset point, mispredicted or not. Distances at or beyond the last
+// bucket clamp into it. Exported so trace replay (internal/replay) can
+// reproduce the simulator's histogram updates bit-for-bit.
+func (h *DistanceHist) Record(dist int, mispredicted bool) {
 	if dist >= DistanceBuckets {
 		dist = DistanceBuckets - 1
 	}
@@ -746,8 +750,8 @@ func (s *Sim) onCondBranch(pc int64, outcome bool, takenTarget, notTakenTarget i
 	}
 	s.distPreciseAll++
 	s.distPerceivedAll++
-	s.stats.PreciseAll.record(s.distPreciseAll, !correct)
-	s.stats.PerceivedAll.record(s.distPerceivedAll, !correct)
+	s.stats.PreciseAll.Record(s.distPreciseAll, !correct)
+	s.stats.PerceivedAll.Record(s.distPerceivedAll, !correct)
 	if !correct {
 		s.distPreciseAll = 0
 	}
@@ -756,8 +760,8 @@ func (s *Sim) onCondBranch(pc int64, outcome bool, takenTarget, notTakenTarget i
 		s.stats.CommittedQ.Record(correct, hc0)
 		s.distPreciseCommitted++
 		s.distPerceivedComm++
-		s.stats.PreciseCommitted.record(s.distPreciseCommitted, !correct)
-		s.stats.PerceivedCommitted.record(s.distPerceivedComm, !correct)
+		s.stats.PreciseCommitted.Record(s.distPreciseCommitted, !correct)
+		s.stats.PerceivedCommitted.Record(s.distPerceivedComm, !correct)
 		if !correct {
 			s.distPreciseCommitted = 0
 		}
@@ -766,10 +770,10 @@ func (s *Sim) onCondBranch(pc int64, outcome bool, takenTarget, notTakenTarget i
 			cs.CommittedQ.Record(correct, s.hcScratch[i])
 			s.distMisest[i]++
 			if misest := s.hcScratch[i] != correct; misest {
-				cs.MisestCommitted.record(s.distMisest[i], true)
+				cs.MisestCommitted.Record(s.distMisest[i], true)
 				s.distMisest[i] = 0
 			} else {
-				cs.MisestCommitted.record(s.distMisest[i], false)
+				cs.MisestCommitted.Record(s.distMisest[i], false)
 			}
 		}
 		if s.stats.Sites != nil {

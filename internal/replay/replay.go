@@ -1,0 +1,549 @@
+// Package replay records the estimator-visible branch event stream of
+// one pipeline simulation and re-evaluates confidence estimators
+// against the recording without re-running the pipeline.
+//
+// The paper's estimators are passive observers: the simulator calls
+// Estimate for every fetched conditional branch (in fetch order) and
+// Resolve for every committed branch (in program order, with the
+// fetch-time pc/Info/correctness — see the pipeline package's event
+// ordering contract). Estimators never influence fetch, timing, or
+// prediction, so for a fixed (workload, predictor, pipeline
+// configuration) the event stream is identical no matter which
+// estimators are attached. Recording that stream once therefore lets
+// any number of estimator configurations be evaluated afterwards, in
+// parallel, at the cost of a table lookup per event instead of a full
+// per-cycle simulation — the standard trace-driven methodology for
+// predictor design-space sweeps.
+//
+// A Trace stores the stream as fixed-size chunks of tokens. A token is
+// either a fetch event — carrying the branch pc, the full bpred.Info
+// the predictor produced, whether the prediction was correct, and
+// whether the branch was on the committed path — or a payload-free
+// resolve event. Resolves need no payload because the simulator
+// resolves committed branches in fetch order and passes Resolve the
+// values captured at fetch: replay keeps a short FIFO of committed
+// fetch events and pops it at each resolve token. Fetch payloads are
+// columnar (one slice per field) for sequential-scan locality; the
+// fetch/resolve interleaving is a per-chunk bitset.
+//
+// Exactness: Replay reproduces pipeline.Stats.Confidence — the
+// per-estimator quadrants and mis-estimation histogram — bit for bit,
+// because it replays the same Estimate/Resolve call sequence with the
+// same arguments and applies the same statistics updates in the same
+// order (asserted by differential tests in this package and in
+// internal/experiments, and end to end by the results_full.txt
+// byte-identity gate in scripts/check.sh).
+package replay
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"specctrl/internal/bpred"
+	"specctrl/internal/conf"
+	"specctrl/internal/obs"
+	"specctrl/internal/pipeline"
+)
+
+// chunkTokens is the token capacity of one chunk. 64k tokens keep the
+// per-chunk columns around a megabyte — big enough that chunk-crossing
+// overhead vanishes, small enough that the codec never needs giant
+// up-front allocations when decoding untrusted input.
+const chunkTokens = 1 << 16
+
+// Fetch-event flag bits (chunk.flg).
+const (
+	fPred      = 1 << iota // predicted direction
+	fP1                    // McFarling component prediction 1
+	fP2                    // McFarling component prediction 2
+	fCorrect               // prediction matched the oracle outcome
+	fCommitted             // fetched on the committed (correct) path
+)
+
+// chunk is one fixed-capacity run of tokens. kinds holds one bit per
+// token (set = fetch event, clear = resolve event); the columnar
+// slices hold one entry per *fetch* token, in token order.
+type chunk struct {
+	n     int      // tokens used
+	kinds []uint64 // ⌈n/64⌉ words of token-kind bits
+	pc    []int64
+	hist  []uint64
+	ctr   []uint8 // packed counters: C1 | C2<<2 | Meta<<4
+	flg   []uint8 // fPred | fP1 | fP2 | fCorrect | fCommitted
+}
+
+// full reports whether the chunk has reached capacity.
+func (c *chunk) full() bool { return c.n == chunkTokens }
+
+// setKind marks token i as a fetch event.
+func (c *chunk) setFetch(i int) { c.kinds[i>>6] |= 1 << (uint(i) & 63) }
+
+// isFetch reports whether token i is a fetch event.
+func (c *chunk) isFetch(i int) bool { return c.kinds[i>>6]&(1<<(uint(i)&63)) != 0 }
+
+// bytes estimates the chunk's retained memory from slice capacities.
+func (c *chunk) bytes() int {
+	return cap(c.kinds)*8 + cap(c.pc)*8 + cap(c.hist)*8 + cap(c.ctr) + cap(c.flg)
+}
+
+// Trace is one simulation's recorded branch event stream. A Trace is
+// immutable once obtained from Recorder.Trace or Decode and is safe
+// for concurrent Replay calls.
+type Trace struct {
+	chunks  []*chunk
+	fetches int // total fetch tokens
+	tokens  int // total tokens (fetches + resolves)
+}
+
+// Events returns the total token count (fetch + resolve events).
+func (t *Trace) Events() int { return t.tokens }
+
+// Fetches returns the number of fetch events.
+func (t *Trace) Fetches() int { return t.fetches }
+
+// Bytes estimates the trace's retained memory; the trace cache's LRU
+// budget accounts entries with it.
+func (t *Trace) Bytes() int {
+	n := 0
+	for _, c := range t.chunks {
+		n += c.bytes()
+	}
+	return n
+}
+
+// packInfo packs the three 2-bit counters of a bpred.Info.
+func packInfo(info bpred.Info) uint8 {
+	return uint8(info.C1&3) | uint8(info.C2&3)<<2 | uint8(info.Meta&3)<<4
+}
+
+// Recorder captures the estimator-visible event stream of one run. It
+// plugs into the pipeline through two existing observation points — as
+// a conf.Estimator (attach as the only entry of Config.Estimators) and
+// as the run's obs.Tracer — so the simulator needs no changes:
+//
+//   - Estimate stashes the fetch-time (pc, Info) pair;
+//   - Branch (called by the simulator immediately after the estimate
+//     fan-out for the same branch) completes the fetch event with the
+//     prediction's correctness and the committed/wrong-path flag;
+//   - Resolve appends a payload-free resolve token.
+//
+// Estimate always returns high confidence, so the base Stats of the
+// recording run (CommittedQ/AllQ and every estimator-independent
+// field) are identical to a run with no estimators attached.
+//
+// A Recorder is single-run, single-goroutine state, like the simulator
+// that drives it.
+type Recorder struct {
+	t   Trace
+	cur *chunk
+
+	pendPC   int64
+	pendInfo bpred.Info
+	havePend bool
+	err      error
+}
+
+// NewRecorder returns an empty recorder.
+func NewRecorder() *Recorder { return &Recorder{} }
+
+// Name implements conf.Estimator.
+func (r *Recorder) Name() string { return "trace-recorder" }
+
+// Estimate implements conf.Estimator: it stashes the fetch-time pair
+// for the Branch callback and reports high confidence.
+func (r *Recorder) Estimate(pc int64, info bpred.Info) bool {
+	if r.havePend && r.err == nil {
+		r.err = fmt.Errorf("replay: Estimate(pc=%#x) before previous fetch event was completed", pc)
+	}
+	r.pendPC, r.pendInfo, r.havePend = pc, info, true
+	return true
+}
+
+// Branch implements obs.Tracer: it completes the fetch event the
+// preceding Estimate call opened.
+func (r *Recorder) Branch(ev obs.BranchEvent) {
+	if !r.havePend || ev.PC != r.pendPC {
+		if r.err == nil {
+			r.err = fmt.Errorf("replay: Branch(pc=%#x) does not match a pending Estimate", ev.PC)
+		}
+		return
+	}
+	r.havePend = false
+	var flg uint8
+	if r.pendInfo.Pred {
+		flg |= fPred
+	}
+	if r.pendInfo.P1 {
+		flg |= fP1
+	}
+	if r.pendInfo.P2 {
+		flg |= fP2
+	}
+	if ev.Pred == ev.Outcome {
+		flg |= fCorrect
+	}
+	if !ev.WrongPath {
+		flg |= fCommitted
+	}
+	c := r.chunk()
+	c.setFetch(c.n)
+	c.n++
+	c.pc = append(c.pc, r.pendPC)
+	c.hist = append(c.hist, r.pendInfo.Hist)
+	c.ctr = append(c.ctr, packInfo(r.pendInfo))
+	c.flg = append(c.flg, flg)
+	r.t.fetches++
+	r.t.tokens++
+}
+
+// Resolve implements conf.Estimator: committed branches resolve in
+// fetch order with fetch-time arguments, so the token needs no payload.
+func (r *Recorder) Resolve(pc int64, info bpred.Info, correct bool) {
+	c := r.chunk()
+	c.n++ // kind bit stays clear: resolve token
+	r.t.tokens++
+}
+
+// Close implements obs.Tracer (the recorder has nothing to flush).
+func (r *Recorder) Close() error { return nil }
+
+// chunk returns the current chunk, opening a new one at capacity.
+func (r *Recorder) chunk() *chunk {
+	if r.cur == nil || r.cur.full() {
+		r.cur = &chunk{kinds: make([]uint64, chunkTokens/64)}
+		r.t.chunks = append(r.t.chunks, r.cur)
+	}
+	return r.cur
+}
+
+// Trace returns the finished recording. It fails if the event stream
+// was malformed (an Estimate without its Branch completion, or vice
+// versa), which would mean the recorder was not driven by the pipeline
+// contract it encodes.
+func (r *Recorder) Trace() (*Trace, error) {
+	if r.err != nil {
+		return nil, r.err
+	}
+	if r.havePend {
+		return nil, errors.New("replay: recording ended with an incomplete fetch event")
+	}
+	return &r.t, nil
+}
+
+// resolveRec is one committed fetch event awaiting its resolve token.
+type resolveRec struct {
+	pc      int64
+	info    bpred.Info
+	correct bool
+}
+
+// estKind tags the concrete estimator families with devirtualized call
+// sites, mirroring the simulator's hot-path dispatch (see pipeline's
+// estFast): interface calls per event per estimator dominate replay
+// cost, and the common families are all concrete types the compiler
+// can inline once the switch names them.
+type estKind uint8
+
+const (
+	estGeneric estKind = iota
+	estJRS
+	estSat
+	estSatMcF
+	estPattern
+	estStatic
+)
+
+// estFast caches one estimator's concrete identity for direct dispatch
+// (value-type estimators are stored by value; copying conf.Static only
+// copies its map header, the profile itself is shared).
+type estFast struct {
+	kind estKind
+	jrs  *conf.JRS
+	satM conf.SatCountersMcFarling
+	pat  conf.PatternHistory
+	st   conf.Static
+}
+
+func (f *estFast) estimate(ests []conf.Estimator, i int, pc int64, info bpred.Info) bool {
+	switch f.kind {
+	case estJRS:
+		return f.jrs.Estimate(pc, info)
+	case estSat:
+		return conf.SatCounters{}.Estimate(pc, info)
+	case estSatMcF:
+		return f.satM.Estimate(pc, info)
+	case estPattern:
+		return f.pat.Estimate(pc, info)
+	case estStatic:
+		return f.st.Estimate(pc, info)
+	}
+	return ests[i].Estimate(pc, info)
+}
+
+func (f *estFast) resolve(ests []conf.Estimator, i int, pc int64, info bpred.Info, correct bool) {
+	switch f.kind {
+	case estJRS:
+		f.jrs.Resolve(pc, info, correct)
+	case estSat, estSatMcF, estPattern, estStatic:
+		// Value-type families keep no per-branch state; Resolve is empty.
+	default:
+		ests[i].Resolve(pc, info, correct)
+	}
+}
+
+// jrsGroup is a set of JRS estimators identical except for their
+// threshold. A JRS table's evolution depends only on the index function
+// and the correct/incorrect sequence — the threshold is compared at
+// Estimate time, never stored — so every member's table is forever
+// identical and one lookup (and one Resolve) serves the whole group:
+// the sweep evaluates one counter read against many thresholds. This is
+// the replay path's structural advantage over direct simulation, where
+// each estimator is a black box behind the Estimator interface.
+type jrsGroup struct {
+	leader     *conf.JRS // first member; the only table that trains
+	members    []int     // estimator indices, sorted by threshold
+	thresholds []int     // members' thresholds, ascending, parallel to members
+}
+
+// fetch applies one fetch event to every group member. With thresholds
+// ascending, one scan finds the high/low-confidence split for this
+// counter value; each side of the split then updates its quadrant cells
+// with the branchy decisions (correct × hc × misestimate) already made.
+func (g *jrsGroup) fetch(confs []pipeline.ConfStats, dist []int, pc int64, info bpred.Info, correct, committed bool) {
+	ctr := g.leader.Counter(pc, info)
+	ths := g.thresholds
+	split := 0
+	for split < len(ths) && ctr >= ths[split] {
+		split++
+	}
+	mem := g.members
+	switch {
+	case correct && committed:
+		for _, i := range mem[:split] { // high confidence, estimate right
+			cs := &confs[i]
+			cs.AllQ.Chc++
+			cs.CommittedQ.Chc++
+			dist[i]++
+			cs.MisestCommitted.Record(dist[i], false)
+		}
+		for _, i := range mem[split:] { // low confidence: a mis-estimate
+			cs := &confs[i]
+			cs.AllQ.Clc++
+			cs.CommittedQ.Clc++
+			dist[i]++
+			cs.MisestCommitted.Record(dist[i], true)
+			dist[i] = 0
+		}
+	case committed: // mispredicted: high confidence is the mis-estimate
+		for _, i := range mem[:split] {
+			cs := &confs[i]
+			cs.AllQ.Ihc++
+			cs.CommittedQ.Ihc++
+			dist[i]++
+			cs.MisestCommitted.Record(dist[i], true)
+			dist[i] = 0
+		}
+		for _, i := range mem[split:] {
+			cs := &confs[i]
+			cs.AllQ.Ilc++
+			cs.CommittedQ.Ilc++
+			dist[i]++
+			cs.MisestCommitted.Record(dist[i], false)
+		}
+	case correct:
+		for _, i := range mem[:split] {
+			confs[i].AllQ.Chc++
+		}
+		for _, i := range mem[split:] {
+			confs[i].AllQ.Clc++
+		}
+	default:
+		for _, i := range mem[:split] {
+			confs[i].AllQ.Ihc++
+		}
+		for _, i := range mem[split:] {
+			confs[i].AllQ.Ilc++
+		}
+	}
+}
+
+// byThreshold sorts a group's parallel members/thresholds slices by
+// threshold, ties broken by estimator index for determinism.
+type byThreshold struct{ g *jrsGroup }
+
+func (s byThreshold) Len() int { return len(s.g.members) }
+func (s byThreshold) Less(a, b int) bool {
+	if s.g.thresholds[a] != s.g.thresholds[b] {
+		return s.g.thresholds[a] < s.g.thresholds[b]
+	}
+	return s.g.members[a] < s.g.members[b]
+}
+func (s byThreshold) Swap(a, b int) {
+	s.g.members[a], s.g.members[b] = s.g.members[b], s.g.members[a]
+	s.g.thresholds[a], s.g.thresholds[b] = s.g.thresholds[b], s.g.thresholds[a]
+}
+
+// planReplay splits ests into JRS threshold groups and solo estimators
+// with devirtualized dispatch. Grouping assumes group members have
+// identical table state — true whenever they were constructed fresh for
+// this replay (the same freshness direct simulation needs, since
+// estimators train during a run) and preserved by replay itself,
+// because identical call sequences keep the tables identical.
+func planReplay(ests []conf.Estimator) (groups []jrsGroup, solo []int, fast []estFast) {
+	fast = make([]estFast, len(ests))
+	byCfg := map[conf.JRSConfig]int{} // config minus threshold → groups index
+	for i, e := range ests {
+		switch v := e.(type) {
+		case *conf.JRS:
+			fast[i] = estFast{kind: estJRS, jrs: v}
+			key := v.Config()
+			key.Threshold = 0
+			gi, ok := byCfg[key]
+			if !ok {
+				gi = len(groups)
+				byCfg[key] = gi
+				groups = append(groups, jrsGroup{leader: v})
+			}
+			groups[gi].members = append(groups[gi].members, i)
+			groups[gi].thresholds = append(groups[gi].thresholds, v.Config().Threshold)
+			continue
+		case conf.SatCounters:
+			fast[i] = estFast{kind: estSat}
+		case conf.SatCountersMcFarling:
+			fast[i] = estFast{kind: estSatMcF, satM: v}
+		case conf.PatternHistory:
+			fast[i] = estFast{kind: estPattern, pat: v}
+		case conf.Static:
+			fast[i] = estFast{kind: estStatic, st: v}
+		}
+		solo = append(solo, i)
+	}
+	// Singleton groups gain nothing from the shared-counter path; fold
+	// them back into the solo list to keep one dispatch shape per size.
+	kept := groups[:0]
+	for _, g := range groups {
+		if len(g.members) == 1 {
+			solo = append(solo, g.members[0])
+			continue
+		}
+		// Ascending thresholds let fetch find the high/low-confidence
+		// boundary for a counter value with a single scan.
+		sort.Sort(byThreshold{&g})
+		kept = append(kept, g)
+	}
+	groups = kept
+	sort.Ints(solo)
+	return groups, solo, fast
+}
+
+// recordFetch applies the simulator's fetch-time confidence bookkeeping
+// for one estimator (see onCondBranch): quadrants over all fetched
+// branches, and over committed branches the committed quadrants plus
+// the mis-estimation distance histogram with its reset-on-misestimate
+// distance counter.
+func recordFetch(cs *pipeline.ConfStats, dist *int, hc, correct, committed bool) {
+	cs.AllQ.Record(correct, hc)
+	if committed {
+		cs.CommittedQ.Record(correct, hc)
+		*dist++
+		if hc != correct {
+			cs.MisestCommitted.Record(*dist, true)
+			*dist = 0
+		} else {
+			cs.MisestCommitted.Record(*dist, false)
+		}
+	}
+}
+
+// Replay evaluates ests against the recorded stream and returns one
+// pipeline.ConfStats per estimator — bit-identical to what a direct
+// simulation with the same estimators attached would have produced in
+// Stats.Confidence. The steady-state loop is allocation-free; the only
+// allocations are the per-call result and scratch slices.
+//
+// Estimators are driven exactly as the pipeline drives them: Estimate
+// per fetch event in stream order, Resolve per resolve token with the
+// corresponding committed fetch's pc/Info/correctness. Stateful
+// estimators therefore train identically, with one deliberate
+// exception: JRS estimators that differ only in threshold share one
+// table (see jrsGroup), so only the group leader's table is trained —
+// the returned statistics are unaffected, but non-leader instances
+// should be discarded after the call. Estimators must be freshly
+// constructed (untrained), the same requirement direct simulation
+// imposes, and must not share mutable state with estimators being
+// replayed concurrently elsewhere.
+func Replay(t *Trace, ests []conf.Estimator) []pipeline.ConfStats {
+	confs := make([]pipeline.ConfStats, len(ests))
+	for i, e := range ests {
+		confs[i].Name = e.Name()
+	}
+	dist := make([]int, len(ests))
+	groups, solo, fast := planReplay(ests)
+
+	// FIFO of committed-but-unresolved fetches. Occupancy is bounded by
+	// the simulator's in-flight branch capacity (a few tens of entries);
+	// the ring grows only if a trace from a deeper configuration needs it.
+	ring := make([]resolveRec, 64)
+	head, count := 0, 0
+
+	for _, c := range t.chunks {
+		fi := 0
+		for k := 0; k < c.n; k++ {
+			if !c.isFetch(k) {
+				if count == 0 {
+					continue // tolerate a truncated decode; cannot happen on recorded traces
+				}
+				rr := &ring[head]
+				for gi := range groups {
+					groups[gi].leader.Resolve(rr.pc, rr.info, rr.correct)
+				}
+				for _, i := range solo {
+					fast[i].resolve(ests, i, rr.pc, rr.info, rr.correct)
+				}
+				head = (head + 1) & (len(ring) - 1)
+				count--
+				continue
+			}
+			pc := c.pc[fi]
+			flg := c.flg[fi]
+			ctr := c.ctr[fi]
+			info := bpred.Info{
+				Pred: flg&fPred != 0,
+				Hist: c.hist[fi],
+				C1:   bpred.Counter2(ctr & 3),
+				C2:   bpred.Counter2(ctr >> 2 & 3),
+				Meta: bpred.Counter2(ctr >> 4 & 3),
+				P1:   flg&fP1 != 0,
+				P2:   flg&fP2 != 0,
+			}
+			fi++
+			correct := flg&fCorrect != 0
+			committed := flg&fCommitted != 0
+			for gi := range groups {
+				groups[gi].fetch(confs, dist, pc, info, correct, committed)
+			}
+			for _, i := range solo {
+				hc := fast[i].estimate(ests, i, pc, info)
+				recordFetch(&confs[i], &dist[i], hc, correct, committed)
+			}
+			if committed {
+				if count == len(ring) {
+					ring = growRing(ring, head)
+					head = 0
+				}
+				ring[(head+count)&(len(ring)-1)] = resolveRec{pc: pc, info: info, correct: correct}
+				count++
+			}
+		}
+	}
+	return confs
+}
+
+// growRing doubles a full ring, re-basing the occupied run at index 0.
+func growRing(ring []resolveRec, head int) []resolveRec {
+	next := make([]resolveRec, len(ring)*2)
+	n := copy(next, ring[head:])
+	copy(next[n:], ring[:head])
+	return next
+}

@@ -1,0 +1,366 @@
+package replay
+
+import (
+	"reflect"
+	"sync"
+	"testing"
+
+	"specctrl/internal/bpred"
+	"specctrl/internal/conf"
+	"specctrl/internal/isa"
+	"specctrl/internal/obs"
+	"specctrl/internal/pipeline"
+	"specctrl/internal/profile"
+	"specctrl/internal/workload"
+)
+
+// testCommitted keeps the differential runs fast while still pushing
+// every estimator well past its warm-up transient.
+const testCommitted = 60_000
+
+// testProg memoizes one workload program for the whole test binary
+// (program generation dominates small-run time).
+var testProg = sync.OnceValue(func() *isa.Program {
+	w, err := workload.ByName("gcc")
+	if err != nil {
+		panic(err)
+	}
+	return w.Build(1 << 30)
+})
+
+// testPred builds a fresh predictor of the named family, sized like the
+// experiments layer's defaults.
+func testPred(t testing.TB, name string) bpred.Predictor {
+	t.Helper()
+	switch name {
+	case "gshare":
+		return bpred.NewGshare(12)
+	case "mcfarling":
+		return bpred.NewMcFarling(12)
+	case "sag":
+		return bpred.NewSAg(12, 13)
+	}
+	t.Fatalf("unknown predictor %q", name)
+	return nil
+}
+
+func testConfig() pipeline.Config {
+	cfg := pipeline.DefaultConfig()
+	cfg.MaxCommitted = testCommitted
+	cfg.MaxCycles = 4_000_000_000
+	return cfg
+}
+
+// testStatic profiles the test program once per predictor family and
+// caches the resulting static estimator (it is read-only, so sharing
+// one instance across runs is safe — the same property the experiments
+// layer relies on).
+var testStatic = struct {
+	sync.Mutex
+	m map[string]conf.Static
+}{m: map[string]conf.Static{}}
+
+func staticFor(t *testing.T, predName string) conf.Static {
+	t.Helper()
+	testStatic.Lock()
+	defer testStatic.Unlock()
+	if s, ok := testStatic.m[predName]; ok {
+		return s
+	}
+	s, err := profile.Collect(testConfig(), testProg(), testPred(t, predName),
+		profile.Options{Threshold: 0.90})
+	if err != nil {
+		t.Fatalf("profile %s: %v", predName, err)
+	}
+	testStatic.m[predName] = s
+	return s
+}
+
+// allFamilies returns one fresh estimator per family the paper studies:
+// JRS (plain and enhanced), saturating counters (single and McFarling
+// both/either), pattern, static, distance, CIR (per-branch and
+// global-MDC-indexed), and the JRS/McFarling hybrid. Stateful
+// estimators train during a run, so every evaluation needs fresh
+// instances.
+func allFamilies(t *testing.T, predName string) []conf.Estimator {
+	t.Helper()
+	hist := map[string]uint{"gshare": 12, "mcfarling": 12, "sag": 13}[predName]
+	return []conf.Estimator{
+		conf.NewJRS(conf.JRSConfig{Entries: 1024, Bits: 4, Threshold: 12, Enhanced: false}),
+		conf.NewJRS(conf.JRSConfig{Entries: 1024, Bits: 4, Threshold: 12, Enhanced: true}),
+		conf.SatCounters{},
+		conf.SatCountersMcFarling{Variant: conf.BothStrong},
+		conf.SatCountersMcFarling{Variant: conf.EitherStrong},
+		conf.NewPatternHistory(hist),
+		staticFor(t, predName),
+		conf.NewDistance(3),
+		conf.NewOnesCount(conf.OnesCountConfig{Entries: 4096, Bits: 16, Threshold: 16, Enhanced: true}),
+		conf.NewGlobalMDCIndexed(conf.OnesCountConfig{Entries: 64, Bits: 16, Threshold: 16}),
+		conf.NewJRSMcFarling(conf.JRSConfig{Entries: 1024, Bits: 4, Threshold: 12}, conf.BothTables),
+		conf.NewJRSMcFarling(conf.JRSConfig{Entries: 1024, Bits: 4, Threshold: 12}, conf.MetaSelected),
+	}
+}
+
+// directRun simulates with the estimators attached — the ground truth
+// the replay path must reproduce bit for bit.
+func directRun(t *testing.T, predName string, ests []conf.Estimator) *pipeline.Stats {
+	t.Helper()
+	cfg := testConfig()
+	cfg.Estimators = ests
+	sim, err := pipeline.New(cfg, testProg(), testPred(t, predName))
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := sim.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return st
+}
+
+// recordRun simulates once with the trace recorder attached and returns
+// the recording plus the base statistics (recorder entry stripped).
+func recordRun(t testing.TB, predName string) (*Trace, *pipeline.Stats) {
+	t.Helper()
+	rec := NewRecorder()
+	cfg := testConfig()
+	cfg.Estimators = []conf.Estimator{rec}
+	cfg.Tracer = rec
+	sim, err := pipeline.New(cfg, testProg(), testPred(t, predName))
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := sim.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := rec.Trace()
+	if err != nil {
+		t.Fatal(err)
+	}
+	st.Confidence = nil
+	return tr, st
+}
+
+// TestReplayMatchesDirect is the package's reason to exist: for every
+// estimator family, on every predictor family, replaying the recorded
+// event stream must reproduce the direct simulation's Stats.Confidence
+// exactly — and, with the first estimator's quadrants patched in, the
+// entire Stats struct.
+func TestReplayMatchesDirect(t *testing.T) {
+	for _, predName := range []string{"gshare", "mcfarling", "sag"} {
+		t.Run(predName, func(t *testing.T) {
+			direct := directRun(t, predName, allFamilies(t, predName))
+			tr, base := recordRun(t, predName)
+			confs := Replay(tr, allFamilies(t, predName))
+
+			if !reflect.DeepEqual(direct.Confidence, confs) {
+				for i := range confs {
+					if !reflect.DeepEqual(direct.Confidence[i], confs[i]) {
+						t.Errorf("estimator %s: replayed stats differ from direct simulation",
+							confs[i].Name)
+					}
+				}
+				t.Fatal("replayed Confidence differs from direct simulation")
+			}
+
+			// The full-stats patch the experiments layer applies: base
+			// stats + replayed confidence + first estimator's quadrants.
+			patched := *base
+			patched.Confidence = confs
+			patched.AllQ = confs[0].AllQ
+			patched.CommittedQ = confs[0].CommittedQ
+			if !reflect.DeepEqual(&patched, direct) {
+				t.Fatal("patched base stats differ from direct simulation beyond Confidence")
+			}
+		})
+	}
+}
+
+// TestRecorderBaseStatsEstimatorFree: the recording run's base
+// statistics must equal a run with no estimators attached at all —
+// that is what lets one trace serve every estimator configuration.
+func TestRecorderBaseStatsEstimatorFree(t *testing.T) {
+	_, base := recordRun(t, "gshare")
+	bare := directRun(t, "gshare", nil)
+	// Confidence is nil on the stripped base and a zero-length slice on
+	// the bare run; both are overwritten by the replayed entries, so
+	// only the distinction-free comparison matters here.
+	bare.Confidence = nil
+	if !reflect.DeepEqual(base, bare) {
+		t.Fatal("recording run's base stats differ from an estimator-less run")
+	}
+}
+
+// TestTraceCounts sanity-checks the recorded stream's shape: every
+// committed conditional branch contributes one fetch and one resolve
+// token, wrong-path fetches contribute a fetch token only.
+func TestTraceCounts(t *testing.T) {
+	tr, base := recordRun(t, "gshare")
+	if tr.Fetches() == 0 {
+		t.Fatal("empty recording")
+	}
+	resolves := tr.Events() - tr.Fetches()
+	if uint64(resolves) != base.CommittedBr {
+		t.Errorf("resolve tokens = %d, committed conditional branches = %d", resolves, base.CommittedBr)
+	}
+	if tr.Fetches() < resolves {
+		t.Errorf("fetch tokens %d < resolve tokens %d", tr.Fetches(), resolves)
+	}
+	if tr.Bytes() <= 0 {
+		t.Errorf("Bytes() = %d, want positive", tr.Bytes())
+	}
+}
+
+// scripted estimator for synthetic-stream tests: records every call.
+type capture struct {
+	estimates []int64
+	resolves  []resolveRec
+}
+
+func (c *capture) Name() string { return "capture" }
+func (c *capture) Estimate(pc int64, info bpred.Info) bool {
+	c.estimates = append(c.estimates, pc)
+	return true
+}
+func (c *capture) Resolve(pc int64, info bpred.Info, correct bool) {
+	c.resolves = append(c.resolves, resolveRec{pc: pc, info: info, correct: correct})
+}
+
+// synthEvent drives a recorder with one fetch event (and its resolve
+// when committed), the way the pipeline would.
+func synthFetch(r *Recorder, pc int64, committed bool) {
+	r.Estimate(pc, bpred.Info{Pred: true})
+	r.Branch(obs.BranchEvent{PC: pc, Pred: true, Outcome: true, WrongPath: !committed})
+}
+
+// TestReplayResolveFIFO: resolves replay in committed-fetch order with
+// fetch-time arguments, across a ring-growth boundary (more than 64
+// committed fetches outstanding) and across chunk boundaries.
+func TestReplayResolveFIFO(t *testing.T) {
+	r := NewRecorder()
+	const n = 3 * chunkTokens / 4 // enough tokens to cross a chunk boundary after resolves
+	for i := 0; i < n; i++ {
+		synthFetch(r, int64(1000+i*4), true)
+		if i%3 == 0 {
+			synthFetch(r, int64(-5000-i), false) // interleaved wrong-path fetch
+		}
+	}
+	for i := 0; i < n; i++ {
+		r.Resolve(0, bpred.Info{}, false) // arguments ignored by the recorder
+	}
+	tr, err := r.Trace()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tr.chunks) < 2 {
+		t.Fatalf("test meant to cross a chunk boundary, got %d chunks", len(tr.chunks))
+	}
+
+	c := &capture{}
+	Replay(tr, []conf.Estimator{c})
+	if len(c.resolves) != n {
+		t.Fatalf("replayed %d resolves, want %d", len(c.resolves), n)
+	}
+	for i, rr := range c.resolves {
+		if want := int64(1000 + i*4); rr.pc != want {
+			t.Fatalf("resolve %d: pc %#x, want %#x (FIFO order broken)", i, rr.pc, want)
+		}
+		if !rr.correct {
+			t.Fatalf("resolve %d: correctness not carried from fetch time", i)
+		}
+	}
+	if want := n + (n+2)/3; len(c.estimates) != want {
+		t.Fatalf("replayed %d estimates, want %d", len(c.estimates), want)
+	}
+}
+
+// TestRecorderPairingErrors: a recorder driven outside the pipeline's
+// Estimate-then-Branch contract must fail at Trace(), not record
+// garbage.
+func TestRecorderPairingErrors(t *testing.T) {
+	t.Run("double estimate", func(t *testing.T) {
+		r := NewRecorder()
+		r.Estimate(1, bpred.Info{})
+		r.Estimate(2, bpred.Info{})
+		if _, err := r.Trace(); err == nil {
+			t.Fatal("Trace accepted back-to-back Estimates")
+		}
+	})
+	t.Run("branch pc mismatch", func(t *testing.T) {
+		r := NewRecorder()
+		r.Estimate(1, bpred.Info{})
+		r.Branch(obs.BranchEvent{PC: 99})
+		if _, err := r.Trace(); err == nil {
+			t.Fatal("Trace accepted a Branch for a different pc")
+		}
+	})
+	t.Run("branch without estimate", func(t *testing.T) {
+		r := NewRecorder()
+		r.Branch(obs.BranchEvent{PC: 1})
+		if _, err := r.Trace(); err == nil {
+			t.Fatal("Trace accepted an unpaired Branch")
+		}
+	})
+	t.Run("dangling estimate", func(t *testing.T) {
+		r := NewRecorder()
+		synthFetch(r, 1, true)
+		r.Estimate(2, bpred.Info{})
+		if _, err := r.Trace(); err == nil {
+			t.Fatal("Trace accepted a recording ending mid-fetch")
+		}
+	})
+	t.Run("clean recorder", func(t *testing.T) {
+		r := NewRecorder()
+		synthFetch(r, 1, true)
+		r.Resolve(0, bpred.Info{}, false)
+		if _, err := r.Trace(); err != nil {
+			t.Fatalf("well-formed recording rejected: %v", err)
+		}
+		if err := r.Close(); err != nil {
+			t.Fatalf("Close: %v", err)
+		}
+	})
+}
+
+// TestReplaySteadyStateAllocFree: Replay's per-event loop must not
+// allocate — its allocation count is a small constant (result and
+// scratch slices) independent of trace length.
+func TestReplaySteadyStateAllocFree(t *testing.T) {
+	short := recordSynthetic(1_000)
+	long := recordSynthetic(100_000)
+	ests := []conf.Estimator{conf.SatCounters{}}
+	allocShort := testing.AllocsPerRun(10, func() { Replay(short, ests) })
+	allocLong := testing.AllocsPerRun(10, func() { Replay(long, ests) })
+	if allocShort != allocLong {
+		t.Fatalf("allocations grow with trace length: %.0f for 1k events, %.0f for 100k",
+			allocShort, allocLong)
+	}
+	if allocLong > 8 {
+		t.Fatalf("Replay allocates %.0f times per call, want a small constant", allocLong)
+	}
+}
+
+// recordSynthetic builds an n-committed-branch trace without a
+// simulator, keeping a few fetches in flight like a real pipeline.
+func recordSynthetic(n int) *Trace {
+	r := NewRecorder()
+	inflight := 0
+	for i := 0; i < n; i++ {
+		synthFetch(r, int64(4096+i*4), true)
+		inflight++
+		if inflight == 8 {
+			for ; inflight > 0; inflight-- {
+				r.Resolve(0, bpred.Info{}, false)
+			}
+		}
+	}
+	for ; inflight > 0; inflight-- {
+		r.Resolve(0, bpred.Info{}, false)
+	}
+	tr, err := r.Trace()
+	if err != nil {
+		panic(err)
+	}
+	return tr
+}

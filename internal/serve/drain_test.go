@@ -29,10 +29,15 @@ func TestDrainCheckpointsJobs(t *testing.T) {
 	// state a real SIGTERM interrupts.
 	inSecondCell := make(chan struct{})
 	release := make(chan struct{})
+	// Direct mode pins the cell count the assertions below rely on
+	// (replay-mode grids interleave record and replay cells, and only
+	// record cells emit the Progress line this test gates on).
+	params := testParams()
+	params.Replay = experiments.ReplayOff
 	cfg := Config{
 		Addr:           "127.0.0.1:0",
 		CacheDir:       t.TempDir(),
-		Params:         testParams(),
+		Params:         params,
 		Jobs:           1,
 		JobConcurrency: 1, // second job stays queued
 		QueueDepth:     4,
@@ -120,6 +125,7 @@ func TestDrainCheckpointsJobs(t *testing.T) {
 	// checkpoint preloaded; only the remainder simulates.
 	var resimulated []string
 	p := testParams()
+	p.Replay = experiments.ReplayOff
 	p.Cells = cells
 	p.Progress = func(msg string) { resimulated = append(resimulated, msg) }
 	r, err := experiments.Run("table3", p)
@@ -140,6 +146,7 @@ func TestDrainCheckpointsJobs(t *testing.T) {
 	}
 	fullRun := 0
 	pf := testParams()
+	pf.Replay = experiments.ReplayOff
 	pf.Progress = func(msg string) {
 		if strings.HasPrefix(msg, "run ") {
 			fullRun++

@@ -40,6 +40,7 @@ import (
 
 	"specctrl/internal/experiments"
 	"specctrl/internal/obs"
+	"specctrl/internal/replay"
 )
 
 // Config configures a Server. The zero value of every field has a
@@ -71,6 +72,12 @@ type Config struct {
 	// MaxCommitted selects experiments.DefaultParams(). Per-request
 	// overrides (committed, baseSeed) apply on top.
 	Params experiments.Params
+	// TraceCacheBytes bounds the in-process replay trace cache New
+	// installs on Params when Params.TraceCache is nil (0 selects
+	// replay.DefaultCacheBytes). The cache is LRU by retained bytes, so
+	// a long-running server's memory stays bounded no matter how many
+	// distinct (workload, predictor, scale) traces jobs record.
+	TraceCacheBytes int64
 	// Registry receives the service metrics (created when nil). It is
 	// also what /metrics on the server's mux exposes.
 	Registry *obs.Registry
@@ -131,7 +138,9 @@ func New(cfg Config) (*Server, error) {
 		cfg.RetryAfter = 10 * time.Second
 	}
 	if cfg.Params.MaxCommitted == 0 {
+		replayMode := cfg.Params.Replay
 		cfg.Params = experiments.DefaultParams()
+		cfg.Params.Replay = replayMode
 	}
 	if cfg.DrainDir == "" {
 		if cfg.CacheDir == "" {
@@ -141,6 +150,9 @@ func New(cfg Config) (*Server, error) {
 	}
 	if cfg.Registry == nil {
 		cfg.Registry = obs.NewRegistry()
+	}
+	if cfg.Params.TraceCache == nil {
+		cfg.Params.TraceCache = replay.NewCache(cfg.TraceCacheBytes, cfg.Registry)
 	}
 	if cfg.runExperiment == nil {
 		cfg.runExperiment = experiments.Run

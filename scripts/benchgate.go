@@ -49,12 +49,15 @@ type Entry struct {
 
 // Baseline is the BENCH_PIPELINE.json document. PreOverhaul preserves
 // the pre-optimization measurements for the record (the ≥30% wall-clock
-// improvement claim in DESIGN.md is against these numbers); -update
-// carries it forward untouched.
+// improvement claim in DESIGN.md is against these numbers); PreReplay
+// likewise preserves the direct-simulation sweep cost the record/replay
+// layer's ≥2× claim is measured against. -update carries both forward
+// untouched.
 type Baseline struct {
 	Note        string           `json:"note"`
 	Benchmarks  map[string]Entry `json:"benchmarks"`
 	PreOverhaul map[string]Entry `json:"pre_overhaul_seed,omitempty"`
+	PreReplay   map[string]Entry `json:"pre_replay_seed,omitempty"`
 }
 
 // suite is one `go test -bench` invocation. Fixed -benchtime iteration
@@ -82,6 +85,7 @@ type suite struct {
 // it out and make min-of-count reproducible to a couple of percent.
 var suites = []suite{
 	{".", "^BenchmarkRunnerSerial$", "3x", 3, 0.10},
+	{"./internal/experiments", "^BenchmarkSweep(Direct|Replay)$", "3x", 3, 0.10},
 	{"./internal/pipeline", "^BenchmarkPipelineTick(Traced|NoEstimators)?$", "8000000x", 5, 0},
 	{"./internal/bpred", "^BenchmarkPredictGshare$", "20000000x", 5, 0},
 	{"./internal/conf", "^BenchmarkEstimateJRS$", "20000000x", 5, 0},
@@ -275,6 +279,7 @@ func writeBaseline(path string, measured map[string]Entry) error {
 	}
 	if prev, err := readBaseline(path); err == nil {
 		b.PreOverhaul = prev.PreOverhaul
+		b.PreReplay = prev.PreReplay
 	}
 	data, err := json.MarshalIndent(b, "", "  ")
 	if err != nil {

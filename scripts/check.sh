@@ -15,6 +15,13 @@ go test -race ./...
 go test -race -count=1 -run 'TestGridDeterminism|TestGridCancellation|TestCellsRoundTrip|TestShardRun' ./internal/experiments
 go test -race -count=1 ./internal/runner
 
+# Record/replay gates (likewise named for diagnosis):
+#  - replay exactness: every estimator family replays bit-identical to
+#    direct simulation, and replay-shaped grids render byte-identical
+#  - trace codec and cache: round-trip, typed decode errors, LRU bounds
+go test -race -count=1 ./internal/replay
+go test -race -count=1 -run 'TestReplay' ./internal/experiments
+
 # RNG hygiene: experiment cells must take randomness from spec.Seed only;
 # a process-global RNG would break cross-job determinism silently.
 if grep -rn 'math/rand' internal/experiments internal/runner internal/workload internal/serve; then
@@ -47,6 +54,11 @@ go build -o "$SMOKE/simctrl" ./cmd/simctrl
 go build -o "$SMOKE/simserved" ./cmd/simserved
 
 "$SMOKE/simctrl" -exp table3 -committed 60000 > "$SMOKE/local.txt"
+
+# Record/replay smoke: replay evaluation (the default) must render the
+# exact bytes of a -replay=off direct simulation.
+"$SMOKE/simctrl" -replay off -exp table3 -committed 60000 > "$SMOKE/direct.txt"
+cmp "$SMOKE/local.txt" "$SMOKE/direct.txt"
 
 "$SMOKE/simserved" -addr 127.0.0.1:0 -addr-file "$SMOKE/addr" \
     -cache-dir "$SMOKE/cache" -committed 60000 2> "$SMOKE/simserved.log" &
