@@ -15,6 +15,7 @@ import (
 	"strings"
 	"time"
 
+	"specctrl/internal/obs/span"
 	"specctrl/internal/serve"
 )
 
@@ -26,6 +27,11 @@ type serverOpts struct {
 	verbose   bool
 	stdout    io.Writer
 	stderr    io.Writer
+
+	// tracer, when non-nil, opens a root span for the submission and
+	// propagates its context to the server as a traceparent header, so
+	// the served job's spans share this client's TraceID.
+	tracer *span.Tracer
 
 	// pollInterval throttles status polling (default 200ms).
 	pollInterval time.Duration
@@ -73,6 +79,9 @@ func runServerMode(o serverOpts) error {
 	hc := &http.Client{}
 	defer hc.CloseIdleConnections()
 
+	root := o.tracer.Root("job", span.Str("server", base))
+	defer root.End()
+
 	req := serve.SubmitRequest{
 		Version:     serve.APIVersion,
 		Experiments: o.names,
@@ -82,7 +91,13 @@ func runServerMode(o serverOpts) error {
 	if err != nil {
 		return err
 	}
-	resp, err := hc.Post(base+"/v1/jobs", "application/json", bytes.NewReader(payload))
+	post, err := http.NewRequest(http.MethodPost, base+"/v1/jobs", bytes.NewReader(payload))
+	if err != nil {
+		return err
+	}
+	post.Header.Set("Content-Type", "application/json")
+	span.Inject(post.Header, root.Context())
+	resp, err := hc.Do(post)
 	if err != nil {
 		return fmt.Errorf("submitting to %s: %w", base, err)
 	}

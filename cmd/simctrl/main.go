@@ -80,6 +80,7 @@ func main() {
 		cellsIn   = cliflags.CellsIn(flag.CommandLine)
 		replayF   = cliflags.Replay(flag.CommandLine)
 		cacheMB   = cliflags.TraceCacheMB(flag.CommandLine)
+		traceF    = cliflags.RegisterTrace(flag.CommandLine)
 		server    = flag.String("server", "", "submit to a simserved base URL instead of simulating locally")
 	)
 	flag.Parse()
@@ -112,6 +113,8 @@ func main() {
 		}
 	}
 
+	tracer := traceF.NewTracer()
+
 	if *server != "" {
 		if *shard != "" {
 			fmt.Fprintln(os.Stderr, "simctrl: -shard is a local-run option; the server shards internally")
@@ -125,7 +128,11 @@ func main() {
 			verbose:   *verbose,
 			stdout:    os.Stdout,
 			stderr:    os.Stderr,
+			tracer:    tracer,
 		})
+		if ferr := traceF.Finish(tracer, "simctrl", os.Stderr); ferr != nil && err == nil {
+			err = ferr
+		}
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "simctrl: %v\n", err)
 			os.Exit(1)
@@ -170,7 +177,7 @@ func main() {
 		}
 		p.Cells = cells
 	}
-	started, err := obsFlags.Start("simctrl", os.Stderr)
+	started, err := obsFlags.Start("simctrl", os.Stderr, tracer)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "simctrl: %v\n", err)
 		os.Exit(1)
@@ -178,12 +185,18 @@ func main() {
 	defer started.Stop()
 	p.Obs = started.Registry
 	p.Run = started.Run
+	p.Tracer = tracer
 	if *cacheMB != 0 || p.Obs != nil {
 		p.TraceCache = replay.NewCache(int64(*cacheMB)<<20, p.Obs)
 	}
 
 	for _, name := range names {
+		// One root span per experiment: its cell, record, replay, and
+		// merge spans all hang underneath in the exported trace.
+		root := tracer.Root("exp:" + name)
+		p.SpanParent = root.Context()
 		r, err := experiments.Run(name, p)
+		root.End()
 		if errors.Is(err, experiments.ErrShardOnly) {
 			fmt.Fprintf(os.Stderr, "simctrl: %s: shard %s computed (%d cells so far)\n",
 				name, p.Shard, p.Record.Len())
@@ -194,6 +207,10 @@ func main() {
 			os.Exit(1)
 		}
 		printRendered(os.Stdout, r.Render())
+	}
+	if err := traceF.Finish(tracer, "simctrl", os.Stderr); err != nil {
+		fmt.Fprintf(os.Stderr, "simctrl: %v\n", err)
+		os.Exit(1)
 	}
 	if p.Record != nil {
 		data, err := p.Record.MarshalJSON()

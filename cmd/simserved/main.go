@@ -62,6 +62,7 @@ func run(args []string, stderr io.Writer, stop <-chan struct{}) error {
 		committed = cliflags.Committed(fs, 0, "default committed instructions per run (0 = paper default 2M)")
 		replayF   = cliflags.Replay(fs)
 		cacheMB   = cliflags.TraceCacheMB(fs)
+		traceF    = cliflags.RegisterTrace(fs)
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -81,6 +82,9 @@ func run(args []string, stderr io.Writer, stop <-chan struct{}) error {
 		JobTimeout:      *jobTO,
 		RetryAfter:      *retry,
 		TraceCacheBytes: int64(*cacheMB) << 20,
+		// serve.New installs a default tracer when the flags didn't ask
+		// for one, so /debug/traces always works on a running server.
+		Tracer: traceF.NewTracer(),
 	}
 	p := experiments.DefaultParams()
 	if *committed > 0 {
@@ -111,6 +115,9 @@ func run(args []string, stderr io.Writer, stop <-chan struct{}) error {
 		fmt.Fprintf(stderr, "simserved: stop requested: draining\n")
 	}
 	if err := srv.Drain(); err != nil {
+		return err
+	}
+	if err := traceF.Finish(srv.Tracer(), "simserved", stderr); err != nil {
 		return err
 	}
 	fmt.Fprintf(stderr, "simserved: drained\n")

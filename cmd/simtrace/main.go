@@ -27,6 +27,7 @@ import (
 	"specctrl/internal/conf"
 	"specctrl/internal/isa"
 	"specctrl/internal/obs"
+	"specctrl/internal/obs/span"
 	"specctrl/internal/pipeline"
 	"specctrl/internal/trace"
 	"specctrl/internal/workload"
@@ -44,6 +45,7 @@ func main() {
 		iters       = flag.Int("iters", 1<<30, "workload outer iterations")
 		pred        = flag.String("pred", "gshare", "predictor for -record: gshare|mcfarling|sag")
 		obsFlags    = cliflags.RegisterObs(flag.CommandLine)
+		traceF      = cliflags.RegisterTrace(flag.CommandLine)
 	)
 	flag.Parse()
 
@@ -74,6 +76,7 @@ func main() {
 			committed: *committed,
 			iters:     *iters,
 			obs:       obsFlags,
+			trace:     traceF,
 		}
 		if err := doRecord(opts); err != nil {
 			fail(err)
@@ -108,6 +111,7 @@ type recordOptions struct {
 	committed           uint64
 	iters               int
 	obs                 cliflags.Obs
+	trace               cliflags.Trace
 }
 
 func doRecord(o recordOptions) error {
@@ -148,7 +152,8 @@ func doRecord(o recordOptions) error {
 	cfg.MaxCommitted = o.committed
 	cfg.Tracer = obs.MultiSink(sinks...)
 
-	started, err := o.obs.Start("simtrace", os.Stderr)
+	tracer := o.trace.NewTracer()
+	started, err := o.obs.Start("simtrace", os.Stderr, tracer)
 	if err != nil {
 		return err
 	}
@@ -167,8 +172,12 @@ func doRecord(o recordOptions) error {
 	if err != nil {
 		return err
 	}
-	if _, err := sim.Run(); err != nil {
-		return err
+	rec := tracer.Root("record:"+w.Name+"/"+o.predictor,
+		span.Str("workload", w.Name), span.Str("predictor", o.predictor))
+	_, runErr := sim.Run()
+	rec.End()
+	if runErr != nil {
+		return runErr
 	}
 	if t := cfg.Tracer; t != nil {
 		if err := t.Close(); err != nil {
@@ -192,7 +201,7 @@ func doRecord(o recordOptions) error {
 	if jsonlSink != nil {
 		fmt.Printf("wrote %d JSONL events to %s\n", jsonlSink.Count(), o.jsonlPath)
 	}
-	return nil
+	return o.trace.Finish(tracer, "simtrace", os.Stderr)
 }
 
 func doSummarize(path string) error {

@@ -19,20 +19,24 @@ import (
 
 	"specctrl/internal/experiments"
 	"specctrl/internal/obs"
+	"specctrl/internal/obs/span"
 )
 
 // Flag names shared across binaries. Registration goes through the
 // functions below; these constants exist for error messages and tests.
 const (
-	JobsFlag        = "jobs"
-	ShardFlag       = "shard"
-	CellsOutFlag    = "cells-out"
-	CellsInFlag     = "cells-in"
+	JobsFlag         = "jobs"
+	ShardFlag        = "shard"
+	CellsOutFlag     = "cells-out"
+	CellsInFlag      = "cells-in"
 	CommittedFlag    = "committed"
 	MetricsAddrFlag  = "metrics-addr"
 	ProgressFlag     = "progress"
 	ReplayFlag       = "replay"
 	TraceCacheMBFlag = "trace-cache-mb"
+	TraceOutFlag     = "trace-out"
+	ProfileCellsFlag = "profile-cells"
+	SpanSampleFlag   = "span-sample"
 )
 
 // Jobs registers -jobs. The default and help text are the caller's:
@@ -90,6 +94,77 @@ func TraceCacheMB(fs *flag.FlagSet) *int {
 		"replay trace cache budget in MiB (LRU by retained bytes; 0 = default 256)")
 }
 
+// Trace bundles the span-tracing flags shared by the binaries.
+// Register with RegisterTrace, build the tracer with NewTracer after
+// parsing, and call Finish once the run is over to write the trace
+// file and the slow-cell report.
+type Trace struct {
+	Out          *string
+	ProfileCells *int
+	Sample       *float64
+}
+
+// RegisterTrace registers -trace-out, -profile-cells and -span-sample.
+func RegisterTrace(fs *flag.FlagSet) Trace {
+	return Trace{
+		Out: fs.String(TraceOutFlag, "",
+			"write the run's spans as Chrome trace-event JSON to this file (open in Perfetto or chrome://tracing)"),
+		ProfileCells: fs.Int(ProfileCellsFlag, 0,
+			"print the N slowest grid cells (wall time, simulated cycles, cache outcome) to stderr after the run"),
+		Sample: fs.Float64(SpanSampleFlag, 1,
+			"head-sampling fraction of traces to record, in (0, 1]"),
+	}
+}
+
+// Enabled reports whether the parsed flags ask for span tracing.
+func (t Trace) Enabled() bool {
+	return (t.Out != nil && *t.Out != "") || (t.ProfileCells != nil && *t.ProfileCells > 0)
+}
+
+// NewTracer returns a tracer configured per the parsed flags, or nil —
+// the disabled tracer — when no trace flag was given. The zero Trace
+// (flags never registered) returns nil.
+func (t Trace) NewTracer() *span.Tracer {
+	if !t.Enabled() {
+		return nil
+	}
+	opts := span.Options{}
+	if t.Sample != nil {
+		opts.Sample = *t.Sample
+	}
+	return span.New(opts)
+}
+
+// Finish writes whatever trace outputs the flags requested from the
+// finished tracer: the Chrome trace-event file for -trace-out and the
+// slow-cell table for -profile-cells (to stderr, announced under prog).
+// A nil tracer — tracing never enabled — is a no-op.
+func (t Trace) Finish(tr *span.Tracer, prog string, stderr io.Writer) error {
+	if tr == nil {
+		return nil
+	}
+	spans := tr.Snapshot()
+	if t.Out != nil && *t.Out != "" {
+		f, err := os.Create(*t.Out)
+		if err != nil {
+			return err
+		}
+		if err := span.WriteChrome(f, spans); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Fprintf(stderr, "%s: wrote %d spans to %s (open in Perfetto or chrome://tracing)\n",
+			prog, len(spans), *t.Out)
+	}
+	if t.ProfileCells != nil && *t.ProfileCells > 0 {
+		experiments.ProfileCells(stderr, spans, *t.ProfileCells)
+	}
+	return nil
+}
+
 // Obs bundles the two observability flags every long-running binary
 // offers. Register with RegisterObs, then call Start after parsing.
 type Obs struct {
@@ -127,14 +202,15 @@ func (s *Started) Stop() {
 // Start brings up the observability the flags requested: an HTTP
 // metrics endpoint when -metrics-addr was given (announced on stderr
 // under the binary name prog) and a stderr heartbeat when -progress
-// was given. Call Stop on the result before exiting. The zero Obs
-// (flags never registered, as in tests that bypass flag parsing)
+// was given. tr, which may be nil, is mounted at /debug/traces on the
+// metrics endpoint. Call Stop on the result before exiting. The zero
+// Obs (flags never registered, as in tests that bypass flag parsing)
 // starts nothing.
-func (o Obs) Start(prog string, stderr io.Writer) (*Started, error) {
+func (o Obs) Start(prog string, stderr io.Writer, tr *span.Tracer) (*Started, error) {
 	s := &Started{}
 	if o.MetricsAddr != nil && *o.MetricsAddr != "" {
 		s.Registry = obs.NewRegistry()
-		srv, err := obs.Serve(*o.MetricsAddr, s.Registry)
+		srv, err := obs.Serve(*o.MetricsAddr, s.Registry, tr)
 		if err != nil {
 			return nil, err
 		}

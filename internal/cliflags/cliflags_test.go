@@ -22,11 +22,13 @@ func TestFlagNamesPinned(t *testing.T) {
 	RegisterObs(fs)
 	Replay(fs)
 	TraceCacheMB(fs)
+	RegisterTrace(fs)
 
 	want := map[string]bool{
 		"jobs": true, "shard": true, "cells-out": true, "cells-in": true,
 		"committed": true, "metrics-addr": true, "progress": true,
 		"replay": true, "trace-cache-mb": true,
+		"trace-out": true, "profile-cells": true, "span-sample": true,
 	}
 	got := map[string]bool{}
 	fs.VisitAll(func(f *flag.Flag) { got[f.Name] = true })
@@ -51,7 +53,7 @@ func TestObsParsesAndStarts(t *testing.T) {
 	if *o.Progress != 250*time.Millisecond {
 		t.Fatalf("-progress parsed to %v", *o.Progress)
 	}
-	s, err := o.Start("t", io.Discard)
+	s, err := o.Start("t", io.Discard, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -69,7 +71,7 @@ func TestObsParsesAndStarts(t *testing.T) {
 // no-op, not a nil dereference.
 func TestObsZeroValueStartsNothing(t *testing.T) {
 	var o Obs
-	s, err := o.Start("t", io.Discard)
+	s, err := o.Start("t", io.Discard, nil)
 	if err != nil {
 		t.Fatal(err)
 	}

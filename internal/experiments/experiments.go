@@ -59,6 +59,7 @@ import (
 	"specctrl/internal/conf"
 	"specctrl/internal/isa"
 	"specctrl/internal/obs"
+	"specctrl/internal/obs/span"
 	"specctrl/internal/pipeline"
 	"specctrl/internal/profile"
 	"specctrl/internal/replay"
@@ -135,6 +136,15 @@ type Params struct {
 	// of capacity and no metrics. Long-running servers pass their own
 	// cache to bound memory and publish hit/eviction counters.
 	TraceCache *replay.Cache
+
+	// Tracer, when non-nil, records spans for every grid cell (queue
+	// wait, run, record/replay/cache phases) and the grid's assembly.
+	// Nil disables tracing at the cost of one nil-check per cell.
+	Tracer *span.Tracer
+	// SpanParent parents this run's spans (e.g. simctrl's per-
+	// experiment root, or the serve daemon's per-job span joined to the
+	// client's trace). When invalid, traced grids open their own root.
+	SpanParent span.Context
 }
 
 // Replay mode values for Params.Replay and the shared -replay flag.
@@ -258,6 +268,13 @@ func buildProgram(w workload.Workload, iters int) *isa.Program {
 // registry or progress view, the run publishes live metrics under
 // {workload, predictor} labels.
 func (p Params) runOne(w workload.Workload, spec PredictorSpec, record bool, ests ...conf.Estimator) (*pipeline.Stats, error) {
+	var rs *span.Span
+	if p.Tracer != nil {
+		rs = p.Tracer.Child(p.SpanParent, "simulate",
+			span.Str("workload", w.Name), span.Str("predictor", spec.Name),
+			span.Int("estimators", int64(len(ests))))
+		defer rs.End()
+	}
 	cfg := p.Pipeline
 	cfg.MaxCommitted = p.MaxCommitted
 	cfg.RecordEvents = record
@@ -284,10 +301,15 @@ func (p Params) runOne(w workload.Workload, spec PredictorSpec, record bool, est
 	}
 	p.progress("run %-9s on %-9s (%d estimators)", w.Name, spec.Name, len(ests))
 	st, err := sim.Run()
-	if err == nil && p.Obs != nil {
-		p.Obs.Histogram("specctrl_run_ipc", obs.Labels{"predictor": spec.Name}, ipcBounds).
-			Observe(st.IPC())
-		p.Obs.Counter("specctrl_runs_total", nil).Inc()
+	if err == nil {
+		if rs != nil {
+			rs.SetAttrs(span.Int("cycles", int64(st.Cycles)))
+		}
+		if p.Obs != nil {
+			p.Obs.Histogram("specctrl_run_ipc", obs.Labels{"predictor": spec.Name}, ipcBounds).
+				Observe(st.IPC())
+			p.Obs.Counter("specctrl_runs_total", nil).Inc()
+		}
 	}
 	return st, err
 }

@@ -8,6 +8,7 @@ import (
 	"sync"
 
 	"specctrl/internal/conf"
+	"specctrl/internal/obs/span"
 	"specctrl/internal/pipeline"
 	"specctrl/internal/runner"
 	"specctrl/internal/workload"
@@ -149,12 +150,29 @@ func (p Params) runGrid(specs []runner.Spec, cell CellFunc) ([]CellResult, error
 	if ctx == nil {
 		ctx = context.Background()
 	}
+	// A traced grid with no caller-supplied parent opens its own root,
+	// so a bare library call still yields one coherent trace. p is a
+	// value, so rewriting SpanParent here reaches only this grid's cells.
+	if p.Tracer != nil && !p.SpanParent.Valid() && len(specs) > 0 {
+		root := p.Tracer.Root("grid:" + specs[0].Experiment)
+		p.SpanParent = root.Context()
+		defer root.End()
+	}
 	wrapped := func(ctx context.Context, sp runner.Spec) (any, error) {
 		key := sp.Key()
 		c, ok := p.Cells[key]
+		source := "cells-in"
 		if !ok {
+			// Reparent the cell body's spans (record/replay/trace
+			// phases) under this cell's run span.
+			pc := p
+			if cs := span.FromContext(ctx); cs != nil {
+				pc.SpanParent = cs.Context()
+			}
+			computed := false
 			compute := func(ctx context.Context) (CellResult, error) {
-				return cell(ctx, p, sp)
+				computed = true
+				return cell(ctx, pc, sp)
 			}
 			var err error
 			if p.Cache != nil {
@@ -165,6 +183,17 @@ func (p Params) runGrid(specs []runner.Spec, cell CellFunc) ([]CellResult, error
 			if err != nil {
 				return nil, err
 			}
+			if computed {
+				source = "compute"
+			} else {
+				source = "cache"
+			}
+		}
+		if cs := span.FromContext(ctx); cs != nil {
+			cs.SetAttrs(span.Str("source", source))
+			if c.Stats != nil {
+				cs.SetAttrs(span.Int("cycles", int64(c.Stats.Cycles)))
+			}
 		}
 		if p.Record != nil {
 			p.Record.Put(key, c)
@@ -172,10 +201,12 @@ func (p Params) runGrid(specs []runner.Spec, cell CellFunc) ([]CellResult, error
 		return c, nil
 	}
 	r := runner.New(runner.Options{
-		Jobs:     p.Jobs,
-		BaseSeed: p.BaseSeed,
-		Shard:    p.Shard,
-		Obs:      p.Obs,
+		Jobs:       p.Jobs,
+		BaseSeed:   p.BaseSeed,
+		Shard:      p.Shard,
+		Obs:        p.Obs,
+		Tracer:     p.Tracer,
+		SpanParent: p.SpanParent,
 	})
 	results, err := r.Run(ctx, specs, wrapped)
 	if err != nil {
@@ -184,10 +215,13 @@ func (p Params) runGrid(specs []runner.Spec, cell CellFunc) ([]CellResult, error
 	if p.Shard.Active() {
 		return nil, ErrShardOnly
 	}
+	merge := p.Tracer.Child(p.SpanParent, "merge")
 	out := make([]CellResult, len(results))
 	for i := range results {
 		out[i] = results[i].Value.(CellResult)
 	}
+	merge.SetAttrs(span.Int("cells", int64(len(out))))
+	merge.End()
 	return out, nil
 }
 

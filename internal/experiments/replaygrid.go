@@ -8,6 +8,7 @@ import (
 
 	"specctrl/internal/conf"
 	"specctrl/internal/obs"
+	"specctrl/internal/obs/span"
 	"specctrl/internal/pipeline"
 	"specctrl/internal/replay"
 	"specctrl/internal/runner"
@@ -62,6 +63,12 @@ func (p Params) traceCache() *replay.Cache {
 // the base statistics are identical to an estimator-less run; its
 // Confidence entry is stripped before the stats are shared.
 func (p Params) recordTrace(w workload.Workload, spec PredictorSpec) (*replay.Trace, *pipeline.Stats, error) {
+	var rs *span.Span
+	if p.Tracer != nil {
+		rs = p.Tracer.Child(p.SpanParent, "record",
+			span.Str("workload", w.Name), span.Str("predictor", spec.Name))
+		defer rs.End()
+	}
 	rec := replay.NewRecorder()
 	cfg := p.Pipeline
 	cfg.MaxCommitted = p.MaxCommitted
@@ -89,6 +96,9 @@ func (p Params) recordTrace(w workload.Workload, spec PredictorSpec) (*replay.Tr
 		return nil, nil, fmt.Errorf("record %s/%s: %w", w.Name, spec.Name, err)
 	}
 	st.Confidence = nil
+	if rs != nil {
+		rs.SetAttrs(span.Int("events", int64(tr.Events())), span.Int("cycles", int64(st.Cycles)))
+	}
 	if p.Obs != nil {
 		p.Obs.Histogram("specctrl_run_ipc", obs.Labels{"predictor": spec.Name}, ipcBounds).
 			Observe(st.IPC())
@@ -99,12 +109,25 @@ func (p Params) recordTrace(w workload.Workload, spec PredictorSpec) (*replay.Tr
 
 // traceFor returns the (workload, predictor) trace and base stats,
 // recording them through the trace cache on a miss (singleflight: one
-// recording no matter how many cells want it first).
+// recording no matter how many cells want it first). When traced, the
+// cache consultation gets a "trace" span whose outcome attribute says
+// whether the trace was resident ("hit"), freshly recorded ("record"),
+// or shared from another cell's in-flight recording ("wait").
 func (p Params) traceFor(w workload.Workload, spec PredictorSpec) (*replay.Trace, *pipeline.Stats, error) {
-	return p.traceCache().GetOrRecord(p.TraceAddress(w.Name, spec),
+	var ts *span.Span
+	if p.Tracer != nil {
+		ts = p.Tracer.Child(p.SpanParent, "trace",
+			span.Str("workload", w.Name), span.Str("predictor", spec.Name))
+		defer ts.End()
+	}
+	tr, st, outcome, err := p.traceCache().GetOrRecordOutcome(p.TraceAddress(w.Name, spec),
 		func() (*replay.Trace, *pipeline.Stats, error) {
 			return p.recordTrace(w, spec)
 		})
+	if ts != nil {
+		ts.SetAttrs(span.Str("outcome", string(outcome)))
+	}
+	return tr, st, err
 }
 
 // replayEventBounds buckets per-replay event counts (one observation
@@ -118,7 +141,17 @@ func (p Params) replayConfs(w workload.Workload, spec PredictorSpec, ests []conf
 	if err != nil {
 		return nil, nil, err
 	}
+	var rs *span.Span
+	if p.Tracer != nil {
+		rs = p.Tracer.Child(p.SpanParent, "replay",
+			span.Str("workload", w.Name), span.Str("predictor", spec.Name),
+			span.Int("estimators", int64(len(ests))))
+	}
 	confs := replay.Replay(tr, ests)
+	if rs != nil {
+		rs.SetAttrs(span.Int("events", int64(tr.Events())))
+		rs.End()
+	}
 	if p.Obs != nil {
 		p.Obs.Histogram("specctrl_replay_events", obs.Labels{"predictor": spec.Name}, replayEventBounds).
 			Observe(float64(tr.Events()))

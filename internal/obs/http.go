@@ -11,6 +11,8 @@ import (
 	"runtime/debug"
 	"strings"
 	"sync"
+
+	"specctrl/internal/obs/span"
 )
 
 // Server exposes a Registry over HTTP together with the standard Go
@@ -22,6 +24,7 @@ import (
 //	/buildinfo     module version + VCS stamp (JSON)
 //	/debug/vars    expvar (Go runtime memstats, cmdline)
 //	/debug/pprof/  CPU/heap/goroutine profiles
+//	/debug/traces  finished spans as NDJSON (?stats=1 for occupancy)
 //
 // Serve binds immediately (so ":0" callers can learn the chosen port)
 // and serves in a background goroutine until Close.
@@ -37,8 +40,9 @@ type Server struct {
 // set documented on Server). Callers that serve more than metrics —
 // cmd/simserved mounts its job API here — can register additional
 // handlers on the returned mux before passing it to ServeHandler, so
-// one port serves both the API and its observability.
-func NewMux(reg *Registry) *http.ServeMux {
+// one port serves both the API and its observability. tr may be nil,
+// in which case /debug/traces answers 404 "span tracing disabled".
+func NewMux(reg *Registry, tr *span.Tracer) *http.ServeMux {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
@@ -64,6 +68,7 @@ func NewMux(reg *Registry) *http.ServeMux {
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
 	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.Handle("/debug/traces", span.Handler(tr))
 	mux.HandleFunc("/{$}", func(w http.ResponseWriter, _ *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 		fmt.Fprintln(w, "specctrl observability endpoint")
@@ -73,6 +78,7 @@ func NewMux(reg *Registry) *http.ServeMux {
 		fmt.Fprintln(w, "  /buildinfo     module version + VCS stamp")
 		fmt.Fprintln(w, "  /debug/vars    expvar")
 		fmt.Fprintln(w, "  /debug/pprof/  profiles")
+		fmt.Fprintln(w, "  /debug/traces  finished spans (NDJSON; ?stats=1)")
 	})
 	return mux
 }
@@ -101,9 +107,10 @@ func buildInfo() map[string]string {
 }
 
 // Serve starts an observability endpoint for reg on addr (host:port;
-// ":0" picks a free port). The returned server is already listening.
-func Serve(addr string, reg *Registry) (*Server, error) {
-	return ServeHandler(addr, NewMux(reg))
+// ":0" picks a free port). tr may be nil (tracing disabled). The
+// returned server is already listening.
+func Serve(addr string, reg *Registry, tr *span.Tracer) (*Server, error) {
+	return ServeHandler(addr, NewMux(reg, tr))
 }
 
 // ServeHandler starts an HTTP server for an arbitrary handler

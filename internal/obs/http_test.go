@@ -7,6 +7,8 @@ import (
 	"net/http"
 	"strings"
 	"testing"
+
+	"specctrl/internal/obs/span"
 )
 
 func get(t *testing.T, url string) (int, string) {
@@ -25,7 +27,7 @@ func get(t *testing.T, url string) (int, string) {
 
 func TestServeEndpoints(t *testing.T) {
 	r := testRegistry()
-	srv, err := Serve("127.0.0.1:0", r)
+	srv, err := Serve("127.0.0.1:0", r, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -56,8 +58,36 @@ func TestServeEndpoints(t *testing.T) {
 	}
 }
 
+func TestServeDebugTraces(t *testing.T) {
+	// nil tracer: mounted but disabled.
+	srv, err := Serve("127.0.0.1:0", NewRegistry(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	if code, _ := get(t, srv.URL()+"/debug/traces"); code != 404 {
+		t.Errorf("/debug/traces with nil tracer: code %d, want 404", code)
+	}
+
+	tr := span.New(span.Options{Capacity: 4})
+	tr.Root("probe").End()
+	srv2, err := Serve("127.0.0.1:0", NewRegistry(), tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv2.Close()
+	if code, body := get(t, srv2.URL()+"/debug/traces"); code != 200 ||
+		!strings.Contains(body, `"name":"probe"`) {
+		t.Errorf("/debug/traces: code %d body %q", code, body)
+	}
+	if code, body := get(t, srv2.URL()+"/debug/traces?stats=1"); code != 200 ||
+		!strings.Contains(body, `"utilization"`) {
+		t.Errorf("/debug/traces?stats=1: code %d body %q", code, body)
+	}
+}
+
 func TestServeHealthz(t *testing.T) {
-	srv, err := Serve("127.0.0.1:0", NewRegistry())
+	srv, err := Serve("127.0.0.1:0", NewRegistry(), nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -68,7 +98,7 @@ func TestServeHealthz(t *testing.T) {
 }
 
 func TestServeBuildinfo(t *testing.T) {
-	srv, err := Serve("127.0.0.1:0", NewRegistry())
+	srv, err := Serve("127.0.0.1:0", NewRegistry(), nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -91,7 +121,7 @@ func TestServeBuildinfo(t *testing.T) {
 }
 
 func TestServeHandlerExtraRoutes(t *testing.T) {
-	mux := NewMux(NewRegistry())
+	mux := NewMux(NewRegistry(), nil)
 	mux.HandleFunc("/v1/ping", func(w http.ResponseWriter, _ *http.Request) {
 		fmt.Fprintln(w, "pong")
 	})
@@ -110,7 +140,7 @@ func TestServeHandlerExtraRoutes(t *testing.T) {
 
 func TestServeLiveUpdates(t *testing.T) {
 	r := NewRegistry()
-	srv, err := Serve("127.0.0.1:0", r)
+	srv, err := Serve("127.0.0.1:0", r, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -127,7 +157,7 @@ func TestServeLiveUpdates(t *testing.T) {
 }
 
 func TestServeCloseIdempotent(t *testing.T) {
-	srv, err := Serve("127.0.0.1:0", NewRegistry())
+	srv, err := Serve("127.0.0.1:0", NewRegistry(), nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -140,7 +170,7 @@ func TestServeCloseIdempotent(t *testing.T) {
 }
 
 func TestServeBadAddr(t *testing.T) {
-	if _, err := Serve("256.0.0.1:99999", NewRegistry()); err == nil {
+	if _, err := Serve("256.0.0.1:99999", NewRegistry(), nil); err == nil {
 		t.Error("no error for bad address")
 	}
 }

@@ -15,7 +15,7 @@
 // Typical wiring:
 //
 //	reg := obs.NewRegistry()
-//	srv, _ := obs.Serve(":9090", reg)       // /metrics, /metrics.json, /debug/pprof
+//	srv, _ := obs.Serve(":9090", reg, nil)  // /metrics, /metrics.json, /debug/pprof, /debug/traces
 //	defer srv.Close()
 //	run := obs.NewProgress()
 //	stop := obs.StartHeartbeat(os.Stderr, time.Second, run)

@@ -1,0 +1,267 @@
+package span
+
+import (
+	"context"
+	"net/http"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestIDsAreUniqueAndNonZero(t *testing.T) {
+	seen := map[string]bool{}
+	for i := 0; i < 1000; i++ {
+		tr, sp := newTraceID(), newSpanID()
+		if tr.IsZero() || sp.IsZero() {
+			t.Fatal("generated a zero ID")
+		}
+		if seen[tr.String()] || seen[sp.String()] {
+			t.Fatal("generated a duplicate ID")
+		}
+		seen[tr.String()], seen[sp.String()] = true, true
+	}
+}
+
+func TestTraceParentRoundTrip(t *testing.T) {
+	tr := New(Options{})
+	root := tr.Root("root")
+	c := root.Context()
+	got, err := ParseTraceParent(c.TraceParent())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != c {
+		t.Fatalf("round trip: got %+v want %+v", got, c)
+	}
+	if !strings.HasPrefix(c.TraceParent(), "00-") || !strings.HasSuffix(c.TraceParent(), "-01") {
+		t.Fatalf("traceparent %q not in sampled version-00 form", c.TraceParent())
+	}
+}
+
+func TestParseTraceParentRejectsMalformed(t *testing.T) {
+	valid := Context{Trace: newTraceID(), Span: newSpanID(), Sampled: true}.TraceParent()
+	for _, bad := range []string{
+		"",
+		"garbage",
+		valid[:54],                          // truncated
+		"01" + valid[2:],                    // unknown version
+		strings.Replace(valid, "-", "_", 1), // wrong separator
+		"00-" + strings.Repeat("0", 32) + "-" + valid[36:], // zero trace id
+		"00-" + strings.Repeat("z", 32) + "-" + valid[36:], // non-hex trace id
+		valid[:36] + strings.Repeat("0", 16) + valid[52:],  // zero span id
+		valid[:53] + "zz", // non-hex flags
+	} {
+		if _, err := ParseTraceParent(bad); err == nil {
+			t.Errorf("ParseTraceParent(%q) accepted malformed input", bad)
+		}
+	}
+}
+
+func TestInjectExtract(t *testing.T) {
+	h := http.Header{}
+	c := Context{Trace: newTraceID(), Span: newSpanID(), Sampled: true}
+	Inject(h, c)
+	if got := Extract(h); got != c {
+		t.Fatalf("Extract = %+v, want %+v", got, c)
+	}
+	// Invalid context injects nothing; malformed header extracts zero.
+	h2 := http.Header{}
+	Inject(h2, Context{})
+	if h2.Get(Header) != "" {
+		t.Error("Inject stamped an invalid context")
+	}
+	h2.Set(Header, "00-bogus")
+	if got := Extract(h2); got.Valid() {
+		t.Errorf("Extract of malformed header returned valid context %+v", got)
+	}
+}
+
+func TestChildLinksAndSharesTrace(t *testing.T) {
+	tr := New(Options{})
+	root := tr.Root("root")
+	child := tr.Child(root.Context(), "child")
+	if child.Context().Trace != root.Context().Trace {
+		t.Error("child does not share the root's TraceID")
+	}
+	if child.Parent != root.Context().Span {
+		t.Error("child's parent link is not the root's SpanID")
+	}
+	child.End()
+	root.End()
+	spans := tr.Snapshot()
+	if len(spans) != 2 {
+		t.Fatalf("stored %d spans, want 2", len(spans))
+	}
+	// Child under an invalid parent starts a fresh trace.
+	orphan := tr.Child(Context{}, "orphan")
+	if !orphan.Context().Valid() || orphan.Context().Trace == root.Context().Trace {
+		t.Error("orphan child did not start a fresh trace")
+	}
+	if !orphan.Parent.IsZero() {
+		t.Error("orphan child has a parent link")
+	}
+}
+
+func TestNilTracerAndNilSpanAreSafe(t *testing.T) {
+	var tr *Tracer
+	s := tr.Root("root")
+	if s != nil {
+		t.Fatal("nil tracer returned a span")
+	}
+	// All of these must be no-ops, not panics.
+	s.SetAttrs(Str("k", "v"))
+	s.End()
+	s.EndAt(time.Now())
+	if s.Context().Valid() {
+		t.Error("nil span has a valid context")
+	}
+	if s.Attr("k") != nil || s.Duration() != 0 {
+		t.Error("nil span returned data")
+	}
+	if tr.Snapshot() != nil {
+		t.Error("nil tracer returned a snapshot")
+	}
+	if tr.Stats() != (Stats{}) {
+		t.Error("nil tracer returned nonzero stats")
+	}
+	if c := tr.Child(Context{}, "x"); c != nil {
+		t.Error("nil tracer returned a child span")
+	}
+}
+
+// TestStoreEviction: the store is a bounded ring — the newest Capacity
+// spans survive, the oldest are overwritten, and Stats accounts for the
+// drops.
+func TestStoreEviction(t *testing.T) {
+	tr := New(Options{Capacity: 8})
+	for i := 0; i < 20; i++ {
+		s := tr.Root("s", Int("i", int64(i)))
+		s.End()
+	}
+	spans := tr.Snapshot()
+	if len(spans) != 8 {
+		t.Fatalf("stored %d spans, want capacity 8", len(spans))
+	}
+	for k, s := range spans {
+		want := int64(12 + k) // oldest retained is #12, oldest-first order
+		if got, _ := attrInt(s.Attr("i")); got != want {
+			t.Fatalf("snapshot[%d] is span %d, want %d", k, got, want)
+		}
+	}
+	st := tr.Stats()
+	if st.Stored != 8 || st.Finished != 20 || st.Dropped != 12 {
+		t.Errorf("stats = %+v, want stored 8 / finished 20 / dropped 12", st)
+	}
+	if st.Utilization != 1.0 {
+		t.Errorf("utilization = %v, want 1.0", st.Utilization)
+	}
+}
+
+func TestHeadSampling(t *testing.T) {
+	never := New(Options{Sample: 1e-18})
+	kept := 0
+	for i := 0; i < 200; i++ {
+		s := never.Root("r")
+		if !s.Context().Valid() {
+			t.Fatal("unsampled root lost its IDs (propagation must survive sampling)")
+		}
+		child := never.Child(s.Context(), "c")
+		child.End()
+		s.End()
+		if s.Context().Sampled {
+			kept++
+		}
+	}
+	if kept != 0 {
+		t.Errorf("sample=1e-18 kept %d/200 traces", kept)
+	}
+	if n := len(never.Snapshot()); n != 0 {
+		t.Errorf("unsampled traces recorded %d spans", n)
+	}
+	if st := never.Stats(); st.SampledOut != 200 {
+		t.Errorf("sampledOut = %d, want 200", st.SampledOut)
+	}
+
+	always := New(Options{Sample: 1})
+	s := always.Root("r")
+	s.End()
+	if len(always.Snapshot()) != 1 {
+		t.Error("sample=1 dropped a trace")
+	}
+}
+
+// TestSamplingDeterministicPerTrace: the decision is a pure function of
+// the TraceID, so remote children re-derive the same answer.
+func TestSamplingDeterministicPerTrace(t *testing.T) {
+	tr := New(Options{Sample: 0.5})
+	for i := 0; i < 100; i++ {
+		root := tr.Root("r")
+		if got := tr.sampleTrace(root.Context().Trace); got != root.Context().Sampled {
+			t.Fatal("sampleTrace disagrees with the root's recorded decision")
+		}
+		child := tr.Child(root.Context(), "c")
+		if child.Context().Sampled != root.Context().Sampled {
+			t.Fatal("child's sampling decision differs from its root")
+		}
+	}
+}
+
+func TestEndIsIdempotent(t *testing.T) {
+	tr := New(Options{})
+	s := tr.Root("r")
+	s.End()
+	first := s.Finish
+	s.End()
+	if s.Finish != first {
+		t.Error("second End moved the finish time")
+	}
+	if n := len(tr.Snapshot()); n != 1 {
+		t.Errorf("double End recorded %d spans, want 1", n)
+	}
+}
+
+func TestContextCarriesSpan(t *testing.T) {
+	tr := New(Options{})
+	s := tr.Root("r")
+	ctx := NewContext(context.Background(), s)
+	if FromContext(ctx) != s {
+		t.Error("FromContext did not return the stored span")
+	}
+	if FromContext(context.Background()) != nil {
+		t.Error("FromContext invented a span")
+	}
+	// Nil span leaves the context untouched.
+	if NewContext(context.Background(), nil) != context.Background() {
+		t.Error("NewContext(nil) wrapped the context")
+	}
+}
+
+// TestConcurrentEmission: many goroutines start/end spans against one
+// tracer; run under -race this is the span layer's own concurrency
+// gate (the runner-level one lives in internal/runner).
+func TestConcurrentEmission(t *testing.T) {
+	tr := New(Options{Capacity: 64})
+	root := tr.Root("root")
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				s := tr.Child(root.Context(), "cell", Int("worker", int64(w)))
+				s.SetAttrs(Int("i", int64(i)))
+				s.End()
+			}
+		}(w)
+	}
+	wg.Wait()
+	root.End()
+	st := tr.Stats()
+	if st.Finished != 401 {
+		t.Errorf("finished = %d, want 401", st.Finished)
+	}
+	if len(tr.Snapshot()) != 64 {
+		t.Errorf("stored %d, want capacity 64", len(tr.Snapshot()))
+	}
+}

@@ -94,11 +94,33 @@ func (c *Cache) Len() int {
 	return len(c.entries)
 }
 
+// Outcome classifies how GetOrRecordOutcome satisfied a request, for
+// tracing and reporting.
+type Outcome string
+
+const (
+	// OutcomeHit: the trace was resident in the cache.
+	OutcomeHit Outcome = "hit"
+	// OutcomeRecord: this call ran the record function.
+	OutcomeRecord Outcome = "record"
+	// OutcomeWait: another caller was already recording; this call
+	// waited for that flight and shared its result.
+	OutcomeWait Outcome = "wait"
+)
+
 // GetOrRecord returns the trace cached under addr, running record to
 // produce it on a miss. The returned Trace and Stats are shared and
 // must be treated as immutable (Replay never mutates its trace; the
 // stats are the base run's and callers clone what they modify).
 func (c *Cache) GetOrRecord(addr string, record func() (*Trace, *pipeline.Stats, error)) (*Trace, *pipeline.Stats, error) {
+	t, st, _, err := c.GetOrRecordOutcome(addr, record)
+	return t, st, err
+}
+
+// GetOrRecordOutcome is GetOrRecord plus a report of how the request
+// was satisfied: a resident hit, a fresh recording, or a wait on
+// another caller's in-flight recording.
+func (c *Cache) GetOrRecordOutcome(addr string, record func() (*Trace, *pipeline.Stats, error)) (*Trace, *pipeline.Stats, Outcome, error) {
 	c.mu.Lock()
 	if el, ok := c.entries[addr]; ok {
 		c.lru.MoveToFront(el)
@@ -107,7 +129,7 @@ func (c *Cache) GetOrRecord(addr string, record func() (*Trace, *pipeline.Stats,
 		if c.hits != nil {
 			c.hits.Inc()
 		}
-		return e.trace, e.stats, nil
+		return e.trace, e.stats, OutcomeHit, nil
 	}
 	if f, ok := c.flights[addr]; ok {
 		c.mu.Unlock()
@@ -115,7 +137,7 @@ func (c *Cache) GetOrRecord(addr string, record func() (*Trace, *pipeline.Stats,
 		if f.err == nil && c.hits != nil {
 			c.hits.Inc()
 		}
-		return f.trace, f.stats, f.err
+		return f.trace, f.stats, OutcomeWait, f.err
 	}
 	f := &traceFlight{done: make(chan struct{})}
 	c.flights[addr] = f
@@ -133,7 +155,7 @@ func (c *Cache) GetOrRecord(addr string, record func() (*Trace, *pipeline.Stats,
 	if f.err == nil && c.records != nil {
 		c.records.Inc()
 	}
-	return f.trace, f.stats, f.err
+	return f.trace, f.stats, OutcomeRecord, f.err
 }
 
 // insertLocked adds an entry and evicts from the LRU tail until the

@@ -41,11 +41,19 @@
 //
 // When Options.Obs is set, the runner publishes per-worker queue depth
 // (specctrl_runner_queue_depth), completed cells and steal counts
-// (specctrl_runner_cells_total, specctrl_runner_steals_total), and the
-// worker count (specctrl_runner_workers) through the internal/obs
-// registry. Cancelling the context stops dispatch at the next cell
-// boundary; already-finished cells keep their results (Result.Ran
-// reports which ones ran) and Run returns ctx.Err().
+// (specctrl_runner_cells_total, specctrl_runner_steals_total), the
+// worker count (specctrl_runner_workers), and a wall-time distribution
+// of cell runtimes (specctrl_sim_cell_seconds) through the internal/obs
+// registry. When Options.Tracer is set, every cell additionally emits
+// two spans under Options.SpanParent: a queue-wait span (enqueue to
+// dequeue, rendered on a per-worker "queue N" track) and a run span
+// named "cell:<key>" carrying worker, steal, and wait attributes on the
+// worker's own timeline track; the run span rides into the cell via
+// span.NewContext, so deeper layers (replay, caching) can attach their
+// phases to it. With Tracer nil the whole path costs one nil-check per
+// cell and allocates nothing. Cancelling the context stops dispatch at
+// the next cell boundary; already-finished cells keep their results
+// (Result.Ran reports which ones ran) and Run returns ctx.Err().
 package runner
 
 import (
@@ -53,8 +61,10 @@ import (
 	"fmt"
 	"strconv"
 	"sync"
+	"time"
 
 	"specctrl/internal/obs"
+	"specctrl/internal/obs/span"
 )
 
 // Spec identifies one independent grid cell. The four name fields form
@@ -107,6 +117,22 @@ type Options struct {
 
 	// Obs, when non-nil, receives the runner's live metrics.
 	Obs *obs.Registry
+
+	// Tracer, when non-nil, records per-cell wait and run spans. The
+	// nil Tracer disables tracing at the cost of one nil-check per cell.
+	Tracer *span.Tracer
+
+	// SpanParent is the span context cell spans are parented under.
+	// When invalid (the zero value) and Tracer is set, Run opens its own
+	// root span covering the whole grid.
+	SpanParent span.Context
+}
+
+// cellSecondsBounds buckets specctrl_sim_cell_seconds: cells span
+// roughly 1 ms (compress, small grids) to tens of seconds (gcc at full
+// trace length).
+var cellSecondsBounds = []float64{
+	0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10, 30,
 }
 
 // DefaultBaseSeed is the published base seed for all experiment grids;
@@ -168,15 +194,31 @@ func (r *Runner) Run(ctx context.Context, specs []Spec, cell Cell) ([]Result, er
 	var (
 		cellsDone *obs.Counter
 		steals    *obs.Counter
+		cellHist  *obs.Histogram
 	)
 	queueGauge := func(int) *obs.Gauge { return nil }
 	if reg := r.opts.Obs; reg != nil {
 		reg.Gauge("specctrl_runner_workers", nil).SetUint(uint64(jobs))
 		cellsDone = reg.Counter("specctrl_runner_cells_total", nil)
 		steals = reg.Counter("specctrl_runner_steals_total", nil)
+		cellHist = reg.Histogram("specctrl_sim_cell_seconds", nil, cellSecondsBounds)
 		queueGauge = func(w int) *obs.Gauge {
 			return reg.Gauge("specctrl_runner_queue_depth", obs.Labels{"worker": strconv.Itoa(w)})
 		}
+	}
+
+	// Span parent for this grid: the caller's, or a private root so a
+	// bare traced Run still yields a coherent trace.
+	tr := r.opts.Tracer
+	parent := r.opts.SpanParent
+	var enqueued time.Time
+	if tr != nil {
+		if !parent.Valid() {
+			runSpan := tr.Root("run")
+			parent = runSpan.Context()
+			defer runSpan.End()
+		}
+		enqueued = time.Now()
 	}
 
 	// Deal cells round-robin so each worker starts with a spread of
@@ -203,18 +245,60 @@ func (r *Runner) Run(ctx context.Context, specs []Spec, cell Cell) ([]Result, er
 		go func(w int) {
 			defer wg.Done()
 			for runCtx.Err() == nil {
+				stolen := false
 				i, ok := deques[w].pop()
 				if !ok {
-					stolen, ok := stealInto(deques, w)
+					victim, ok := stealInto(deques, w)
 					if !ok {
 						return
 					}
 					if steals != nil {
 						steals.Inc()
 					}
-					i = stolen
+					i, stolen = victim, true
 				}
-				v, err := cell(runCtx, results[i].Spec)
+				cellCtx := runCtx
+				var cellSpan *span.Span
+				var started time.Time
+				if tr != nil || cellHist != nil {
+					started = time.Now()
+				}
+				if tr != nil {
+					key := results[i].Spec.Key()
+					// Queue-wait phase, backdated to enqueue, on the
+					// worker's queue track.
+					ws := tr.Child(parent, "wait:"+key,
+						span.Int(span.TIDAttr, int64(1000+w+1)),
+						span.Str(span.ThreadAttr, "queue "+strconv.Itoa(w)),
+						span.Str("key", key))
+					ws.Start = enqueued
+					ws.EndAt(started)
+					// Run phase on the worker's own timeline track; the
+					// span rides into the cell so replay/cache layers can
+					// hang their phases under it.
+					cellSpan = tr.Child(parent, "cell:"+key,
+						span.Str("key", key),
+						span.Int("worker", int64(w)),
+						span.Bool("stolen", stolen),
+						span.Int("wait_ns", started.Sub(enqueued).Nanoseconds()),
+						span.Int(span.TIDAttr, int64(w+1)),
+						span.Str(span.ThreadAttr, "worker "+strconv.Itoa(w)))
+					cellSpan.Start = started
+					cellCtx = span.NewContext(runCtx, cellSpan)
+				}
+				v, err := cell(cellCtx, results[i].Spec)
+				if tr != nil || cellHist != nil {
+					elapsed := time.Since(started)
+					if cellSpan != nil {
+						if err != nil {
+							cellSpan.SetAttrs(span.Str("error", err.Error()))
+						}
+						cellSpan.End()
+					}
+					if cellHist != nil {
+						cellHist.Observe(elapsed.Seconds())
+					}
+				}
 				results[i].Value = v
 				results[i].Err = err
 				results[i].Ran = true

@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"specctrl/internal/experiments"
+	"specctrl/internal/obs/span"
 )
 
 // APIVersion is the job API's JSON schema version: every request and
@@ -74,14 +75,56 @@ type errorResponse struct {
 	Error   string `json:"error"`
 }
 
-// routes mounts the job API onto the observability mux.
+// routes mounts the job API onto the observability mux. Every handler
+// is wrapped in a server span that joins the caller's traceparent
+// header, so one TraceID follows a job from the client through the API
+// into the grid.
 func (s *Server) routes(mux *http.ServeMux) {
-	mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
-	mux.HandleFunc("GET /v1/jobs/{id}", s.handleStatus)
-	mux.HandleFunc("GET /v1/jobs/{id}/events", s.handleEvents)
-	mux.HandleFunc("GET /v1/jobs/{id}/result", s.handleResult)
-	mux.HandleFunc("GET /v1/jobs/{id}/cells", s.handleCells)
-	mux.HandleFunc("GET /readyz", s.handleReady)
+	mux.Handle("POST /v1/jobs", s.traced("submit", s.handleSubmit))
+	mux.Handle("GET /v1/jobs/{id}", s.traced("status", s.handleStatus))
+	mux.Handle("GET /v1/jobs/{id}/events", s.traced("events", s.handleEvents))
+	mux.Handle("GET /v1/jobs/{id}/result", s.traced("result", s.handleResult))
+	mux.Handle("GET /v1/jobs/{id}/cells", s.traced("cells", s.handleCells))
+	mux.Handle("GET /readyz", s.traced("readyz", s.handleReady))
+}
+
+// statusWriter records the response code for the request span while
+// forwarding Flush, which the event stream needs.
+type statusWriter struct {
+	http.ResponseWriter
+	code int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	w.code = code
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *statusWriter) Flush() {
+	if f, ok := w.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
+}
+
+// traced wraps an API handler in an "http:<name>" span, parented to the
+// caller's traceparent header when one is present. The span rides the
+// request context so handleSubmit can hang the job's spans under it.
+func (s *Server) traced(name string, h http.HandlerFunc) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		tr := s.cfg.Tracer
+		if tr == nil {
+			h(w, r)
+			return
+		}
+		sp := tr.Child(span.Extract(r.Header), "http:"+name,
+			span.Str("method", r.Method), span.Str("path", r.URL.Path))
+		sw := &statusWriter{ResponseWriter: w, code: http.StatusOK}
+		defer func() {
+			sp.SetAttrs(span.Int("status", int64(sw.code)))
+			sp.End()
+		}()
+		h(sw, r.WithContext(span.NewContext(r.Context(), sp)))
+	})
 }
 
 func writeJSON(w http.ResponseWriter, code int, v any) {
@@ -127,7 +170,13 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 	}
-	j, err := s.submit(req)
+	// Parent the job under this request's span (itself joined to the
+	// client's trace); fall back to the raw header if tracing is off.
+	parent := span.Extract(r.Header)
+	if sp := span.FromContext(r.Context()); sp != nil {
+		parent = sp.Context()
+	}
+	j, err := s.submit(req, parent)
 	switch err {
 	case nil:
 	case errDraining:

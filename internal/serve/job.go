@@ -7,6 +7,7 @@ import (
 
 	"specctrl/internal/experiments"
 	"specctrl/internal/obs"
+	"specctrl/internal/obs/span"
 	"specctrl/internal/runner"
 )
 
@@ -66,6 +67,10 @@ type Job struct {
 	req     SubmitRequest
 	cells   *experiments.CellStore
 	created time.Time
+	// parent is the submitting request's span context (ultimately the
+	// client's traceparent header), so the job's spans join the
+	// client's trace; the zero value starts a server-local trace.
+	parent span.Context
 
 	mu         sync.Mutex
 	state      JobState

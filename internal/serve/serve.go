@@ -40,6 +40,7 @@ import (
 
 	"specctrl/internal/experiments"
 	"specctrl/internal/obs"
+	"specctrl/internal/obs/span"
 	"specctrl/internal/replay"
 )
 
@@ -81,6 +82,12 @@ type Config struct {
 	// Registry receives the service metrics (created when nil). It is
 	// also what /metrics on the server's mux exposes.
 	Registry *obs.Registry
+	// Tracer records the service's spans: one per API request (joined
+	// to the client's traceparent header when present), one per job,
+	// one per experiment, plus the grid's per-cell spans underneath.
+	// Created with default options when nil, so a served job's trace is
+	// always inspectable on /debug/traces.
+	Tracer *span.Tracer
 
 	// runExperiment is a test seam; nil means experiments.Run.
 	runExperiment func(name string, p experiments.Params) (experiments.Renderer, error)
@@ -151,6 +158,9 @@ func New(cfg Config) (*Server, error) {
 	if cfg.Registry == nil {
 		cfg.Registry = obs.NewRegistry()
 	}
+	if cfg.Tracer == nil {
+		cfg.Tracer = span.New(span.Options{})
+	}
 	if cfg.Params.TraceCache == nil {
 		cfg.Params.TraceCache = replay.NewCache(cfg.TraceCacheBytes, cfg.Registry)
 	}
@@ -176,7 +186,7 @@ func New(cfg Config) (*Server, error) {
 	cfg.Registry.Gauge("specctrl_serve_queue_capacity", nil).SetUint(uint64(cfg.QueueDepth))
 	s.drainCtx, s.drainCancel = context.WithCancel(context.Background())
 
-	mux := obs.NewMux(cfg.Registry)
+	mux := obs.NewMux(cfg.Registry, cfg.Tracer)
 	s.routes(mux)
 	hs, err := obs.ServeHandler(cfg.Addr, mux)
 	if err != nil {
@@ -193,6 +203,10 @@ func New(cfg Config) (*Server, error) {
 
 // URL returns the server's base URL.
 func (s *Server) URL() string { return s.hs.URL() }
+
+// Tracer returns the server's span tracer (never nil after New), for
+// exporting the accumulated spans at shutdown.
+func (s *Server) Tracer() *span.Tracer { return s.cfg.Tracer }
 
 // Store returns the server's content-addressed result cache.
 func (s *Server) Store() *Store { return s.store }
@@ -212,7 +226,7 @@ var (
 	errQueueFull = errors.New("serve: job queue full")
 )
 
-func (s *Server) submit(req SubmitRequest) (*Job, error) {
+func (s *Server) submit(req SubmitRequest, parent span.Context) (*Job, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.draining {
@@ -220,6 +234,7 @@ func (s *Server) submit(req SubmitRequest) (*Job, error) {
 	}
 	s.nextID++
 	j := newJob(fmt.Sprintf("job-%06d", s.nextID), req, time.Now())
+	j.parent = parent
 	select {
 	case s.queue <- j:
 		s.jobs[j.id] = j
@@ -264,6 +279,13 @@ func (s *Server) runJob(j *Job) {
 	start := time.Now()
 	j.setRunning(start)
 
+	// The job span joins the submitting client's trace (j.parent came
+	// from its traceparent header), so one TraceID covers the client's
+	// root, this job, and every cell span the grid emits under it.
+	js := s.cfg.Tracer.Child(j.parent, "job",
+		span.Str("job", j.id), span.Int("experiments", int64(len(j.req.Experiments))))
+	defer js.End()
+
 	ctx := s.drainCtx
 	cancel := context.CancelFunc(func() {})
 	if s.cfg.JobTimeout > 0 {
@@ -275,11 +297,15 @@ func (s *Server) runJob(j *Job) {
 	p.Ctx = ctx
 	p.Record = j.cells
 	p.Cache = &jobCache{store: s.store, job: j, cellSeconds: s.cellSeconds}
+	p.Tracer = s.cfg.Tracer
 
 	var outputs []ExperimentOutput
 	var runErr error
 	for _, name := range j.req.Experiments {
+		es := s.cfg.Tracer.Child(js.Context(), "exp:"+name, span.Str("job", j.id))
+		p.SpanParent = es.Context()
 		r, err := s.cfg.runExperiment(name, p)
+		es.End()
 		if err != nil {
 			runErr = err
 			break
@@ -306,6 +332,7 @@ func (s *Server) runJob(j *Job) {
 	}
 	s.jobSeconds.Observe(time.Since(start).Seconds())
 	state, _, _ := j.result()
+	js.SetAttrs(span.Str("state", string(state)))
 	s.reg.Counter("specctrl_serve_jobs_total", obs.Labels{"state": string(state)}).Inc()
 }
 

@@ -1,0 +1,86 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"strings"
+	"testing"
+
+	"specctrl/internal/obs/span"
+)
+
+// TestServedJobJoinsClientTrace is the distributed-tracing acceptance
+// test: a submission carrying a traceparent header yields server-side
+// spans — the HTTP handler span, the job span, and every grid cell
+// span — that all share the client's TraceID, so one trace follows the
+// job across the process boundary.
+func TestServedJobJoinsClientTrace(t *testing.T) {
+	serverTracer := span.New(span.Options{})
+	srv := newTestServer(t, func(cfg *Config) { cfg.Tracer = serverTracer })
+
+	// The "client": a separate tracer whose root span context rides the
+	// submit request as a traceparent header.
+	clientTracer := span.New(span.Options{})
+	root := clientTracer.Root("client-job")
+
+	body := `{"version":1,"experiments":["table3"]}`
+	req, err := http.NewRequest(http.MethodPost, srv.URL()+"/v1/jobs", bytes.NewReader([]byte(body)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	span.Inject(req.Header, root.Context())
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sub SubmitResponse
+	decodeSubmit(t, resp, &sub)
+	root.End()
+
+	st := waitTerminal(t, srv, sub)
+	if st.State != string(StateDone) {
+		t.Fatalf("job finished %s: %s", st.State, st.Error)
+	}
+
+	wantTrace := root.Context().Trace
+	var haveSubmit, haveJob bool
+	cells := 0
+	for _, s := range serverTracer.Snapshot() {
+		if s.Context().Trace != wantTrace {
+			// Polling requests (http:status) open their own traces; only
+			// the submitted job's spans must join the client's.
+			continue
+		}
+		switch {
+		case s.Name == "http:submit":
+			haveSubmit = true
+		case s.Name == "job":
+			haveJob = true
+		case strings.HasPrefix(s.Name, "cell:"):
+			cells++
+		}
+	}
+	if !haveSubmit {
+		t.Error("no http:submit span joined the client's TraceID")
+	}
+	if !haveJob {
+		t.Error("no job span joined the client's TraceID")
+	}
+	if cells == 0 {
+		t.Error("no cell spans joined the client's TraceID")
+	}
+}
+
+// decodeSubmit consumes a submit response, failing on non-202.
+func decodeSubmit(t *testing.T, resp *http.Response, sub *SubmitResponse) {
+	t.Helper()
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit: HTTP %d", resp.StatusCode)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(sub); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -60,6 +60,16 @@ go build -o "$SMOKE/simserved" ./cmd/simserved
 "$SMOKE/simctrl" -replay off -exp table3 -committed 60000 > "$SMOKE/direct.txt"
 cmp "$SMOKE/local.txt" "$SMOKE/direct.txt"
 
+# Span-tracing smoke: -trace-out must emit a Chrome trace-event file
+# that parses with per-cell spans, -profile-cells must print the
+# slowest-cells table, and tracing must not perturb rendered output.
+"$SMOKE/simctrl" -exp table3 -committed 60000 \
+    -trace-out "$SMOKE/run.trace.json" -profile-cells 3 \
+    > "$SMOKE/traced.txt" 2> "$SMOKE/trace.log"
+cmp "$SMOKE/local.txt" "$SMOKE/traced.txt"
+go run ./scripts/tracecheck -min-events 1 -want-span 'cell:' "$SMOKE/run.trace.json"
+grep -q 'slowest' "$SMOKE/trace.log"
+
 "$SMOKE/simserved" -addr 127.0.0.1:0 -addr-file "$SMOKE/addr" \
     -cache-dir "$SMOKE/cache" -committed 60000 2> "$SMOKE/simserved.log" &
 SERVED_PID=$!

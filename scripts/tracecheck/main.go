@@ -1,0 +1,85 @@
+// tracecheck validates a Chrome trace-event file produced by
+// -trace-out: the file must parse as JSON, carry at least -min-events
+// complete ("X") events, and every complete event must have a name, a
+// non-negative timestamp, and a duration. check.sh runs it against a
+// trace emitted by the smoke sweep so a formatting regression in the
+// exporter fails the build rather than silently producing a file
+// Perfetto refuses to load.
+//
+// Usage:
+//
+//	go run ./scripts/tracecheck -min-events 1 run.trace.json
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+)
+
+// traceFile mirrors the subset of the Chrome trace-event JSON object
+// form that the exporter emits (internal/obs/span.WriteChrome).
+type traceFile struct {
+	TraceEvents []struct {
+		Name string  `json:"name"`
+		Ph   string  `json:"ph"`
+		Ts   float64 `json:"ts"`
+		Dur  float64 `json:"dur"`
+		Pid  int     `json:"pid"`
+		Tid  int     `json:"tid"`
+	} `json:"traceEvents"`
+	DisplayTimeUnit string `json:"displayTimeUnit"`
+}
+
+func main() {
+	minEvents := flag.Int("min-events", 1, "minimum number of complete (ph=X) events required")
+	wantPrefix := flag.String("want-span", "", "require at least one complete event whose name has this prefix")
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: tracecheck [-min-events N] [-want-span prefix] <trace.json>")
+		os.Exit(2)
+	}
+	path := flag.Arg(0)
+	if err := check(path, *minEvents, *wantPrefix); err != nil {
+		fmt.Fprintf(os.Stderr, "tracecheck: %s: %v\n", path, err)
+		os.Exit(1)
+	}
+}
+
+func check(path string, minEvents int, wantPrefix string) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	var tf traceFile
+	if err := json.Unmarshal(data, &tf); err != nil {
+		return fmt.Errorf("not valid trace-event JSON: %v", err)
+	}
+	complete, prefixed := 0, 0
+	for i, e := range tf.TraceEvents {
+		if e.Ph != "X" {
+			continue
+		}
+		complete++
+		if e.Name == "" {
+			return fmt.Errorf("event %d: complete event with empty name", i)
+		}
+		if e.Ts < 0 || e.Dur < 0 {
+			return fmt.Errorf("event %d (%s): negative ts/dur (%v/%v)", i, e.Name, e.Ts, e.Dur)
+		}
+		if strings.HasPrefix(e.Name, wantPrefix) {
+			prefixed++
+		}
+	}
+	if complete < minEvents {
+		return fmt.Errorf("%d complete events, want at least %d", complete, minEvents)
+	}
+	if wantPrefix != "" && prefixed == 0 {
+		return fmt.Errorf("no complete event named %q… among %d events", wantPrefix, complete)
+	}
+	fmt.Printf("tracecheck: ok %s: %d complete events (%d total)\n",
+		path, complete, len(tf.TraceEvents))
+	return nil
+}
