@@ -37,6 +37,11 @@ const (
 	TraceOutFlag     = "trace-out"
 	ProfileCellsFlag = "profile-cells"
 	SpanSampleFlag   = "span-sample"
+	CoordinatorFlag  = "coordinator"
+	WorkerFlag       = "worker"
+	JoinFlag         = "join"
+	NodeFlag         = "node"
+	HeartbeatFlag    = "heartbeat"
 )
 
 // Jobs registers -jobs. The default and help text are the caller's:
@@ -92,6 +97,47 @@ func ParseReplay(v string) (string, error) {
 func TraceCacheMB(fs *flag.FlagSet) *int {
 	return fs.Int(TraceCacheMBFlag, 0,
 		"replay trace cache budget in MiB (LRU by retained bytes; 0 = default 256)")
+}
+
+// Cluster bundles the multi-node flags (docs/CLUSTER.md): simserved
+// runs as a plain single-process service by default, as the cluster
+// head with -coordinator, or as a worker with -worker -join <url>.
+type Cluster struct {
+	Coordinator *bool
+	Worker      *bool
+	Join        *string
+	Node        *string
+	Heartbeat   *time.Duration
+}
+
+// RegisterCluster registers -coordinator, -worker, -join, -node and
+// -heartbeat.
+func RegisterCluster(fs *flag.FlagSet) Cluster {
+	return Cluster{
+		Coordinator: fs.Bool(CoordinatorFlag, false,
+			"run as a cluster coordinator: accept jobs and scatter grids across joined workers (docs/CLUSTER.md)"),
+		Worker: fs.Bool(WorkerFlag, false,
+			"run as a cluster worker executing shard units from a coordinator (requires -join)"),
+		Join: fs.String(JoinFlag, "",
+			"coordinator base URL a -worker joins (e.g. http://head:8344)"),
+		Node: fs.String(NodeFlag, "",
+			"worker's self-reported node name (default: hostname)"),
+		Heartbeat: fs.Duration(HeartbeatFlag, 0,
+			"coordinator: worker heartbeat interval; a worker silent for 3 intervals is declared gone (0 = default 2s)"),
+	}
+}
+
+// Validate rejects contradictory cluster mode combinations.
+func (c Cluster) Validate() error {
+	switch {
+	case *c.Coordinator && *c.Worker:
+		return fmt.Errorf("-%s and -%s are mutually exclusive", CoordinatorFlag, WorkerFlag)
+	case *c.Worker && *c.Join == "":
+		return fmt.Errorf("-%s requires -%s <coordinator URL>", WorkerFlag, JoinFlag)
+	case !*c.Worker && *c.Join != "":
+		return fmt.Errorf("-%s only applies with -%s", JoinFlag, WorkerFlag)
+	}
+	return nil
 }
 
 // Trace bundles the span-tracing flags shared by the binaries.

@@ -1,0 +1,40 @@
+// Package cluster runs the simulation service across machines: a
+// coordinator that accepts jobs through the ordinary serve job API and
+// scatters each experiment grid as shard work units over registered
+// worker daemons, plus the worker that executes those units.
+//
+// The design is an accelerator, not a different execution model.
+// Workers never produce output; they warm the coordinator's
+// content-addressed caches:
+//
+//   - Each unit is a runner.Shard of one experiment's grid
+//     (experiments.Params.UnitAddress names it). A worker executes the
+//     shard exactly as `simctrl -shard i/n` would and write-through
+//     publishes every computed cell to the coordinator's serve.Store
+//     and every recorded branch-event trace to its replay.Cache.
+//   - When every unit has finished (or been abandoned), the
+//     coordinator runs the experiment locally through the unchanged
+//     single-process path — experiments.Run with the job's own
+//     CellCache — so worker-computed cells are cache hits and anything
+//     a failed worker left behind is simulated on the spot. Output
+//     bytes therefore come from exactly the code path a local run
+//     uses, which is the determinism argument: an N-worker cluster is
+//     byte-identical to one process by construction, and worker
+//     failure degrades throughput, never correctness.
+//
+// Scheduling mirrors internal/runner at node granularity: units are
+// dealt round-robin onto per-worker deques; an idle worker pops its
+// own deque first, then the global backlog, then steals half of the
+// longest victim's deque from the back. Workers heartbeat; a worker
+// that misses its lease TTL is declared gone and its queued and leased
+// units are requeued (the write-through cell store is the checkpoint,
+// so a reassigned unit re-simulates only cells the dead worker never
+// published). Cross-node requests carry W3C traceparent headers, so
+// one TraceID spans client, coordinator, and every worker that touched
+// the job.
+//
+// Wire protocol (JSON over HTTP, mounted on the coordinator's serve
+// mux under /cluster/v1/) and the operational story are documented in
+// docs/CLUSTER.md; the determinism argument is elaborated in DESIGN.md
+// ("Distributed execution").
+package cluster

@@ -1,0 +1,132 @@
+package replay
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"specctrl/internal/pipeline"
+)
+
+// fakeBacking is an in-memory Backing implementation with call
+// counters, standing in for a cluster coordinator's trace tier.
+type fakeBacking struct {
+	mu      sync.Mutex
+	traces  map[string]*Trace
+	stats   map[string]*pipeline.Stats
+	fetches atomic.Int64
+	stores  atomic.Int64
+}
+
+func newFakeBacking() *fakeBacking {
+	return &fakeBacking{
+		traces: make(map[string]*Trace),
+		stats:  make(map[string]*pipeline.Stats),
+	}
+}
+
+func (b *fakeBacking) Fetch(addr string) (*Trace, *pipeline.Stats, bool) {
+	b.fetches.Add(1)
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	t, ok := b.traces[addr]
+	return t, b.stats[addr], ok
+}
+
+func (b *fakeBacking) Store(addr string, t *Trace, st *pipeline.Stats) {
+	b.stores.Add(1)
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.traces[addr] = t
+	b.stats[addr] = st
+}
+
+// TestCacheBackingFetch: a local miss that the backing tier can serve
+// comes back as OutcomeFetch, without running the record function, and
+// becomes resident (the next call is a plain hit).
+func TestCacheBackingFetch(t *testing.T) {
+	b := newFakeBacking()
+	remote := recordSynthetic(80)
+	b.traces["a"] = remote
+	b.stats["a"] = &pipeline.Stats{Committed: 80}
+
+	c := NewCache(0, nil)
+	c.SetBacking(b)
+	var calls atomic.Int64
+	tr, st, outcome, err := c.GetOrRecordOutcome("a", fakeRecord(&calls, 80))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if outcome != OutcomeFetch {
+		t.Fatalf("outcome %s, want fetch", outcome)
+	}
+	if calls.Load() != 0 {
+		t.Fatalf("record ran %d times on a backing hit", calls.Load())
+	}
+	if tr != remote || st.Committed != 80 {
+		t.Fatal("fetch returned different pointers than the backing tier holds")
+	}
+	// Resident now: no second Fetch.
+	_, _, outcome, err = c.GetOrRecordOutcome("a", fakeRecord(&calls, 80))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if outcome != OutcomeHit {
+		t.Fatalf("second outcome %s, want hit", outcome)
+	}
+	if b.fetches.Load() != 1 {
+		t.Fatalf("backing fetched %d times, want 1", b.fetches.Load())
+	}
+}
+
+// TestCacheBackingWriteThrough: a fresh local recording is offered to
+// the backing tier, and a backing miss falls through to recording.
+func TestCacheBackingWriteThrough(t *testing.T) {
+	b := newFakeBacking()
+	c := NewCache(0, nil)
+	c.SetBacking(b)
+	var calls atomic.Int64
+	_, _, outcome, err := c.GetOrRecordOutcome("a", fakeRecord(&calls, 60))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if outcome != OutcomeRecord {
+		t.Fatalf("outcome %s, want record", outcome)
+	}
+	if calls.Load() != 1 {
+		t.Fatalf("record ran %d times, want 1", calls.Load())
+	}
+	if b.stores.Load() != 1 {
+		t.Fatalf("write-through stored %d times, want 1", b.stores.Load())
+	}
+	b.mu.Lock()
+	_, stored := b.traces["a"]
+	b.mu.Unlock()
+	if !stored {
+		t.Fatal("recorded trace missing from the backing tier")
+	}
+}
+
+// TestCacheGetPut: Get peeks without recording; Put inserts a
+// worker-uploaded trace and leaves an existing entry alone (first
+// write wins — the trace at an address is deterministic).
+func TestCacheGetPut(t *testing.T) {
+	c := NewCache(0, nil)
+	if _, _, ok := c.Get("a"); ok {
+		t.Fatal("Get hit an empty cache")
+	}
+	first := recordSynthetic(40)
+	c.Put("a", first, &pipeline.Stats{Committed: 40})
+	tr, st, ok := c.Get("a")
+	if !ok || tr != first || st.Committed != 40 {
+		t.Fatal("Get did not return the Put trace")
+	}
+	// A duplicate Put must not replace the resident entry.
+	c.Put("a", recordSynthetic(40), &pipeline.Stats{Committed: 99})
+	if tr2, _, _ := c.Get("a"); tr2 != first {
+		t.Fatal("duplicate Put replaced the resident trace")
+	}
+	if c.Len() != 1 {
+		t.Fatalf("Len=%d after duplicate Put, want 1", c.Len())
+	}
+}

@@ -20,6 +20,7 @@
 // must be zero, and the running committed-minus-resolved balance must
 // never go negative — so a successfully decoded trace is safe to hand
 // to Replay, and Encode∘Decode is the identity on Decode's output.
+
 package replay
 
 import (

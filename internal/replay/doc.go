@@ -1,0 +1,36 @@
+// Package replay records the estimator-visible branch event stream of
+// one pipeline simulation and re-evaluates confidence estimators
+// against the recording without re-running the pipeline.
+//
+// The paper's estimators are passive observers: the simulator calls
+// Estimate for every fetched conditional branch (in fetch order) and
+// Resolve for every committed branch (in program order, with the
+// fetch-time pc/Info/correctness — see the pipeline package's event
+// ordering contract). Estimators never influence fetch, timing, or
+// prediction, so for a fixed (workload, predictor, pipeline
+// configuration) the event stream is identical no matter which
+// estimators are attached. Recording that stream once therefore lets
+// any number of estimator configurations be evaluated afterwards, in
+// parallel, at the cost of a table lookup per event instead of a full
+// per-cycle simulation — the standard trace-driven methodology for
+// predictor design-space sweeps.
+//
+// A Trace stores the stream as fixed-size chunks of tokens. A token is
+// either a fetch event — carrying the branch pc, the full bpred.Info
+// the predictor produced, whether the prediction was correct, and
+// whether the branch was on the committed path — or a payload-free
+// resolve event. Resolves need no payload because the simulator
+// resolves committed branches in fetch order and passes Resolve the
+// values captured at fetch: replay keeps a short FIFO of committed
+// fetch events and pops it at each resolve token. Fetch payloads are
+// columnar (one slice per field) for sequential-scan locality; the
+// fetch/resolve interleaving is a per-chunk bitset.
+//
+// Exactness: Replay reproduces pipeline.Stats.Confidence — the
+// per-estimator quadrants and mis-estimation histogram — bit for bit,
+// because it replays the same Estimate/Resolve call sequence with the
+// same arguments and applies the same statistics updates in the same
+// order (asserted by differential tests in this package and in
+// internal/experiments, and end to end by the results_full.txt
+// byte-identity gate in scripts/check.sh).
+package replay

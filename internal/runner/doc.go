@@ -1,0 +1,57 @@
+// Package runner executes experiment grids on a bounded work-stealing
+// worker pool.
+//
+// Every experiment in internal/experiments is a grid of independent
+// simulations — one cell per workload × predictor × estimator-config
+// combination. The runner's job is to execute those cells concurrently
+// without changing any observable result.
+//
+// # The Spec/Cell contract
+//
+// A grid is a []Spec; each Spec names exactly one cell and carries the
+// cell's private RNG seed. The cell body is a Cell func. The contract a
+// Cell must honor for the runner's determinism guarantee to hold:
+//
+//   - No shared mutable state. Every pipeline, predictor, estimator,
+//     cache, and workload program the cell needs is constructed inside
+//     the cell. Cells may close over read-only configuration only.
+//   - No process-global randomness. Any randomness is drawn from a
+//     generator seeded with spec.Seed (derived as
+//     DeriveSeed(baseSeed, spec.Key()) — a pure function of the spec,
+//     never of scheduling).
+//   - No dependence on execution order. A cell may not read another
+//     cell's output or any accumulator written by other cells.
+//
+// # Determinism
+//
+// Run returns results positionally aligned with the input specs, so the
+// caller's assemble step iterates in spec order — the same order the old
+// serial loops used — regardless of which worker finished which cell
+// first. Identical specs therefore produce byte-identical assembled
+// output at -jobs 1 and -jobs N, on any machine.
+//
+// # Scheduling
+//
+// Cells are dealt round-robin onto per-worker deques; an idle worker
+// steals half the largest remaining queue. Cell runtimes vary by an
+// order of magnitude across workloads (gcc vs compress), so stealing —
+// rather than a static partition — is what keeps the tail short.
+//
+// # Observability and cancellation
+//
+// When Options.Obs is set, the runner publishes per-worker queue depth
+// (specctrl_runner_queue_depth), completed cells and steal counts
+// (specctrl_runner_cells_total, specctrl_runner_steals_total), the
+// worker count (specctrl_runner_workers), and a wall-time distribution
+// of cell runtimes (specctrl_sim_cell_seconds) through the internal/obs
+// registry. When Options.Tracer is set, every cell additionally emits
+// two spans under Options.SpanParent: a queue-wait span (enqueue to
+// dequeue, rendered on a per-worker "queue N" track) and a run span
+// named "cell:<key>" carrying worker, steal, and wait attributes on the
+// worker's own timeline track; the run span rides into the cell via
+// span.NewContext, so deeper layers (replay, caching) can attach their
+// phases to it. With Tracer nil the whole path costs one nil-check per
+// cell and allocates nothing. Cancelling the context stops dispatch at
+// the next cell boundary; already-finished cells keep their results
+// (Result.Ran reports which ones ran) and Run returns ctx.Err().
+package runner

@@ -60,6 +60,7 @@ func (s Shard) Owns(i int) bool {
 	return i%s.Count == s.Index
 }
 
+// String renders the shard in the "i/n" form ParseShard accepts.
 func (s Shard) String() string {
 	if s.Count == 0 {
 		return "0/0"

@@ -1,37 +1,10 @@
-// Package serve turns the batch experiment harness into a long-running
-// simulation service: simulation-as-a-service over the work-stealing
-// grid runner.
-//
-// Four layers:
-//
-//   - A job API over HTTP (see api.go): submit a set of experiments as
-//     a job, poll its status, stream per-cell completion events, and
-//     fetch the merged results — rendered text per experiment plus the
-//     cell dump in the same versioned JSON schema simctrl's -cells-out
-//     writes.
-//   - A content-addressed result cache (Store): every cell is keyed by
-//     the canonical hash of its full spec (experiments.CellAddress), so
-//     the same cell requested twice — by one job, by two concurrent
-//     jobs, or days apart — simulates exactly once and is served from
-//     disk forever after, byte-identical to a fresh simulation.
-//   - Admission control and backpressure: a bounded job queue sized off
-//     the runner pool width. A full queue rejects submissions with
-//     429 + Retry-After; a draining server rejects them with 503. Jobs
-//     carry a configurable timeout and are cancelled at the next cell
-//     boundary. Drain (SIGTERM in cmd/simserved) lets in-flight cells
-//     finish and checkpoints every unfinished job's completed cells as
-//     a -cells-in-loadable dump.
-//   - Wiring into the existing stack: jobs execute on internal/runner
-//     through internal/experiments' grid path, preserving byte-identical
-//     determinism, and the service publishes queue depth, cache
-//     hit/miss, inflight, and latency-histogram metrics through
-//     internal/obs on the same mux that serves the API.
 package serve
 
 import (
 	"context"
 	"errors"
 	"fmt"
+	"net/http"
 	"os"
 	"path/filepath"
 	"runtime"
@@ -88,8 +61,19 @@ type Config struct {
 	// Created with default options when nil, so a served job's trace is
 	// always inspectable on /debug/traces.
 	Tracer *span.Tracer
+	// RunExperiment, when non-nil, replaces experiments.Run as the
+	// function each job invokes per experiment. The cluster coordinator
+	// uses it to scatter grids across workers before the deterministic
+	// local assembly; it must preserve the byte-identity contract
+	// (return exactly what experiments.Run would).
+	RunExperiment func(name string, p experiments.Params) (experiments.Renderer, error)
+	// Mount, when non-nil, is called with the server's mux after the
+	// job API routes are registered, so embedders (the cluster
+	// coordinator) can add endpoints on the same listener.
+	Mount func(mux *http.ServeMux)
 
-	// runExperiment is a test seam; nil means experiments.Run.
+	// runExperiment is a test seam; nil means RunExperiment, then
+	// experiments.Run.
 	runExperiment func(name string, p experiments.Params) (experiments.Renderer, error)
 }
 
@@ -165,7 +149,11 @@ func New(cfg Config) (*Server, error) {
 		cfg.Params.TraceCache = replay.NewCache(cfg.TraceCacheBytes, cfg.Registry)
 	}
 	if cfg.runExperiment == nil {
-		cfg.runExperiment = experiments.Run
+		if cfg.RunExperiment != nil {
+			cfg.runExperiment = cfg.RunExperiment
+		} else {
+			cfg.runExperiment = experiments.Run
+		}
 	}
 
 	store, err := NewStore(cfg.CacheDir, cfg.Registry)
@@ -188,6 +176,9 @@ func New(cfg Config) (*Server, error) {
 
 	mux := obs.NewMux(cfg.Registry, cfg.Tracer)
 	s.routes(mux)
+	if cfg.Mount != nil {
+		cfg.Mount(mux)
+	}
 	hs, err := obs.ServeHandler(cfg.Addr, mux)
 	if err != nil {
 		return nil, err
