@@ -17,6 +17,7 @@ import (
 
 	"specctrl/internal/obs/span"
 	"specctrl/internal/serve"
+	"specctrl/internal/synth"
 )
 
 type serverOpts struct {
@@ -27,6 +28,12 @@ type serverOpts struct {
 	verbose   bool
 	stdout    io.Writer
 	stderr    io.Writer
+
+	// synthN and synthProfiles parameterize the sweepspace experiment
+	// server-side: profiles travel as vectors in the submission (the
+	// server registers them before running the job).
+	synthN        int
+	synthProfiles []synth.Profile
 
 	// tracer, when non-nil, opens a root span for the submission and
 	// propagates its context to the server as a traceparent header, so
@@ -83,9 +90,11 @@ func runServerMode(o serverOpts) error {
 	defer root.End()
 
 	req := serve.SubmitRequest{
-		Version:     serve.APIVersion,
-		Experiments: o.names,
-		Committed:   o.committed,
+		Version:       serve.APIVersion,
+		Experiments:   o.names,
+		Committed:     o.committed,
+		SynthN:        o.synthN,
+		SynthProfiles: o.synthProfiles,
 	}
 	payload, err := json.Marshal(req)
 	if err != nil {

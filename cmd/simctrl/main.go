@@ -81,6 +81,7 @@ func main() {
 		replayF   = cliflags.Replay(flag.CommandLine)
 		cacheMB   = cliflags.TraceCacheMB(flag.CommandLine)
 		traceF    = cliflags.RegisterTrace(flag.CommandLine)
+		synthF    = cliflags.RegisterSynth(flag.CommandLine)
 		server    = flag.String("server", "", "submit to a simserved base URL instead of simulating locally")
 	)
 	flag.Parse()
@@ -120,15 +121,29 @@ func main() {
 			fmt.Fprintln(os.Stderr, "simctrl: -shard is a local-run option; the server shards internally")
 			os.Exit(2)
 		}
-		err := runServerMode(serverOpts{
-			base:      *server,
-			names:     names,
-			committed: *committed,
-			cellsOut:  *cellsOut,
-			verbose:   *verbose,
-			stdout:    os.Stdout,
-			stderr:    os.Stderr,
-			tracer:    tracer,
+		if *synthF.Traces != "" {
+			// Trace files cannot travel in a job submission (only
+			// profile vectors can); ingest them on the server instead.
+			fmt.Fprintf(os.Stderr, "simctrl: -%s is a local-run option; start simserved with it instead\n",
+				cliflags.IngestTraceFlag)
+			os.Exit(2)
+		}
+		synthProfiles, err := synthF.LoadProfiles()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "simctrl: %v\n", err)
+			os.Exit(2)
+		}
+		err = runServerMode(serverOpts{
+			base:          *server,
+			names:         names,
+			committed:     *committed,
+			cellsOut:      *cellsOut,
+			verbose:       *verbose,
+			stdout:        os.Stdout,
+			stderr:        os.Stderr,
+			tracer:        tracer,
+			synthN:        *synthF.N,
+			synthProfiles: synthProfiles,
 		})
 		if ferr := traceF.Finish(tracer, "simctrl", os.Stderr); ferr != nil && err == nil {
 			err = ferr
@@ -150,6 +165,13 @@ func main() {
 		os.Exit(2)
 	}
 	p.Replay = replayMode
+	synthWs, synthN, err := synthF.Load()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "simctrl: %v\n", err)
+		os.Exit(2)
+	}
+	p.SynthN = synthN
+	p.SynthWorkloads = synthWs
 	if *verbose {
 		p.Progress = func(msg string) { fmt.Fprintln(os.Stderr, msg) }
 	}

@@ -78,11 +78,22 @@ func run(args []string, stderr io.Writer, stop <-chan struct{}) error {
 		cacheMB   = cliflags.TraceCacheMB(fs)
 		traceF    = cliflags.RegisterTrace(fs)
 		clusterF  = cliflags.RegisterCluster(fs)
+		synthF    = cliflags.RegisterSynth(fs)
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if err := clusterF.Validate(); err != nil {
+		return err
+	}
+	// Load registers -synth-profile / -ingest-trace workloads in the
+	// process-wide registry, so every mode — plain server, coordinator,
+	// and worker — can resolve the synth: names that jobs reference.
+	// (Workers must ingest the same -ingest-trace files as the
+	// coordinator; profile-backed workloads additionally travel as
+	// vectors inside each work unit. See docs/CLUSTER.md.)
+	synthWs, synthN, err := synthF.Load()
+	if err != nil {
 		return err
 	}
 
@@ -113,6 +124,8 @@ func run(args []string, stderr io.Writer, stop <-chan struct{}) error {
 		p.MaxCommitted = *committed
 	}
 	p.Replay = replayMode
+	p.SynthN = synthN
+	p.SynthWorkloads = synthWs
 	cfg.Params = p
 
 	if *clusterF.Coordinator {

@@ -9,11 +9,13 @@
 //	simtrace -w compress -dis                     # disassemble
 //	simtrace -w gcc -record /tmp/gcc.trc -committed 500000
 //	simtrace -w gcc -record-jsonl /tmp/gcc.jsonl  # greppable events
+//	simtrace -w gcc -record-branches /tmp/gcc.spbt # ingestable via -ingest-trace
 //	simtrace -summarize /tmp/gcc.trc
 //
 // Recording streams events through the simulator's obs.Tracer hook —
-// the binary writer and the JSONL writer are two sinks on the same
-// stream and can run simultaneously. Like simctrl, long recordings
+// the binary writer, the JSONL writer, and the SPBT branch-trace
+// writer (see docs/WORKLOADS.md) are sinks on the same stream and can
+// run simultaneously. Like simctrl, long recordings
 // accept -progress and -metrics-addr for live observation.
 package main
 
@@ -29,6 +31,7 @@ import (
 	"specctrl/internal/obs"
 	"specctrl/internal/obs/span"
 	"specctrl/internal/pipeline"
+	"specctrl/internal/synth"
 	"specctrl/internal/trace"
 	"specctrl/internal/workload"
 )
@@ -40,6 +43,7 @@ func main() {
 		dis         = flag.Bool("dis", false, "disassemble the workload")
 		record      = flag.String("record", "", "simulate and write the binary branch trace to this file")
 		recordJSONL = flag.String("record-jsonl", "", "simulate and write JSONL branch events to this file")
+		recordSPBT  = flag.String("record-branches", "", "simulate and write an SPBT branch trace to this file (load back with -ingest-trace)")
 		summarize   = flag.String("summarize", "", "read a trace file and print its summary")
 		committed   = cliflags.Committed(flag.CommandLine, 500_000, "committed instructions for -record")
 		iters       = flag.Int("iters", 1<<30, "workload outer iterations")
@@ -67,12 +71,13 @@ func main() {
 		fmt.Printf("%s: %d instructions, %d data words\n\n",
 			p.Name, len(p.Code), len(p.Data))
 		fmt.Print(isa.Disassemble(p, nil))
-	case *record != "" || *recordJSONL != "":
+	case *record != "" || *recordJSONL != "" || *recordSPBT != "":
 		opts := recordOptions{
 			workload:  *wname,
 			predictor: *pred,
 			binPath:   *record,
 			jsonlPath: *recordJSONL,
+			spbtPath:  *recordSPBT,
 			committed: *committed,
 			iters:     *iters,
 			obs:       obsFlags,
@@ -82,7 +87,7 @@ func main() {
 			fail(err)
 		}
 	default:
-		fmt.Fprintln(os.Stderr, "simtrace: nothing to do (try -listw, -dis, -record, -record-jsonl, -summarize)")
+		fmt.Fprintln(os.Stderr, "simtrace: nothing to do (try -listw, -dis, -record, -record-jsonl, -record-branches, -summarize)")
 		flag.Usage()
 		os.Exit(2)
 	}
@@ -108,6 +113,7 @@ func newPredictor(name string) (bpred.Predictor, error) {
 type recordOptions struct {
 	workload, predictor string
 	binPath, jsonlPath  string
+	spbtPath            string
 	committed           uint64
 	iters               int
 	obs                 cliflags.Obs
@@ -129,6 +135,7 @@ func doRecord(o recordOptions) error {
 	var sinks []obs.Tracer
 	var binSink *trace.Sink
 	var jsonlSink *obs.JSONL
+	var spbtSink *synth.TraceSink
 	var files []*os.File
 	for _, f := range []struct {
 		path string
@@ -136,6 +143,7 @@ func doRecord(o recordOptions) error {
 	}{
 		{o.binPath, func(f *os.File) { binSink = trace.NewSink(f); sinks = append(sinks, binSink) }},
 		{o.jsonlPath, func(f *os.File) { jsonlSink = obs.NewJSONL(f); sinks = append(sinks, jsonlSink) }},
+		{o.spbtPath, func(f *os.File) { spbtSink = synth.NewTraceSink(f); sinks = append(sinks, spbtSink) }},
 	} {
 		if f.path == "" {
 			continue
@@ -200,6 +208,14 @@ func doRecord(o recordOptions) error {
 	}
 	if jsonlSink != nil {
 		fmt.Printf("wrote %d JSONL events to %s\n", jsonlSink.Count(), o.jsonlPath)
+	}
+	if spbtSink != nil {
+		info, err := os.Stat(o.spbtPath)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("wrote SPBT branch trace (%d bytes) to %s; load with -ingest-trace\n",
+			info.Size(), o.spbtPath)
 	}
 	return o.trace.Finish(tracer, "simtrace", os.Stderr)
 }

@@ -20,6 +20,7 @@ import (
 	"specctrl/internal/experiments"
 	"specctrl/internal/obs"
 	"specctrl/internal/obs/span"
+	"specctrl/internal/synth"
 )
 
 // Flag names shared across binaries. Registration goes through the
@@ -42,6 +43,9 @@ const (
 	JoinFlag         = "join"
 	NodeFlag         = "node"
 	HeartbeatFlag    = "heartbeat"
+	SynthProfileFlag = "synth-profile"
+	SynthNFlag       = "synth-n"
+	IngestTraceFlag  = "ingest-trace"
 )
 
 // Jobs registers -jobs. The default and help text are the caller's:
@@ -138,6 +142,109 @@ func (c Cluster) Validate() error {
 		return fmt.Errorf("-%s only applies with -%s", JoinFlag, WorkerFlag)
 	}
 	return nil
+}
+
+// Synth bundles the workload-generation flags (docs/WORKLOADS.md):
+// -synth-profile registers generator vectors from JSON files,
+// -ingest-trace registers recorded branch traces as replayable
+// workloads, and -synth-n sizes the sweepspace experiment's generated
+// set. Register with RegisterSynth, then call Load after parsing.
+type Synth struct {
+	Profiles *string
+	N        *int
+	Traces   *string
+}
+
+// RegisterSynth registers -synth-profile, -synth-n and -ingest-trace.
+func RegisterSynth(fs *flag.FlagSet) Synth {
+	return Synth{
+		Profiles: fs.String(SynthProfileFlag, "",
+			"comma-separated synth profile JSON files to register as generated workloads (docs/WORKLOADS.md)"),
+		N: fs.Int(SynthNFlag, 0,
+			"sweepspace: how many latin-hypercube profiles to generate (0 = default 32)"),
+		Traces: fs.String(IngestTraceFlag, "",
+			"comma-separated SPBT branch-trace files (simtrace -record-branches) to ingest as replayable workloads"),
+	}
+}
+
+// splitList parses a comma-separated flag value into trimmed non-empty
+// entries.
+func splitList(v string) []string {
+	var out []string
+	for _, s := range strings.Split(v, ",") {
+		if s = strings.TrimSpace(s); s != "" {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// Load reads and registers every -synth-profile vector and every
+// -ingest-trace file, returning the registered workload names in flag
+// order (profiles first) plus the parsed -synth-n. Call it after flag
+// parsing in every mode that runs experiments — including cluster
+// workers, which must resolve the same workload names the coordinator
+// scatters.
+func (s Synth) Load() (names []string, n int, err error) {
+	if s.N != nil {
+		if *s.N < 0 {
+			return nil, 0, fmt.Errorf("-%s must be >= 0, got %d", SynthNFlag, *s.N)
+		}
+		n = *s.N
+	}
+	if s.Profiles != nil {
+		for _, path := range splitList(*s.Profiles) {
+			data, err := os.ReadFile(path)
+			if err != nil {
+				return nil, 0, fmt.Errorf("-%s: %w", SynthProfileFlag, err)
+			}
+			prof, err := synth.ParseProfile(data)
+			if err != nil {
+				return nil, 0, fmt.Errorf("-%s %s: %w", SynthProfileFlag, path, err)
+			}
+			name, err := synth.Register(prof)
+			if err != nil {
+				return nil, 0, fmt.Errorf("-%s %s: %w", SynthProfileFlag, path, err)
+			}
+			names = append(names, name)
+		}
+	}
+	if s.Traces != nil {
+		for _, path := range splitList(*s.Traces) {
+			data, err := os.ReadFile(path)
+			if err != nil {
+				return nil, 0, fmt.Errorf("-%s: %w", IngestTraceFlag, err)
+			}
+			name, err := synth.FromTrace(data)
+			if err != nil {
+				return nil, 0, fmt.Errorf("-%s %s: %w", IngestTraceFlag, path, err)
+			}
+			names = append(names, name)
+		}
+	}
+	return names, n, nil
+}
+
+// LoadProfiles parses the -synth-profile files into vectors without
+// registering them — the server-mode client path, which ships vectors
+// in the submission body for the server to register.
+func (s Synth) LoadProfiles() ([]synth.Profile, error) {
+	if s.Profiles == nil {
+		return nil, nil
+	}
+	var profs []synth.Profile
+	for _, path := range splitList(*s.Profiles) {
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return nil, fmt.Errorf("-%s: %w", SynthProfileFlag, err)
+		}
+		prof, err := synth.ParseProfile(data)
+		if err != nil {
+			return nil, fmt.Errorf("-%s %s: %w", SynthProfileFlag, path, err)
+		}
+		profs = append(profs, prof)
+	}
+	return profs, nil
 }
 
 // Trace bundles the span-tracing flags shared by the binaries.

@@ -1,12 +1,17 @@
 package cliflags
 
 import (
+	"encoding/json"
 	"flag"
 	"io"
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
 	"time"
+
+	"specctrl/internal/synth"
+	"specctrl/internal/workload"
 )
 
 // TestFlagNamesPinned: the shared flag names are a compatibility
@@ -24,6 +29,7 @@ func TestFlagNamesPinned(t *testing.T) {
 	TraceCacheMB(fs)
 	RegisterTrace(fs)
 	RegisterCluster(fs)
+	RegisterSynth(fs)
 
 	want := map[string]bool{
 		"jobs": true, "shard": true, "cells-out": true, "cells-in": true,
@@ -31,7 +37,8 @@ func TestFlagNamesPinned(t *testing.T) {
 		"replay": true, "trace-cache-mb": true,
 		"trace-out": true, "profile-cells": true, "span-sample": true,
 		"coordinator": true, "worker": true, "join": true, "node": true,
-		"heartbeat": true,
+		"heartbeat":     true,
+		"synth-profile": true, "synth-n": true, "ingest-trace": true,
 	}
 	got := map[string]bool{}
 	fs.VisitAll(func(f *flag.Flag) { got[f.Name] = true })
@@ -152,5 +159,89 @@ func TestLoadCellsMergesInOrder(t *testing.T) {
 	}
 	if _, err := LoadCells(filepath.Join(dir, "missing.json")); err == nil {
 		t.Error("LoadCells accepted a missing file")
+	}
+}
+
+// TestSynthLoad: -synth-profile and -ingest-trace files register
+// workloads and return their names in flag order (profiles first);
+// bad inputs fail with a flag-named error.
+func TestSynthLoad(t *testing.T) {
+	dir := t.TempDir()
+	prof := synth.Profile{Seed: 7, Sites: 16, Density: 0.1, Taken: 0.7, Spread: 0.2}
+	profPath := filepath.Join(dir, "p.json")
+	profJSON, err := json.Marshal(prof)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(profPath, profJSON, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	trc, err := synth.EncodeTrace(&synth.Trace{SitePCs: []int64{8, 16}, Events: []uint32{1, 2, 3, 0}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	trcPath := filepath.Join(dir, "t.spbt")
+	if err := os.WriteFile(trcPath, trc, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	parse := func(t *testing.T, args ...string) Synth {
+		t.Helper()
+		fs := flag.NewFlagSet("t", flag.ContinueOnError)
+		fs.SetOutput(io.Discard)
+		s := RegisterSynth(fs)
+		if err := fs.Parse(args); err != nil {
+			t.Fatalf("parse %v: %v", args, err)
+		}
+		return s
+	}
+
+	names, n, err := parse(t, "-synth-profile", profPath, "-ingest-trace", trcPath, "-synth-n", "5").Load()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 5 {
+		t.Errorf("n = %d, want 5", n)
+	}
+	if len(names) != 2 || names[0] != prof.WorkloadName() || !strings.HasPrefix(names[1], "synth:t-") {
+		t.Errorf("names = %v, want [%s synth:t-...]", names, prof.WorkloadName())
+	}
+	for _, name := range names {
+		if _, err := workload.ByName(name); err != nil {
+			t.Errorf("loaded workload %s not resolvable: %v", name, err)
+		}
+	}
+
+	// Loading the same files again is idempotent (content-addressed).
+	again, _, err := parse(t, "-synth-profile", profPath, "-ingest-trace", trcPath).Load()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(again) != 2 || again[0] != names[0] || again[1] != names[1] {
+		t.Errorf("second Load names = %v, want %v", again, names)
+	}
+
+	// LoadProfiles parses without registering.
+	profs, err := parse(t, "-synth-profile", profPath).LoadProfiles()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(profs) != 1 || profs[0] != prof {
+		t.Errorf("LoadProfiles = %+v, want [%+v]", profs, prof)
+	}
+
+	for _, tc := range []struct {
+		name string
+		args []string
+	}{
+		{"negative n", []string{"-synth-n", "-1"}},
+		{"missing profile", []string{"-synth-profile", filepath.Join(dir, "nope.json")}},
+		{"missing trace", []string{"-ingest-trace", filepath.Join(dir, "nope.spbt")}},
+		{"bad profile json", []string{"-synth-profile", trcPath}},
+		{"bad trace bytes", []string{"-ingest-trace", profPath}},
+	} {
+		if _, _, err := parse(t, tc.args...).Load(); err == nil {
+			t.Errorf("%s: Load accepted %v", tc.name, tc.args)
+		}
 	}
 }

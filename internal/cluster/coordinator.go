@@ -11,6 +11,7 @@ import (
 	"specctrl/internal/replay"
 	"specctrl/internal/runner"
 	"specctrl/internal/serve"
+	"specctrl/internal/synth"
 )
 
 // Defaults for the coordinator's scheduling knobs; tests shrink the
@@ -544,19 +545,26 @@ func (c *Coordinator) scatter(name string, p experiments.Params, parent span.Con
 	}
 	k := c.cfg.UnitsPerWorker * len(live)
 	units := make([]*unit, 0, k)
+	// Ship the vectors behind the job's profile-backed synth workloads
+	// so workers can re-register them; trace-backed names ride along
+	// by name only (workers ingest trace files at startup).
+	_, synthProfs := synth.ProfilesFor(p.SynthWorkloads)
 	for i := 0; i < k; i++ {
 		sh := runner.Shard{Index: i, Count: k}
 		c.nextUnit++
 		u := &unit{
 			Unit: Unit{
-				ID:          fmt.Sprintf("u-%06d", c.nextUnit),
-				Addr:        p.UnitAddress(name, sh),
-				Experiment:  name,
-				Shard:       sh.String(),
-				Committed:   p.MaxCommitted,
-				BaseSeed:    p.BaseSeed,
-				Replay:      p.Replay,
-				TraceParent: parent.TraceParent(),
+				ID:             fmt.Sprintf("u-%06d", c.nextUnit),
+				Addr:           p.UnitAddress(name, sh),
+				Experiment:     name,
+				Shard:          sh.String(),
+				Committed:      p.MaxCommitted,
+				BaseSeed:       p.BaseSeed,
+				Replay:         p.Replay,
+				SynthN:         p.SynthN,
+				SynthWorkloads: p.SynthWorkloads,
+				SynthProfiles:  synthProfs,
+				TraceParent:    parent.TraceParent(),
 			},
 			state:    unitQueued,
 			finished: make(chan struct{}),

@@ -7,6 +7,7 @@ import (
 
 	"specctrl/internal/pipeline"
 	"specctrl/internal/replay"
+	"specctrl/internal/synth"
 )
 
 // ProtocolVersion is the cluster wire-protocol version; it prefixes
@@ -57,6 +58,18 @@ type Unit struct {
 	// Replay is the replay mode ("" / "auto" / "off"); it changes
 	// which cells a grid enumerates, so it is part of unit identity.
 	Replay string `json:"replay"`
+	// SynthN is the sweepspace generated-profile count (0 = default);
+	// like Replay it changes which cells the grid enumerates.
+	SynthN int `json:"synthN,omitempty"`
+	// SynthWorkloads are the extra synth workload names the
+	// experiment's grid appends (experiments.Params.SynthWorkloads).
+	SynthWorkloads []string `json:"synthWorkloads,omitempty"`
+	// SynthProfiles carry the generator vectors backing the
+	// profile-backed subset of SynthWorkloads: workers re-register
+	// them locally before running the unit. Trace-backed names have no
+	// vector to ship; workers must have ingested the same trace files
+	// (see docs/CLUSTER.md).
+	SynthProfiles []synth.Profile `json:"synthProfiles,omitempty"`
 	// TraceParent, when non-empty, is the W3C traceparent of the
 	// coordinator's scatter span: the worker parents its unit span
 	// there so cross-node spans share the job's TraceID.

@@ -20,6 +20,7 @@ import (
 	"specctrl/internal/pipeline"
 	"specctrl/internal/replay"
 	"specctrl/internal/runner"
+	"specctrl/internal/synth"
 )
 
 // WorkerConfig configures a Worker.
@@ -325,6 +326,16 @@ func (w *Worker) runUnit(ctx context.Context, u *Unit, parent span.Context) erro
 	}
 	p.BaseSeed = u.BaseSeed
 	p.Replay = u.Replay
+	p.SynthN = u.SynthN
+	p.SynthWorkloads = u.SynthWorkloads
+	// Re-register shipped profile vectors so the names in
+	// SynthWorkloads resolve locally (idempotent; trace-backed names
+	// need the worker to have ingested the same -ingest-trace files).
+	for _, prof := range u.SynthProfiles {
+		if _, err := synth.Register(prof); err != nil {
+			return fmt.Errorf("cluster: unit %s: synth profile: %w", u.ID, err)
+		}
+	}
 	p.Jobs = w.cfg.Jobs
 	p.Ctx = ctx
 	p.Shard = sh

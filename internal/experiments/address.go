@@ -177,7 +177,10 @@ type traceIdentity struct {
 
 // unitAddressVersion versions unitIdentity the way cellAddressVersion
 // versions cellIdentity.
-const unitAddressVersion = 1
+//
+// v2: unitIdentity gained SynthN and SynthWorkloads (the sweepspace
+// experiment's grid enumeration depends on both).
+const unitAddressVersion = 2
 
 // unitIdentity is the canonical identity of one cluster work unit: a
 // shard of one experiment's grid under one parameter set. It reuses
@@ -192,6 +195,14 @@ type unitIdentity struct {
 	ShardCount     int    `json:"shardCount"`
 	Replay         string `json:"replay"`
 	BaseSeed       uint64 `json:"baseSeed"`
+
+	// SynthN and SynthWorkloads shape the sweepspace grid the way
+	// Replay shapes every replay-backed grid: they change which cells
+	// the experiment enumerates, so the same shard under different
+	// synth parameters is different work. SynthWorkloads is non-nil so
+	// the canonical encoding is stable ([] vs null).
+	SynthN         int      `json:"synthN"`
+	SynthWorkloads []string `json:"synthWorkloads"`
 
 	MaxCommitted    uint64           `json:"maxCommitted"`
 	BuildIters      int              `json:"buildIters"`
@@ -215,6 +226,10 @@ func (p Params) UnitAddress(experiment string, sh runner.Shard) string {
 	if seed == 0 {
 		seed = runner.DefaultBaseSeed
 	}
+	synthWs := p.SynthWorkloads
+	if synthWs == nil {
+		synthWs = []string{}
+	}
 	id := unitIdentity{
 		AddressVersion:  unitAddressVersion,
 		Experiment:      experiment,
@@ -222,6 +237,8 @@ func (p Params) UnitAddress(experiment string, sh runner.Shard) string {
 		ShardCount:      sh.Count,
 		Replay:          p.Replay,
 		BaseSeed:        seed,
+		SynthN:          p.SynthN,
+		SynthWorkloads:  synthWs,
 		MaxCommitted:    p.MaxCommitted,
 		BuildIters:      p.BuildIters,
 		GshareBits:      p.GshareBits,

@@ -137,6 +137,18 @@ type Params struct {
 	// cache to bound memory and publish hit/eviction counters.
 	TraceCache *replay.Cache
 
+	// SynthN is how many latin-hypercube profiles the sweepspace
+	// experiment generates (zero selects DefaultSynthN). Like BaseSeed
+	// it is part of a cluster unit's identity: it changes which cells a
+	// sweepspace grid enumerates.
+	SynthN int
+	// SynthWorkloads names extra dynamically registered workloads
+	// (synth profiles from -synth-profile, ingested traces from
+	// -ingest-trace) the sweepspace experiment appends to its generated
+	// set. Names must already be registered in internal/workload when
+	// the experiment runs. Also part of a cluster unit's identity.
+	SynthWorkloads []string
+
 	// Tracer, when non-nil, records spans for every grid cell (queue
 	// wait, run, record/replay/cache phases) and the grid's assembly.
 	// Nil disables tracing at the cost of one nil-check per cell.

@@ -236,19 +236,33 @@ func predictorByName(name string) (PredictorSpec, error) {
 	return PredictorSpec{}, fmt.Errorf("experiments: unknown predictor %q", name)
 }
 
-// suiteSpecs returns one spec per suite benchmark, in suite order.
-func suiteSpecs(experiment string, spec PredictorSpec, variant string) []runner.Spec {
+// suiteNames returns the suite benchmarks' names in suite order.
+func suiteNames() []string {
 	ws := suite()
-	specs := make([]runner.Spec, len(ws))
+	names := make([]string, len(ws))
 	for i, w := range ws {
+		names[i] = w.Name
+	}
+	return names
+}
+
+// namedSpecs returns one spec per named workload, in the given order.
+func namedSpecs(experiment string, names []string, spec PredictorSpec, variant string) []runner.Spec {
+	specs := make([]runner.Spec, len(names))
+	for i, name := range names {
 		specs[i] = runner.Spec{
 			Experiment: experiment,
-			Workload:   w.Name,
+			Workload:   name,
 			Predictor:  spec.Name,
 			Variant:    variant,
 		}
 	}
 	return specs
+}
+
+// suiteSpecs returns one spec per suite benchmark, in suite order.
+func suiteSpecs(experiment string, spec PredictorSpec, variant string) []runner.Spec {
+	return namedSpecs(experiment, suiteNames(), spec, variant)
 }
 
 // suiteStats runs the most common grid shape — one simulation per suite
@@ -265,10 +279,20 @@ func suiteSpecs(experiment string, spec PredictorSpec, variant string) []runner.
 // cells. The returned statistics are identical either way.
 func (p Params) suiteStats(experiment string, spec PredictorSpec, variant string, nEsts int,
 	ests func(p Params, w workload.Workload) ([]conf.Estimator, error)) ([]*pipeline.Stats, error) {
+	return p.namedStats(experiment, suiteNames(), spec, variant, nEsts, ests)
+}
+
+// namedStats is suiteStats over an arbitrary ordered workload-name list
+// (the sweepspace experiment's grid shape: generated and ingested
+// workloads are registered dynamically, so the suite cannot enumerate
+// them). Statistics come back in name order, and the replay-backed path
+// applies exactly as for the suite.
+func (p Params) namedStats(experiment string, names []string, spec PredictorSpec, variant string, nEsts int,
+	ests func(p Params, w workload.Workload) ([]conf.Estimator, error)) ([]*pipeline.Stats, error) {
 	if p.replayActive() {
-		return p.suiteStatsReplay(experiment, spec, variant, nEsts, ests)
+		return p.namedStatsReplay(experiment, names, spec, variant, nEsts, ests)
 	}
-	cells, err := p.runGrid(suiteSpecs(experiment, spec, variant),
+	cells, err := p.runGrid(namedSpecs(experiment, names, spec, variant),
 		func(_ context.Context, p Params, sp runner.Spec) (CellResult, error) {
 			w, err := workload.ByName(sp.Workload)
 			if err != nil {

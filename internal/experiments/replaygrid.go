@@ -211,31 +211,30 @@ type estsMemo struct {
 	err  error
 }
 
-// suiteStatsReplay is suiteStats' replay-backed grid: per suite
+// namedStatsReplay is namedStats' replay-backed grid: per named
 // workload, one "#record" cell that records (or cache-hits) the trace,
 // plus one "#replayLO-HI" cell per estimator batch. The batch bounds
 // are part of the cell key, so cached cells can never alias across a
 // change of replayBatch. Assembly splices the batches' Confidence
-// slices back into suite order, making the result indistinguishable
+// slices back into name order, making the result indistinguishable
 // from the direct path's.
-func (p Params) suiteStatsReplay(experiment string, spec PredictorSpec, variant string, nEsts int,
+func (p Params) namedStatsReplay(experiment string, names []string, spec PredictorSpec, variant string, nEsts int,
 	estsFn func(p Params, w workload.Workload) ([]conf.Estimator, error)) ([]*pipeline.Stats, error) {
-	ws := suite()
 	nBatches := (nEsts + replayBatch - 1) / replayBatch
 	block := 1 + nBatches
-	specs := make([]runner.Spec, 0, len(ws)*block)
-	memos := make(map[string]*estsMemo, len(ws))
-	for _, w := range ws {
-		memos[w.Name] = &estsMemo{}
+	specs := make([]runner.Spec, 0, len(names)*block)
+	memos := make(map[string]*estsMemo, len(names))
+	for _, name := range names {
+		memos[name] = &estsMemo{}
 		specs = append(specs, runner.Spec{
-			Experiment: experiment, Workload: w.Name, Predictor: spec.Name,
+			Experiment: experiment, Workload: name, Predictor: spec.Name,
 			Variant: variant + "#record",
 		})
 		for b := 0; b < nBatches; b++ {
 			lo := b * replayBatch
 			hi := min(lo+replayBatch, nEsts)
 			specs = append(specs, runner.Spec{
-				Experiment: experiment, Workload: w.Name, Predictor: spec.Name,
+				Experiment: experiment, Workload: name, Predictor: spec.Name,
 				Variant: fmt.Sprintf("%s#replay%d-%d", variant, lo, hi),
 			})
 		}
@@ -280,8 +279,8 @@ func (p Params) suiteStatsReplay(experiment string, spec PredictorSpec, variant 
 		return nil, err
 	}
 
-	stats := make([]*pipeline.Stats, len(ws))
-	for i := range ws {
+	stats := make([]*pipeline.Stats, len(names))
+	for i := range names {
 		confs := make([]pipeline.ConfStats, 0, nEsts)
 		for b := 0; b < nBatches; b++ {
 			confs = append(confs, cells[i*block+1+b].Stats.Confidence...)

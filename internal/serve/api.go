@@ -9,6 +9,7 @@ import (
 
 	"specctrl/internal/experiments"
 	"specctrl/internal/obs/span"
+	"specctrl/internal/synth"
 )
 
 // APIVersion is the job API's JSON schema version: every request and
@@ -28,6 +29,14 @@ type SubmitRequest struct {
 	Committed uint64 `json:"committed,omitempty"`
 	// BaseSeed overrides the grid base seed (0 = default).
 	BaseSeed uint64 `json:"baseSeed,omitempty"`
+	// SynthN overrides the sweepspace experiment's generated profile
+	// count (0 = default).
+	SynthN int `json:"synthN,omitempty"`
+	// SynthProfiles are generator vectors the server registers before
+	// running the job; their workloads join the sweepspace sweep. Full
+	// vectors travel in the request because content-addressed names
+	// alone are not reconstructible server-side.
+	SynthProfiles []synth.Profile `json:"synthProfiles,omitempty"`
 }
 
 // SubmitResponse is the 202 body of POST /v1/jobs.
@@ -167,6 +176,19 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	for _, name := range req.Experiments {
 		if _, ok := experiments.Lookup(name); !ok {
 			writeError(w, http.StatusBadRequest, "unknown experiment %q", name)
+			return
+		}
+	}
+	if req.SynthN < 0 {
+		writeError(w, http.StatusBadRequest, "negative synthN %d", req.SynthN)
+		return
+	}
+	// Register submitted profiles up front: an invalid vector fails the
+	// submission (400), not the job, and registration is idempotent so
+	// repeat submissions are free.
+	for i, prof := range req.SynthProfiles {
+		if _, err := synth.Register(prof); err != nil {
+			writeError(w, http.StatusBadRequest, "synth profile %d: %v", i, err)
 			return
 		}
 	}

@@ -247,6 +247,19 @@ func (s *Server) jobParams(req SubmitRequest) experiments.Params {
 	if req.BaseSeed != 0 {
 		p.BaseSeed = req.BaseSeed
 	}
+	if req.SynthN > 0 {
+		p.SynthN = req.SynthN
+	}
+	// Profiles were registered at submission; hand the sweep their
+	// content-addressed names on top of any server-level extras. Copy
+	// before appending: the base Params slice is shared across jobs.
+	if len(req.SynthProfiles) > 0 {
+		ws := append([]string{}, p.SynthWorkloads...)
+		for _, prof := range req.SynthProfiles {
+			ws = append(ws, prof.WorkloadName())
+		}
+		p.SynthWorkloads = ws
+	}
 	p.Jobs = s.cfg.Jobs
 	return p
 }

@@ -1,0 +1,14 @@
+package synth
+
+import "testing"
+
+// BenchmarkSynthBuild times generating the largest paper-fit program
+// (96 sites with global, hard, and biased classes) — the cost paid once
+// per (workload, iters) by the experiment layer's program cache.
+func BenchmarkSynthBuild(b *testing.B) {
+	p := PaperTargets()[1].Profile // gcc stand-in: 96 sites
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		MustBuild(p, 1<<30)
+	}
+}

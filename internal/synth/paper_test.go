@@ -1,0 +1,45 @@
+package synth
+
+import (
+	"testing"
+
+	"specctrl/internal/workload"
+)
+
+// TestPaperFit is the calibration contract: for every paper benchmark,
+// both the real workload and its checked-in generated profile measure
+// inside the same Table 1 band. A failure on the real side means the
+// benchmark programs drifted; on the generated side, the generator did.
+func TestPaperFit(t *testing.T) {
+	if testing.Short() {
+		t.Skip("calibration measurement is long")
+	}
+	targets := PaperTargets()
+	if len(targets) != 8 {
+		t.Fatalf("PaperTargets has %d entries, want 8", len(targets))
+	}
+	for _, tgt := range targets {
+		tgt := tgt
+		t.Run(tgt.Workload, func(t *testing.T) {
+			t.Parallel()
+			w, err := workload.ByName(tgt.Workload)
+			if err != nil {
+				t.Fatalf("workload %q: %v", tgt.Workload, err)
+			}
+			real, err := Measure(w.Build(1<<30), PaperMeasureCommitted)
+			if err != nil {
+				t.Fatalf("measure real: %v", err)
+			}
+			if !tgt.Band.Contains(real) {
+				t.Errorf("real workload out of band:\n  got  %s\n  want %s", real, tgt.Band)
+			}
+			gen, err := Measure(MustBuild(tgt.Profile, 1<<30), PaperMeasureCommitted)
+			if err != nil {
+				t.Fatalf("measure generated: %v", err)
+			}
+			if !tgt.Band.Contains(gen) {
+				t.Errorf("generated profile out of band:\n  got  %s\n  want %s", gen, tgt.Band)
+			}
+		})
+	}
+}

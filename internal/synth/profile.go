@@ -1,0 +1,169 @@
+package synth
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+
+	"specctrl/internal/workload"
+)
+
+// Profile is the characterization vector the generator realizes. The
+// axes follow the workload-characterization literature: how often the
+// program branches, how its branch biases are distributed, how much of
+// its predictability lives in global vs. per-branch history, how large
+// its hard-to-predict tail is, and whether mispredictions cluster in
+// bursts or spread uniformly. Equal Profiles generate byte-identical
+// programs; the canonical JSON encoding of the struct is hashed into
+// the workload name, so a Profile is content-addressed end to end.
+type Profile struct {
+	// Seed drives every data table and per-site parameter draw.
+	Seed uint64 `json:"seed"`
+	// Sites is the number of conditional branch sites in the loop body
+	// (1..256). The loop-closing branch is emitted on top.
+	Sites int `json:"sites"`
+	// Density is the target committed conditional-branch density
+	// (branches / committed instructions), in (0, 0.40]. The generator
+	// pads the loop body with filler to land on it and errors if the
+	// site mix cannot reach it.
+	Density float64 `json:"density"`
+	// Taken is the probability a biased site leans taken, in
+	// [0.01, 0.99] — effectively the biased population's taken rate
+	// (real bias distributions are bimodal: most branches are almost
+	// always or almost never taken).
+	Taken float64 `json:"taken"`
+	// Spread scales how far biased sites stray from their deterministic
+	// extreme, in [0, 2]: each site's taken probability is 1-d (taken-
+	// leaning) or d (not-taken-leaning) with d uniform in
+	// [0, Spread/2], clamped to [0.01, 0.99]. Sites landing above 0.97
+	// (below 0.03) become deterministic always-taken (never-taken)
+	// branches: near-zero misprediction, one or two instructions, the
+	// predictable bulk real integer code is made of. Spread therefore
+	// dials the residual data-dependent randomness — and with it the
+	// biased population's misprediction rate — while Taken sets the
+	// direction mix.
+	Spread float64 `json:"spread"`
+	// H2P is the fraction of sites that are pure coin flips
+	// (hard-to-predict), in [0, 1].
+	H2P float64 `json:"h2p"`
+	// GlobalFrac is the fraction of sites correlated through global
+	// history, in [0, 1]: one producer site flips a pseudo-random coin
+	// and the consumers replay it from GlobalDepth branches back.
+	GlobalFrac float64 `json:"global_frac"`
+	// GlobalDepth is the history distance consumers read, 1..16.
+	// Consumers whose distance exceeds the predictor's history length
+	// (or reaches past the global block into the rest of the loop body)
+	// degrade into hard branches — the depth-vs-capacity cliff.
+	// Required nonzero when GlobalFrac > 0, else 0.
+	GlobalDepth int `json:"global_depth"`
+	// LocalFrac is the fraction of sites with periodic per-site
+	// patterns, in [0, 1].
+	LocalFrac float64 `json:"local_frac"`
+	// LocalPeriod is the period of those patterns (taken except once
+	// per period): a power of two in 2..256. Required nonzero when
+	// LocalFrac > 0, else 0.
+	LocalPeriod int `json:"local_period"`
+	// ClusterEvery spaces the hard-site burst windows: every
+	// ClusterEvery loop iterations (a power of two in 2..1048576), the
+	// hard sites flip coins for ClusterBurst iterations and are forced
+	// taken (fully predictable) the rest of the window, clustering the
+	// mispredictions. 0 means no clustering: hard sites flip coins on
+	// every iteration.
+	ClusterEvery int `json:"cluster_every"`
+	// ClusterBurst is the burst width in iterations, 1..ClusterEvery.
+	// Required 0 when ClusterEvery is 0.
+	ClusterBurst int `json:"cluster_burst"`
+}
+
+// powerOfTwo reports whether v is a positive power of two.
+func powerOfTwo(v int) bool { return v > 0 && v&(v-1) == 0 }
+
+// Validate checks every field range and cross-field constraint.
+func (p Profile) Validate() error {
+	if p.Sites < 1 || p.Sites > 256 {
+		return fmt.Errorf("synth: profile sites %d out of range [1,256]", p.Sites)
+	}
+	if !(p.Density > 0 && p.Density <= 0.40) {
+		return fmt.Errorf("synth: profile density %g out of range (0,0.40]", p.Density)
+	}
+	if p.Taken < 0.01 || p.Taken > 0.99 {
+		return fmt.Errorf("synth: profile taken %g out of range [0.01,0.99]", p.Taken)
+	}
+	if p.Spread < 0 || p.Spread > 2 {
+		return fmt.Errorf("synth: profile spread %g out of range [0,2]", p.Spread)
+	}
+	for _, f := range []struct {
+		name string
+		v    float64
+	}{{"h2p", p.H2P}, {"global_frac", p.GlobalFrac}, {"local_frac", p.LocalFrac}} {
+		if f.v < 0 || f.v > 1 {
+			return fmt.Errorf("synth: profile %s %g out of range [0,1]", f.name, f.v)
+		}
+	}
+	if s := p.H2P + p.GlobalFrac + p.LocalFrac; s > 1+1e-9 {
+		return fmt.Errorf("synth: profile class fractions sum to %g > 1", s)
+	}
+	if p.GlobalFrac > 0 {
+		if p.GlobalDepth < 1 || p.GlobalDepth > 16 {
+			return fmt.Errorf("synth: profile global_depth %d out of range [1,16]", p.GlobalDepth)
+		}
+	} else if p.GlobalDepth != 0 {
+		return fmt.Errorf("synth: profile global_depth %d set with global_frac 0", p.GlobalDepth)
+	}
+	if p.LocalFrac > 0 {
+		if !powerOfTwo(p.LocalPeriod) || p.LocalPeriod < 2 || p.LocalPeriod > 256 {
+			return fmt.Errorf("synth: profile local_period %d must be a power of two in [2,256]", p.LocalPeriod)
+		}
+	} else if p.LocalPeriod != 0 {
+		return fmt.Errorf("synth: profile local_period %d set with local_frac 0", p.LocalPeriod)
+	}
+	if p.ClusterEvery != 0 {
+		if !powerOfTwo(p.ClusterEvery) || p.ClusterEvery < 2 || p.ClusterEvery > 1<<20 {
+			return fmt.Errorf("synth: profile cluster_every %d must be a power of two in [2,1048576]", p.ClusterEvery)
+		}
+		if p.ClusterBurst < 1 || p.ClusterBurst > p.ClusterEvery {
+			return fmt.Errorf("synth: profile cluster_burst %d out of range [1,%d]", p.ClusterBurst, p.ClusterEvery)
+		}
+	} else if p.ClusterBurst != 0 {
+		return fmt.Errorf("synth: profile cluster_burst %d set with cluster_every 0", p.ClusterBurst)
+	}
+	return nil
+}
+
+// Hash returns the profile's content hash: sha256 over the canonical
+// JSON encoding (the struct's field order, emitted by encoding/json).
+func (p Profile) Hash() string {
+	data, err := json.Marshal(p)
+	if err != nil {
+		// Profile is a struct of integers and floats; Marshal cannot fail.
+		panic("synth: marshal profile: " + err.Error())
+	}
+	sum := sha256.Sum256(data)
+	return hex.EncodeToString(sum[:])
+}
+
+// WorkloadName returns the content-addressed registry name,
+// "synth:" + the first 12 hex digits of Hash. The prefix keeps
+// generated workloads in their own namespace (workload.SynthPrefix);
+// the hash makes equal vectors collide on purpose — registering the
+// same profile twice is idempotent by construction.
+func (p Profile) WorkloadName() string {
+	return workload.SynthPrefix + p.Hash()[:12]
+}
+
+// ParseProfile decodes a profile from its JSON encoding (e.g. a
+// -synth-profile file), rejecting unknown fields and invalid vectors.
+func ParseProfile(data []byte) (Profile, error) {
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	var p Profile
+	if err := dec.Decode(&p); err != nil {
+		return Profile{}, fmt.Errorf("synth: parse profile: %w", err)
+	}
+	if err := p.Validate(); err != nil {
+		return Profile{}, err
+	}
+	return p, nil
+}

@@ -1,0 +1,96 @@
+package synth
+
+import (
+	"strings"
+	"testing"
+)
+
+// validProfile is a baseline vector exercising every class.
+func validProfile() Profile {
+	return Profile{
+		Seed: 42, Sites: 64, Density: 0.15, Taken: 0.6, Spread: 0.3,
+		H2P: 0.2, GlobalFrac: 0.2, GlobalDepth: 4,
+		LocalFrac: 0.2, LocalPeriod: 8,
+		ClusterEvery: 64, ClusterBurst: 8,
+	}
+}
+
+func TestProfileValidate(t *testing.T) {
+	cases := []struct {
+		name string
+		mut  func(*Profile)
+		want string // substring of the error, "" for valid
+	}{
+		{"baseline", func(p *Profile) {}, ""},
+		{"minimal", func(p *Profile) {
+			*p = Profile{Sites: 1, Density: 0.01, Taken: 0.5}
+		}, ""},
+		{"sites zero", func(p *Profile) { p.Sites = 0 }, "sites"},
+		{"sites over", func(p *Profile) { p.Sites = 257 }, "sites"},
+		{"density zero", func(p *Profile) { p.Density = 0 }, "density"},
+		{"density over", func(p *Profile) { p.Density = 0.41 }, "density"},
+		{"taken low", func(p *Profile) { p.Taken = 0.005 }, "taken"},
+		{"taken high", func(p *Profile) { p.Taken = 1 }, "taken"},
+		{"spread negative", func(p *Profile) { p.Spread = -0.1 }, "spread"},
+		{"spread over", func(p *Profile) { p.Spread = 2.1 }, "spread"},
+		{"h2p negative", func(p *Profile) { p.H2P = -0.1 }, "h2p"},
+		{"fractions sum", func(p *Profile) { p.H2P, p.GlobalFrac, p.LocalFrac = 0.5, 0.4, 0.3 }, "sum"},
+		{"depth without global", func(p *Profile) { p.GlobalFrac = 0 }, "global_depth"},
+		{"depth zero with global", func(p *Profile) { p.GlobalDepth = 0 }, "global_depth"},
+		{"depth over", func(p *Profile) { p.GlobalDepth = 17 }, "global_depth"},
+		{"period not pow2", func(p *Profile) { p.LocalPeriod = 6 }, "local_period"},
+		{"period without local", func(p *Profile) { p.LocalFrac = 0 }, "local_period"},
+		{"cluster not pow2", func(p *Profile) { p.ClusterEvery = 48 }, "cluster_every"},
+		{"burst over every", func(p *Profile) { p.ClusterBurst = 65 }, "cluster_burst"},
+		{"burst without every", func(p *Profile) { p.ClusterEvery = 0 }, "cluster_burst"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			p := validProfile()
+			c.mut(&p)
+			err := p.Validate()
+			if c.want == "" {
+				if err != nil {
+					t.Fatalf("Validate() = %v, want nil", err)
+				}
+				return
+			}
+			if err == nil || !strings.Contains(err.Error(), c.want) {
+				t.Fatalf("Validate() = %v, want error containing %q", err, c.want)
+			}
+		})
+	}
+}
+
+func TestParseProfile(t *testing.T) {
+	p, err := ParseProfile([]byte(`{"seed": 7, "sites": 32, "density": 0.1, "taken": 0.8}`))
+	if err != nil {
+		t.Fatalf("ParseProfile: %v", err)
+	}
+	if p.Seed != 7 || p.Sites != 32 {
+		t.Fatalf("ParseProfile = %+v", p)
+	}
+	if _, err := ParseProfile([]byte(`{"sites": 32, "density": 0.1, "taken": 0.8, "bogus": 1}`)); err == nil {
+		t.Fatal("ParseProfile accepted an unknown field")
+	}
+	if _, err := ParseProfile([]byte(`{"sites": 0, "density": 0.1, "taken": 0.8}`)); err == nil {
+		t.Fatal("ParseProfile accepted an invalid vector")
+	}
+	if _, err := ParseProfile([]byte(`not json`)); err == nil {
+		t.Fatal("ParseProfile accepted malformed JSON")
+	}
+}
+
+func TestWorkloadNameContentAddressed(t *testing.T) {
+	a, b := validProfile(), validProfile()
+	if a.WorkloadName() != b.WorkloadName() {
+		t.Fatal("equal profiles hash to different names")
+	}
+	b.Seed++
+	if a.WorkloadName() == b.WorkloadName() {
+		t.Fatal("different profiles hash to the same name")
+	}
+	if !strings.HasPrefix(a.WorkloadName(), "synth:") {
+		t.Fatalf("WorkloadName %q lacks the synth: namespace", a.WorkloadName())
+	}
+}

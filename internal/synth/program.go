@@ -1,0 +1,296 @@
+package synth
+
+import (
+	"fmt"
+
+	"specctrl/internal/isa"
+	"specctrl/internal/rng"
+)
+
+// Data-image layout of generated programs. Addresses are words.
+const (
+	// biasTableAddr holds biasTableLen uniform 60-bit words; biased and
+	// hard sites index it with per-pack odd strides and read disjoint
+	// 15-bit windows, so every site sees an independent pseudo-random
+	// stream with a period far beyond any predictor's reach.
+	biasTableAddr = 0x1000
+	biasTableLen  = 4096
+	// stateAddr holds one counter word per local site (indexed by
+	// absolute site number), pre-phased in the data image.
+	stateAddr = 0x4000
+
+	// histMask bounds the software global-history register; 16 bits
+	// covers the maximum GlobalDepth.
+	histMask = 0xFFFF
+	// packSize is how many bias/hard sites share one table-index
+	// computation (they load adjacent table quarters).
+	packSize = 4
+	// windowShift/windowMask select the 15-bit comparison window at the
+	// top of a table word, mask-free (the word is < 1<<60).
+	windowShift = 45
+	windowMask  = 1<<15 - 1
+)
+
+// siteClass enumerates the generator's branch-site behaviors.
+type siteClass int
+
+const (
+	classProducer siteClass = iota // fresh pseudo-random coin, feeds history
+	classConsumer                  // copies history bit from GlobalDepth back
+	classLocal                     // periodic per-site pattern
+	classHard                      // coin flip (burst-gated when clustering)
+	classBiased                    // threshold compare against table window
+	classAlways                    // constant taken, 1 instruction
+	classNever                     // constant not-taken
+)
+
+// site is one planned branch site.
+type site struct {
+	class  siteClass
+	prob   float64 // taken probability (analytic, for padding math)
+	thresh int32   // classBiased/classHard: window threshold
+	inv    int32   // classConsumer: outcome inversion bit
+}
+
+// plan converts a Profile into the per-site layout: global block first
+// (producer then consumers, contiguous so consumer history distances
+// are exact), then local, hard, and biased sites. Biased draws whose
+// clamped probability is extreme degrade to constant branches.
+func plan(p Profile) []site {
+	g := rng.New(p.Seed ^ 0x5e_b1a5_ed)
+	frac := func(f float64) int { return int(f*float64(p.Sites) + 0.5) }
+	nG, nL, nH := frac(p.GlobalFrac), frac(p.LocalFrac), frac(p.H2P)
+	if nG > p.Sites {
+		nG = p.Sites
+	}
+	if nG+nL > p.Sites {
+		nL = p.Sites - nG
+	}
+	if nG+nL+nH > p.Sites {
+		nH = p.Sites - nG - nL
+	}
+	nB := p.Sites - nG - nL - nH
+
+	hardProb := 0.5
+	if p.ClusterEvery > 0 {
+		burst := float64(p.ClusterBurst) / float64(p.ClusterEvery)
+		hardProb = burst*0.5 + (1 - burst) // forced taken outside bursts
+	}
+
+	sites := make([]site, 0, p.Sites)
+	for i := 0; i < nG; i++ {
+		if i == 0 {
+			sites = append(sites, site{class: classProducer, prob: 0.5})
+			continue
+		}
+		sites = append(sites, site{class: classConsumer, prob: 0.5, inv: int32(i & 1)})
+	}
+	for i := 0; i < nL; i++ {
+		sites = append(sites, site{class: classLocal,
+			prob: float64(p.LocalPeriod-1) / float64(p.LocalPeriod)})
+	}
+	for i := 0; i < nH; i++ {
+		sites = append(sites, site{class: classHard, prob: hardProb,
+			thresh: windowMask/2 + 1})
+	}
+	for i := 0; i < nB; i++ {
+		// Bimodal bias draw: a site leans taken with probability Taken,
+		// and strays from its deterministic extreme by a uniform offset
+		// scaled by Spread (see Profile.Spread).
+		offset := p.Spread / 2 * g.Float64()
+		prob := offset
+		if g.Float64() < p.Taken {
+			prob = 1 - offset
+		}
+		if prob < 0.01 {
+			prob = 0.01
+		}
+		if prob > 0.99 {
+			prob = 0.99
+		}
+		switch {
+		case prob >= 0.97:
+			sites = append(sites, site{class: classAlways, prob: 1})
+		case prob <= 0.03:
+			sites = append(sites, site{class: classNever, prob: 0})
+		default:
+			sites = append(sites, site{class: classBiased, prob: prob,
+				thresh: int32(prob * float64(windowMask+1))})
+		}
+	}
+	return sites
+}
+
+// Build generates the profile's program with the given outer-loop trip
+// count (workload.Workload.Build semantics: iters only sets the loop
+// limit; code and data size are O(Sites)). It returns an error when the
+// profile is invalid or the target Density exceeds what the site mix
+// can reach.
+func Build(p Profile, iters int) (*isa.Program, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	if iters < 1 {
+		return nil, fmt.Errorf("synth: build: iters %d < 1", iters)
+	}
+	sites := plan(p)
+
+	b := isa.NewBuilder(p.WorkloadName())
+	const (
+		rIter  = isa.Reg(1)  // loop iteration counter
+		rLim   = isa.Reg(2)  // iteration limit
+		rHist  = isa.Reg(3)  // software global-history register
+		rBurst = isa.Reg(4)  // 1 inside a hard-site burst window
+		rV     = isa.Reg(5)  // site outcome
+		rT     = isa.Reg(6)  // scratch
+		rW     = isa.Reg(7)  // loaded table word
+		rA     = isa.Reg(8)  // table address
+		rTable = isa.Reg(9)  // bias-table base
+		rState = isa.Reg(10) // local-state base
+		rOne   = isa.Reg(11) // constant 1
+		rNB    = isa.Reg(12) // 1 - rBurst (OR-mask forcing hard sites taken)
+		rPad   = isa.Reg(13) // filler accumulator
+	)
+
+	// Data image: the shared pseudo-random table and local-site phases.
+	g := rng.New(p.Seed ^ 0xda7a_b1e5)
+	for i := int64(0); i < biasTableLen; i++ {
+		b.Word(biasTableAddr+i, int64(g.Uint64()>>4))
+	}
+	for idx, s := range sites {
+		if s.class == classLocal {
+			b.Word(stateAddr+int64(idx), int64((idx*7)&(p.LocalPeriod-1)))
+		}
+	}
+
+	b.Li(rTable, biasTableAddr)
+	b.Li(rState, stateAddr)
+	b.Li(rOne, 1)
+	b.Lui(rLim, int32(iters>>16)).Ori(rLim, rLim, int32(iters&0xFFFF))
+	if p.ClusterEvery == 0 {
+		// No clustering: hard sites flip coins every iteration.
+		b.Li(rBurst, 1)
+		b.Li(rNB, 0)
+	}
+
+	b.Label("loop")
+	// expect accumulates the expected committed instructions per
+	// iteration (branch fallthrough filler commits with prob 1-p).
+	expect := 0.0
+	if p.ClusterEvery > 0 {
+		b.Andi(rT, rIter, int32(p.ClusterEvery-1))
+		b.Slti(rBurst, rT, int32(p.ClusterBurst))
+		b.Xori(rNB, rBurst, 1)
+		expect += 3
+	}
+
+	// emitSite wraps one site body: after the caller computes rV, emit
+	// the branch plus its 1-instruction fallthrough filler.
+	emitSite := func(idx int, s site, body func()) {
+		pc0 := b.PC()
+		body()
+		skip := fmt.Sprintf("s%d", idx)
+		b.Bne(rV, isa.Zero, skip)
+		b.Addi(rPad, rPad, 1)
+		b.Label(skip)
+		expect += float64(b.PC()-pc0-1) + (1 - s.prob)
+	}
+
+	packIdx := 0 // position within the current bias/hard pack
+	for idx, s := range sites {
+		switch s.class {
+		case classProducer:
+			emitSite(idx, s, func() {
+				// Coin from a multiplicative hash of the iteration count.
+				b.Muli(rT, rIter, 0x5bd1e995)
+				b.Shri(rT, rT, 16)
+				b.Andi(rV, rT, 1)
+				b.Shli(rHist, rHist, 1)
+				b.Add(rHist, rHist, rV)
+				b.Andi(rHist, rHist, histMask)
+			})
+		case classConsumer:
+			s := s
+			emitSite(idx, s, func() {
+				b.Shri(rT, rHist, int32(p.GlobalDepth-1))
+				b.Andi(rT, rT, 1)
+				b.Xori(rV, rT, s.inv)
+				b.Shli(rHist, rHist, 1)
+				b.Add(rHist, rHist, rV)
+				b.Andi(rHist, rHist, histMask)
+			})
+		case classLocal:
+			off := int32(idx)
+			emitSite(idx, s, func() {
+				b.Ld(rT, rState, off)
+				b.Addi(rT, rT, 1)
+				b.Andi(rT, rT, int32(p.LocalPeriod-1))
+				b.St(rT, rState, off)
+				b.Slti(rV, rT, 1)
+				b.Xori(rV, rV, 1) // taken unless the counter wrapped to 0
+			})
+		case classHard, classBiased:
+			if packIdx == 0 {
+				// New pack: one table index shared by up to packSize
+				// sites, each loading its own quarter of the table.
+				// Odd per-pack strides decorrelate the packs' walks.
+				stride := int32(2*idx+0x79B1) | 1
+				b.Muli(rT, rIter, stride)
+				b.Andi(rT, rT, biasTableLen/packSize-1)
+				b.Add(rA, rTable, rT)
+				expect += 3
+			}
+			wordOff := int32(packIdx * (biasTableLen / packSize))
+			hard := s.class == classHard
+			s := s
+			emitSite(idx, s, func() {
+				b.Ld(rW, rA, wordOff)
+				b.Shri(rT, rW, windowShift)
+				b.Slti(rV, rT, s.thresh)
+				if hard && p.ClusterEvery > 0 {
+					b.Or(rV, rV, rNB)
+				}
+			})
+			packIdx = (packIdx + 1) % packSize
+		case classAlways:
+			skip := fmt.Sprintf("s%d", idx)
+			b.Bne(rOne, isa.Zero, skip)
+			b.Addi(rPad, rPad, 1)
+			b.Label(skip)
+			expect += 1
+		case classNever:
+			skip := fmt.Sprintf("s%d", idx)
+			b.Beq(rOne, isa.Zero, skip) // 1 == 0: never taken
+			b.Addi(rPad, rPad, 1)
+			b.Label(skip)
+			expect += 2
+		}
+	}
+
+	// Padding: land the expected committed instructions per iteration on
+	// the Density target. The loop tail (Addi+Blt) always commits.
+	target := float64(len(sites)+1) / p.Density
+	padding := int(target - expect - 2 + 0.5)
+	if padding < 0 {
+		return nil, fmt.Errorf("synth: profile density %.3f infeasible: site mix needs %.1f committed instructions per iteration for %d branches (max density %.3f)",
+			p.Density, expect+2, len(sites)+1, float64(len(sites)+1)/(expect+2))
+	}
+	for i := 0; i < padding; i++ {
+		b.Addi(rPad, rPad, 1)
+	}
+	b.Addi(rIter, rIter, 1)
+	b.Blt(rIter, rLim, "loop")
+	b.Halt()
+
+	return b.Build()
+}
+
+// MustBuild is Build for callers whose profile is already validated
+// (Register's feasibility probe); it panics on error.
+func MustBuild(p Profile, iters int) *isa.Program {
+	prog, err := Build(p, iters)
+	if err != nil {
+		panic(err.Error())
+	}
+	return prog
+}

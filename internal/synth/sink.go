@@ -1,0 +1,85 @@
+package synth
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"specctrl/internal/obs"
+)
+
+// TraceSink is an obs.Tracer that records the committed conditional
+// branch stream of a simulation into an SPBT branch-trace file —
+// the producing end of the ingestion path (simtrace -record-branches
+// writes one; FromTrace turns it back into a workload). Wrong-path
+// events are dropped: the trace captures architectural outcomes, the
+// program's ground truth, independent of any pipeline configuration.
+//
+// The sink buffers in memory and encodes on Close; it is not safe for
+// concurrent use (the pipeline emits branch events from one goroutine).
+type TraceSink struct {
+	w      io.Writer
+	pcs    []int64
+	taken  []bool
+	closed bool
+}
+
+// NewTraceSink returns a sink that writes the encoded trace to w on
+// Close.
+func NewTraceSink(w io.Writer) *TraceSink {
+	return &TraceSink{w: w}
+}
+
+// Branch records one event (committed conditional branches only).
+func (s *TraceSink) Branch(e obs.BranchEvent) {
+	if e.WrongPath || s.closed {
+		return
+	}
+	s.pcs = append(s.pcs, e.PC)
+	s.taken = append(s.taken, e.Outcome)
+}
+
+// Close assigns site indices (PCs sorted ascending, the canonical
+// order), encodes the trace, and writes it. A run with more sites or
+// events than the format's bounds fails here rather than producing an
+// unloadable file.
+func (s *TraceSink) Close() error {
+	if s.closed {
+		return nil
+	}
+	s.closed = true
+	if len(s.pcs) == 0 {
+		return fmt.Errorf("synth: trace sink: no committed branch events recorded")
+	}
+	if len(s.pcs) > maxTraceEvents {
+		return fmt.Errorf("synth: trace sink: %d events exceed the format bound %d (shorten the run)",
+			len(s.pcs), maxTraceEvents)
+	}
+	uniq := map[int64]struct{}{}
+	for _, pc := range s.pcs {
+		uniq[pc] = struct{}{}
+	}
+	sites := make([]int64, 0, len(uniq))
+	for pc := range uniq {
+		sites = append(sites, pc)
+	}
+	sort.Slice(sites, func(i, j int) bool { return sites[i] < sites[j] })
+	index := make(map[int64]uint32, len(sites))
+	for i, pc := range sites {
+		index[pc] = uint32(i)
+	}
+	t := &Trace{SitePCs: sites, Events: make([]uint32, len(s.pcs))}
+	for i, pc := range s.pcs {
+		e := index[pc] << 1
+		if s.taken[i] {
+			e |= 1
+		}
+		t.Events[i] = e
+	}
+	data, err := EncodeTrace(t)
+	if err != nil {
+		return fmt.Errorf("synth: trace sink: %w", err)
+	}
+	_, err = s.w.Write(data)
+	return err
+}

@@ -1,0 +1,94 @@
+package synth
+
+import (
+	"specctrl/internal/rng"
+)
+
+// spaceDim is one latin-hypercube axis: the sampler stratifies [0,1)
+// into n bins per axis, permutes bin assignment independently per axis,
+// and maps each unit sample through the axis's range.
+type spaceDim struct{ lo, hi float64 }
+
+func (d spaceDim) at(u float64) float64 { return d.lo + u*(d.hi-d.lo) }
+
+// Space samples n profiles by latin hypercube over the characterization
+// vector, deterministically from seed: every axis is stratified, so
+// even small n covers the extremes of density, bias, correlation depth,
+// hard fraction, and clustering. Density is capped per sample at what
+// the drawn site mix can generate (probed with Build), so every
+// returned profile is feasible by construction. Same (seed, n) → same
+// profiles, which is what lets sweepspace grids cache and shard.
+func Space(seed uint64, n int) []Profile {
+	if n <= 0 {
+		return nil
+	}
+	g := rng.New(seed ^ 0x5face_0f_c0de)
+	dims := []spaceDim{
+		{16, 128},    // sites
+		{0.04, 0.30}, // density (pre-feasibility cap)
+		{0.25, 0.95}, // taken
+		{0, 0.60},    // spread
+		{0, 0.30},    // h2p fraction
+		{0, 0.40},    // global fraction
+		{2, 14.999},  // global depth
+		{0, 0.30},    // local fraction
+		{1, 6.999},   // log2 local period
+		{0, 6.999},   // clustering: stratum 0 = none, else log2(every)-4
+		{0.05, 0.5},  // burst fraction of the window
+	}
+	// One stratum permutation per axis.
+	perms := make([][]int, len(dims))
+	for d := range dims {
+		perms[d] = g.Perm(n)
+	}
+	at := func(d, j int) float64 {
+		u := (float64(perms[d][j]) + g.Float64()) / float64(n)
+		return dims[d].at(u)
+	}
+
+	out := make([]Profile, 0, n)
+	for j := 0; j < n; j++ {
+		p := Profile{
+			Seed:    g.Uint64(),
+			Sites:   int(at(0, j)),
+			Density: at(1, j),
+			Taken:   at(2, j),
+			Spread:  at(3, j),
+			H2P:     at(4, j),
+		}
+		p.GlobalFrac = at(5, j)
+		p.GlobalDepth = int(at(6, j))
+		p.LocalFrac = at(7, j)
+		p.LocalPeriod = 1 << int(at(8, j))
+		if cl := at(9, j); cl >= 1 {
+			p.ClusterEvery = 1 << (4 + int(cl-1))
+			burst := int(at(10, j)*float64(p.ClusterEvery) + 0.5)
+			if burst < 1 {
+				burst = 1
+			}
+			p.ClusterBurst = burst
+		} else {
+			_ = at(10, j) // consume the stream either way: keeps draws aligned
+		}
+		if p.GlobalFrac < 0.02 {
+			p.GlobalFrac, p.GlobalDepth = 0, 0
+		}
+		if p.LocalFrac < 0.02 {
+			p.LocalFrac, p.LocalPeriod = 0, 0
+		}
+		// Feasibility: walk density down until the site mix can pad to
+		// it. The walk is deterministic, so the sampled space is too.
+		for {
+			if _, err := Build(p, 1); err == nil {
+				break
+			}
+			p.Density *= 0.85
+			if p.Density < 0.01 {
+				p.Density = 0.01
+				break
+			}
+		}
+		out = append(out, p)
+	}
+	return out
+}

@@ -1,0 +1,86 @@
+package workload
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"specctrl/internal/isa"
+)
+
+// TestBuiltinNames pins the built-in suite: exactly the paper's eight
+// benchmarks, in Table 1 order, all registered, and none carrying the
+// dynamic-registration namespace.
+func TestBuiltinNames(t *testing.T) {
+	want := []string{"compress", "gcc", "perl", "go", "m88ksim", "xlisp", "vortex", "ijpeg"}
+	suite := Suite()
+	if len(suite) != len(want) {
+		t.Fatalf("Suite has %d workloads, want %d", len(suite), len(want))
+	}
+	for i, w := range suite {
+		if w.Name != want[i] {
+			t.Errorf("Suite[%d] = %q, want %q", i, w.Name, want[i])
+		}
+	}
+	for _, n := range Names() {
+		found := false
+		for _, b := range want {
+			if n == b {
+				found = true
+			}
+		}
+		if !found && !strings.HasPrefix(n, SynthPrefix) {
+			t.Errorf("registered name %q is neither a built-in nor in the %q namespace", n, SynthPrefix)
+		}
+	}
+}
+
+func dummyBuild(iters int) *isa.Program {
+	b := isa.NewBuilder("dummy")
+	b.Halt()
+	return b.MustBuild()
+}
+
+func TestRegisterValidation(t *testing.T) {
+	if err := Register(Workload{}); err == nil {
+		t.Error("Register accepted an empty name")
+	}
+	if err := Register(Workload{Name: SynthPrefix + "nobuild"}); err == nil {
+		t.Error("Register accepted nil Build")
+	}
+	err := Register(Workload{
+		Name:        "freeform",
+		Build:       dummyBuild,
+		BuildSeeded: func(_ uint64, iters int) *isa.Program { return dummyBuild(iters) },
+	})
+	if err == nil {
+		t.Error("Register accepted a dynamic name outside the synth: namespace")
+	}
+}
+
+func TestRegisterDuplicateTyped(t *testing.T) {
+	w := Workload{
+		Name:        SynthPrefix + "registry-test-dup",
+		Build:       dummyBuild,
+		BuildSeeded: func(_ uint64, iters int) *isa.Program { return dummyBuild(iters) },
+	}
+	if err := Register(w); err != nil {
+		t.Fatalf("first Register: %v", err)
+	}
+	err := Register(w)
+	var dup *DuplicateError
+	if !errors.As(err, &dup) {
+		t.Fatalf("second Register = %v, want *DuplicateError", err)
+	}
+	if dup.Name != w.Name {
+		t.Fatalf("DuplicateError.Name = %q, want %q", dup.Name, w.Name)
+	}
+	// A built-in name is also a duplicate, typed the same way.
+	w.Name = "gcc"
+	if err := Register(w); !errors.As(err, &dup) {
+		t.Fatalf("Register(gcc) = %v, want *DuplicateError", err)
+	}
+	if got, err := ByName(SynthPrefix + "registry-test-dup"); err != nil || got.Name != SynthPrefix+"registry-test-dup" {
+		t.Fatalf("ByName after Register: %v, %v", got, err)
+	}
+}

@@ -77,7 +77,9 @@ type suite struct {
 // runner, the per-cycle simulator loop (plain, traced, and without
 // estimators — the traced entry is the tracer-overhead budget), the
 // disabled span-tracing path (whose allocation-free baseline enforces
-// that instrumentation costs nothing when -trace-out is absent), and
+// that instrumentation costs nothing when -trace-out is absent), the
+// synth workload generator (program build cost and the sweepspace
+// panel end to end), and
 // one representative predictor and estimator micro-benchmark. The
 // remaining Predict*/Estimate* benchmarks exist for profiling; gating
 // these representatives keeps the gate under ~15 s.
@@ -88,6 +90,8 @@ type suite struct {
 var suites = []suite{
 	{".", "^BenchmarkRunnerSerial$", "3x", 3, 0.10},
 	{"./internal/experiments", "^BenchmarkSweep(Direct|Replay)$", "3x", 3, 0.10},
+	{"./internal/experiments", "^BenchmarkSweepSpace$", "3x", 3, 0.10},
+	{"./internal/synth", "^BenchmarkSynthBuild$", "1000x", 5, 0.10},
 	{"./internal/pipeline", "^BenchmarkPipelineTick(Traced|NoEstimators)?$", "8000000x", 5, 0},
 	{"./internal/obs/span", "^BenchmarkSpanOverhead$", "8000000x", 5, 0},
 	{"./internal/bpred", "^BenchmarkPredictGshare$", "20000000x", 5, 0},

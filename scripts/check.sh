@@ -30,11 +30,11 @@ go test -race -count=1 ./internal/cluster
 # Godoc contract: the serving/cluster stack is the operational surface;
 # every exported identifier there must carry a doc comment, and the
 # package comment must live in doc.go.
-go run ./scripts/doccheck internal/serve internal/runner internal/replay internal/obs/span internal/cluster
+go run ./scripts/doccheck internal/serve internal/runner internal/replay internal/obs/span internal/cluster internal/synth
 
 # RNG hygiene: experiment cells must take randomness from spec.Seed only;
 # a process-global RNG would break cross-job determinism silently.
-if grep -rn 'math/rand' internal/experiments internal/runner internal/workload internal/serve internal/cluster; then
+if grep -rn 'math/rand' internal/experiments internal/runner internal/workload internal/serve internal/cluster internal/synth; then
     echo "check.sh: process-global RNG import found (use seed-derived rng streams)" >&2
     exit 1
 fi
@@ -67,6 +67,7 @@ trap cleanup EXIT INT TERM
 
 go build -o "$SMOKE/simctrl" ./cmd/simctrl
 go build -o "$SMOKE/simserved" ./cmd/simserved
+go build -o "$SMOKE/simtrace" ./cmd/simtrace
 
 "$SMOKE/simctrl" -exp table3 -committed 60000 > "$SMOKE/local.txt"
 
@@ -85,8 +86,28 @@ cmp "$SMOKE/local.txt" "$SMOKE/traced.txt"
 go run ./scripts/tracecheck -min-events 1 -want-span 'cell:' "$SMOKE/run.trace.json"
 grep -q 'slowest' "$SMOKE/trace.log"
 
+# Synth smoke (docs/WORKLOADS.md): record an SPBT branch trace, ingest
+# it plus a profile vector, and render the sweepspace panel — replay
+# (the default) must match -replay off byte-for-byte, and both the
+# profile-backed and the trace-backed rows must appear.
+cat > "$SMOKE/profile.json" <<'EOF'
+{"seed": 7, "sites": 24, "density": 0.10, "taken": 0.7, "spread": 0.2}
+EOF
+"$SMOKE/simtrace" -w compress -record-branches "$SMOKE/compress.spbt" -committed 40000
+"$SMOKE/simctrl" -exp sweepspace -synth-n 4 -committed 40000 \
+    -ingest-trace "$SMOKE/compress.spbt" > "$SMOKE/sweep-base.txt"
+"$SMOKE/simctrl" -exp sweepspace -synth-n 4 -committed 40000 \
+    -ingest-trace "$SMOKE/compress.spbt" -synth-profile "$SMOKE/profile.json" \
+    > "$SMOKE/sweep.txt"
+"$SMOKE/simctrl" -replay off -exp sweepspace -synth-n 4 -committed 40000 \
+    -ingest-trace "$SMOKE/compress.spbt" -synth-profile "$SMOKE/profile.json" \
+    > "$SMOKE/sweep-direct.txt"
+cmp "$SMOKE/sweep.txt" "$SMOKE/sweep-direct.txt"
+grep -q 'synth:t-' "$SMOKE/sweep.txt"
+
 "$SMOKE/simserved" -addr 127.0.0.1:0 -addr-file "$SMOKE/addr" \
-    -cache-dir "$SMOKE/cache" -committed 60000 2> "$SMOKE/simserved.log" &
+    -cache-dir "$SMOKE/cache" -committed 60000 \
+    -ingest-trace "$SMOKE/compress.spbt" 2> "$SMOKE/simserved.log" &
 SERVED_PID=$!
 for _ in $(seq 1 100); do
     [ -s "$SMOKE/addr" ] && break
@@ -108,6 +129,26 @@ cmp "$SMOKE/local.txt" "$SMOKE/served2.txt"
 # for every cell (the stats line is "... N cells (C cached, S simulated)").
 grep -q '(0 cached' "$SMOKE/stats1.txt"
 grep -q ' 0 simulated)' "$SMOKE/stats2.txt"
+
+# Served synth smoke: the server ingested compress.spbt at startup, so a
+# sweepspace job renders the trace-backed row byte-identically to the
+# local run, and replay evaluation inside the job must hit the server's
+# in-memory trace cache (record once, replay per estimator config).
+"$SMOKE/simctrl" -server "$URL" -exp sweepspace -synth-n 4 -committed 40000 \
+    > "$SMOKE/ssweep1.txt" 2> "$SMOKE/sstats1.txt"
+cmp "$SMOKE/sweep-base.txt" "$SMOKE/ssweep1.txt"
+TRACE_HITS=$(curl -s "$URL/metrics" | awk '/^specctrl_trace_hits_total/ {print $2}')
+[ -n "$TRACE_HITS" ] && [ "$TRACE_HITS" -ge 1 ] || {
+    echo "check.sh: no replay trace-cache hits after a sweepspace job (got '$TRACE_HITS')" >&2
+    exit 1
+}
+# Resubmitting with an extra pinned profile simulates only the new
+# workload's cells; everything already seen is a cell-cache hit.
+"$SMOKE/simctrl" -server "$URL" -exp sweepspace -synth-n 4 -committed 40000 \
+    -synth-profile "$SMOKE/profile.json" > "$SMOKE/ssweep2.txt" 2> "$SMOKE/sstats2.txt"
+grep -q 'synth:' "$SMOKE/ssweep2.txt"
+! grep -q '(0 cached' "$SMOKE/sstats2.txt"
+! grep -q ' 0 simulated)' "$SMOKE/sstats2.txt"
 
 # Graceful drain: SIGTERM must exit 0.
 kill -TERM "$SERVED_PID"
