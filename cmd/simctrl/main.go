@@ -82,6 +82,7 @@ func main() {
 		cacheMB   = cliflags.TraceCacheMB(flag.CommandLine)
 		traceF    = cliflags.RegisterTrace(flag.CommandLine)
 		synthF    = cliflags.RegisterSynth(flag.CommandLine)
+		policyF   = cliflags.RegisterPolicy(flag.CommandLine)
 		server    = flag.String("server", "", "submit to a simserved base URL instead of simulating locally")
 	)
 	flag.Parse()
@@ -119,6 +120,13 @@ func main() {
 	if *server != "" {
 		if *shard != "" {
 			fmt.Fprintln(os.Stderr, "simctrl: -shard is a local-run option; the server shards internally")
+			os.Exit(2)
+		}
+		if *policyF.Spec != "" || *policyF.Levels != "" {
+			// Job submissions carry no pipeline configuration; the
+			// server's base policy is fixed at startup.
+			fmt.Fprintf(os.Stderr, "simctrl: -%s is a local-run option; start simserved with it instead\n",
+				cliflags.PolicyFlag)
 			os.Exit(2)
 		}
 		if *synthF.Traces != "" {
@@ -172,6 +180,12 @@ func main() {
 	}
 	p.SynthN = synthN
 	p.SynthWorkloads = synthWs
+	pol, err := policyF.Load()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "simctrl: %v\n", err)
+		os.Exit(2)
+	}
+	p.Pipeline.Policy = pol
 	if *verbose {
 		p.Progress = func(msg string) { fmt.Fprintln(os.Stderr, msg) }
 	}

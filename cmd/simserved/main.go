@@ -79,6 +79,7 @@ func run(args []string, stderr io.Writer, stop <-chan struct{}) error {
 		traceF    = cliflags.RegisterTrace(fs)
 		clusterF  = cliflags.RegisterCluster(fs)
 		synthF    = cliflags.RegisterSynth(fs)
+		policyF   = cliflags.RegisterPolicy(fs)
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -98,6 +99,11 @@ func run(args []string, stderr io.Writer, stop <-chan struct{}) error {
 	}
 
 	if *clusterF.Worker {
+		if *policyF.Spec != "" || *policyF.Levels != "" {
+			// Workers rebuild their parameters from each scattered unit,
+			// which carries the coordinator's policy spec.
+			return fmt.Errorf("-%s applies to servers and coordinators; workers receive the policy per unit", cliflags.PolicyFlag)
+		}
 		return runWorker(clusterF, *addr, *addrFile, *jobs, int64(*cacheMB)<<20, traceF, stderr, stop)
 	}
 
@@ -126,6 +132,11 @@ func run(args []string, stderr io.Writer, stop <-chan struct{}) error {
 	p.Replay = replayMode
 	p.SynthN = synthN
 	p.SynthWorkloads = synthWs
+	pol, err := policyF.Load()
+	if err != nil {
+		return err
+	}
+	p.Pipeline.Policy = pol
 	cfg.Params = p
 
 	if *clusterF.Coordinator {

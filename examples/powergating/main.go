@@ -15,6 +15,7 @@ import (
 	"specctrl/internal/gating"
 	"specctrl/internal/isa"
 	"specctrl/internal/pipeline"
+	"specctrl/internal/policy"
 	"specctrl/internal/workload"
 )
 
@@ -38,7 +39,7 @@ func main() {
 	for thr := 1; thr <= 3; thr++ {
 		res, err := gating.EvaluateSuite(
 			gating.Config{Threshold: thr, Pipeline: pcfg},
-			progs, newPred, newEst, names)
+			progs, policy.Factories{Predictor: newPred, Estimator: newEst}, names)
 		if err != nil {
 			log.Fatal(err)
 		}

@@ -15,6 +15,7 @@ import (
 	"specctrl/internal/conf"
 	"specctrl/internal/isa"
 	"specctrl/internal/pipeline"
+	"specctrl/internal/policy"
 	"specctrl/internal/smt"
 	"specctrl/internal/workload"
 )
@@ -40,14 +41,14 @@ func main() {
 	newEst := func() conf.Estimator { return conf.NewJRS(conf.DefaultJRS) }
 
 	fmt.Println("-- predictable + hostile thread mix (m88ksim, go) --")
-	c, err := smt.Compare(cfg, threads("m88ksim", "go"), newPred, newEst)
+	c, err := smt.Compare(cfg, threads("m88ksim", "go"), policy.Factories{Predictor: newPred, Estimator: newEst})
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Println(c.Render())
 
 	fmt.Println("-- four-thread mix --")
-	c4, err := smt.Compare(cfg, threads("compress", "gcc", "perl", "go"), newPred, newEst)
+	c4, err := smt.Compare(cfg, threads("compress", "gcc", "perl", "go"), policy.Factories{Predictor: newPred, Estimator: newEst})
 	if err != nil {
 		log.Fatal(err)
 	}

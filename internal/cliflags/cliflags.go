@@ -20,6 +20,8 @@ import (
 	"specctrl/internal/experiments"
 	"specctrl/internal/obs"
 	"specctrl/internal/obs/span"
+	"specctrl/internal/pipeline"
+	"specctrl/internal/policy"
 	"specctrl/internal/synth"
 )
 
@@ -46,6 +48,8 @@ const (
 	SynthProfileFlag = "synth-profile"
 	SynthNFlag       = "synth-n"
 	IngestTraceFlag  = "ingest-trace"
+	PolicyFlag       = "policy"
+	PolicyLevelsFlag = "policy-levels"
 )
 
 // Jobs registers -jobs. The default and help text are the caller's:
@@ -101,6 +105,53 @@ func ParseReplay(v string) (string, error) {
 func TraceCacheMB(fs *flag.FlagSet) *int {
 	return fs.Int(TraceCacheMBFlag, 0,
 		"replay trace cache budget in MiB (LRU by retained bytes; 0 = default 256)")
+}
+
+// PolicyFlags bundles the speculation-control policy flags shared by
+// the grid binaries: -policy installs a policy on every simulated
+// pipeline's base configuration, and -policy-levels supplies a
+// throttle's fetch-width ladder separately so specs stay readable.
+// Register with RegisterPolicy, then call Load after parsing.
+type PolicyFlags struct {
+	Spec   *string
+	Levels *string
+}
+
+// RegisterPolicy registers -policy and -policy-levels.
+func RegisterPolicy(fs *flag.FlagSet) PolicyFlags {
+	return PolicyFlags{
+		Spec: fs.String(PolicyFlag, "",
+			"speculation-control policy installed on the base pipeline: gate:<t>, throttle:<w0,w1,...>, boost:<t,p>, or throttle with -policy-levels (default: none)"),
+		Levels: fs.String(PolicyLevelsFlag, "",
+			"fetch-width ladder for -policy throttle, indexed by pending low-confidence branches, e.g. 4,2,1"),
+	}
+}
+
+// Load parses the policy flags into a pipeline.Policy (nil when no
+// policy was requested). `-policy throttle -policy-levels 4,2,1` is
+// shorthand for `-policy throttle:4,2,1`.
+func (p PolicyFlags) Load() (pipeline.Policy, error) {
+	var spec, levels string
+	if p.Spec != nil {
+		spec = strings.TrimSpace(*p.Spec)
+	}
+	if p.Levels != nil {
+		levels = strings.TrimSpace(*p.Levels)
+	}
+	if levels != "" {
+		if spec != "throttle" {
+			return nil, fmt.Errorf("-%s only applies with -%s throttle", PolicyLevelsFlag, PolicyFlag)
+		}
+		spec = "throttle:" + levels
+	}
+	if spec == "" {
+		return nil, nil
+	}
+	pol, err := policy.Parse(spec)
+	if err != nil {
+		return nil, fmt.Errorf("-%s: %w", PolicyFlag, err)
+	}
+	return pol, nil
 }
 
 // Cluster bundles the multi-node flags (docs/CLUSTER.md): simserved

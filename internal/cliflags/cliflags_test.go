@@ -30,6 +30,7 @@ func TestFlagNamesPinned(t *testing.T) {
 	RegisterTrace(fs)
 	RegisterCluster(fs)
 	RegisterSynth(fs)
+	RegisterPolicy(fs)
 
 	want := map[string]bool{
 		"jobs": true, "shard": true, "cells-out": true, "cells-in": true,
@@ -39,6 +40,7 @@ func TestFlagNamesPinned(t *testing.T) {
 		"coordinator": true, "worker": true, "join": true, "node": true,
 		"heartbeat":     true,
 		"synth-profile": true, "synth-n": true, "ingest-trace": true,
+		"policy": true, "policy-levels": true,
 	}
 	got := map[string]bool{}
 	fs.VisitAll(func(f *flag.Flag) { got[f.Name] = true })
@@ -243,5 +245,42 @@ func TestSynthLoad(t *testing.T) {
 		if _, _, err := parse(t, tc.args...).Load(); err == nil {
 			t.Errorf("%s: Load accepted %v", tc.name, tc.args)
 		}
+	}
+}
+
+func TestPolicyFlagsLoad(t *testing.T) {
+	parse := func(args ...string) (PolicyFlags, error) {
+		fs := flag.NewFlagSet("t", flag.ContinueOnError)
+		p := RegisterPolicy(fs)
+		return p, fs.Parse(args)
+	}
+	p, err := parse()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pol, err := p.Load(); err != nil || pol != nil {
+		t.Errorf("no flags: Load() = %v, %v; want nil, nil", pol, err)
+	}
+	p, _ = parse("-policy", "gate:2")
+	pol, err := p.Load()
+	if err != nil || pol == nil || pol.Name() != "gate:2" {
+		t.Errorf("gate:2: Load() = %v, %v", pol, err)
+	}
+	p, _ = parse("-policy", "throttle", "-policy-levels", "4,2,1")
+	pol, err = p.Load()
+	if err != nil || pol == nil || pol.Name() != "throttle:4,2,1" {
+		t.Errorf("throttle levels: Load() = %v, %v", pol, err)
+	}
+	p, _ = parse("-policy-levels", "4,2,1")
+	if _, err := p.Load(); err == nil {
+		t.Error("-policy-levels without -policy throttle accepted")
+	}
+	p, _ = parse("-policy", "bogus:1")
+	if _, err := p.Load(); err == nil {
+		t.Error("bogus policy spec accepted")
+	}
+	// The zero PolicyFlags (never registered) loads to nil.
+	if pol, err := (PolicyFlags{}).Load(); err != nil || pol != nil {
+		t.Errorf("zero PolicyFlags: Load() = %v, %v; want nil, nil", pol, err)
 	}
 }

@@ -8,11 +8,22 @@ import (
 	"specctrl/internal/experiments"
 	"specctrl/internal/obs"
 	"specctrl/internal/obs/span"
+	"specctrl/internal/pipeline"
 	"specctrl/internal/replay"
 	"specctrl/internal/runner"
 	"specctrl/internal/serve"
 	"specctrl/internal/synth"
 )
+
+// policySpec is the wire form of an installed policy: its canonical
+// Name() (which policy.Parse round-trips on the worker), or "" when
+// fetch runs unpolicied.
+func policySpec(p pipeline.Policy) string {
+	if p == nil {
+		return ""
+	}
+	return p.Name()
+}
 
 // Defaults for the coordinator's scheduling knobs; tests shrink the
 // intervals to keep chaos scenarios fast.
@@ -563,6 +574,7 @@ func (c *Coordinator) scatter(name string, p experiments.Params, parent span.Con
 				Replay:         p.Replay,
 				SynthN:         p.SynthN,
 				SynthWorkloads: p.SynthWorkloads,
+				Policy:         policySpec(p.Pipeline.Policy),
 				SynthProfiles:  synthProfs,
 				TraceParent:    parent.TraceParent(),
 			},

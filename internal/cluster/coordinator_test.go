@@ -7,6 +7,7 @@ import (
 
 	"specctrl/internal/obs"
 	"specctrl/internal/obs/span"
+	"specctrl/internal/policy"
 	"specctrl/internal/serve"
 )
 
@@ -250,6 +251,46 @@ func TestDecodeTraceRejectsGarbage(t *testing.T) {
 	} {
 		if _, _, err := decodeTrace(bad); err == nil {
 			t.Errorf("decodeTrace(%v) accepted garbage", bad)
+		}
+	}
+}
+
+// TestScatterCarriesPolicySpec: a coordinator with a base-config policy
+// scatters units that name it in canonical spec form, and a worker can
+// parse the spec back to an equivalent policy. Unpolicied params
+// scatter with the field empty (omitted on the wire).
+func TestScatterCarriesPolicySpec(t *testing.T) {
+	pol, err := policy.Parse("throttle:4,2,1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := testParams()
+	p.Pipeline.Policy = pol
+	co := newSchedulerOnly(t, func(c *Config) { c.Serve.Params = p })
+	co.register("a")
+
+	units := co.scatter("table3", p, span.Context{})
+	if len(units) == 0 {
+		t.Fatal("no units scattered")
+	}
+	for _, u := range units {
+		if u.Policy != "throttle:4,2,1" {
+			t.Fatalf("unit policy = %q, want throttle:4,2,1", u.Policy)
+		}
+		back, err := policy.Parse(u.Policy)
+		if err != nil {
+			t.Fatalf("worker-side parse: %v", err)
+		}
+		if back.Name() != pol.Name() {
+			t.Errorf("policy did not round-trip: %q != %q", back.Name(), pol.Name())
+		}
+	}
+
+	plain := newSchedulerOnly(t, nil)
+	plain.register("a")
+	for _, u := range plain.scatter("table3", testParams(), span.Context{}) {
+		if u.Policy != "" {
+			t.Errorf("unpolicied unit carries policy %q", u.Policy)
 		}
 	}
 }

@@ -64,6 +64,13 @@ type Unit struct {
 	// SynthWorkloads are the extra synth workload names the
 	// experiment's grid appends (experiments.Params.SynthWorkloads).
 	SynthWorkloads []string `json:"synthWorkloads,omitempty"`
+	// Policy is the canonical spec (policy.Parse / Policy.Name form)
+	// of the speculation-control policy installed on the scattering
+	// coordinator's base pipeline, "" when none. Policies perturb
+	// timing, so the spec is part of a unit's identity (UnitAddress
+	// hashes it through pipelineIdentity) and workers must install the
+	// same policy before simulating.
+	Policy string `json:"policy,omitempty"`
 	// SynthProfiles carry the generator vectors backing the
 	// profile-backed subset of SynthWorkloads: workers re-register
 	// them locally before running the unit. Trace-backed names have no

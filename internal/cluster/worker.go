@@ -18,6 +18,7 @@ import (
 	"specctrl/internal/obs"
 	"specctrl/internal/obs/span"
 	"specctrl/internal/pipeline"
+	"specctrl/internal/policy"
 	"specctrl/internal/replay"
 	"specctrl/internal/runner"
 	"specctrl/internal/synth"
@@ -328,6 +329,13 @@ func (w *Worker) runUnit(ctx context.Context, u *Unit, parent span.Context) erro
 	p.Replay = u.Replay
 	p.SynthN = u.SynthN
 	p.SynthWorkloads = u.SynthWorkloads
+	if u.Policy != "" {
+		pol, err := policy.Parse(u.Policy)
+		if err != nil {
+			return fmt.Errorf("cluster: unit %s: %w", u.ID, err)
+		}
+		p.Pipeline.Policy = pol
+	}
 	// Re-register shipped profile vectors so the names in
 	// SynthWorkloads resolve locally (idempotent; trace-backed names
 	// need the worker to have ingested the same -ingest-trace files).

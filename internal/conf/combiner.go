@@ -1,0 +1,183 @@
+package conf
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"specctrl/internal/bpred"
+)
+
+// CombineRule selects how a Combiner folds its members' estimates into
+// one confidence bit.
+type CombineRule uint8
+
+const (
+	// CombineMin is the minimum of the binary confidences: high only
+	// when every member is high — And generalized to N members.
+	CombineMin CombineRule = iota
+	// CombineWeightedVote sums the weights of the members voting high
+	// and compares against Threshold (default: half the total weight, a
+	// majority vote).
+	CombineWeightedVote
+	// CombineNoisyOR treats each high-voting member as independent
+	// evidence of reliability w_i that the prediction is correct,
+	// combines beliefs as 1 - Π(1-w_i) over the high voters, and is
+	// high when the combined belief reaches Threshold.
+	CombineNoisyOR
+)
+
+// String returns the rule's canonical short name.
+func (r CombineRule) String() string {
+	switch r {
+	case CombineMin:
+		return "min"
+	case CombineWeightedVote:
+		return "vote"
+	case CombineNoisyOR:
+		return "nor"
+	}
+	return fmt.Sprintf("rule(%d)", uint8(r))
+}
+
+// Combiner folds any number of estimators into one Estimator, so
+// combined confidence flows through every existing sweep — and through
+// a speculation-control policy — unchanged. Like And/Or it evaluates
+// every member unconditionally on every branch (stateful members must
+// observe the full stream) and fans Resolve out to all of them.
+//
+// Weights (optional) give each member's vote weight (CombineWeightedVote)
+// or reliability in (0,1] (CombineNoisyOR); nil means 1.0 per member for
+// voting and 0.5 per member for noisy-OR. Threshold (optional, 0 =
+// default) is the decision point: the minimum high-vote weight sum for
+// voting (default half the total weight) and the minimum combined
+// belief for noisy-OR (default 0.5). CombineMin ignores both.
+type Combiner struct {
+	Rule      CombineRule
+	Members   []Estimator
+	Weights   []float64
+	Threshold float64
+}
+
+// Validate checks the combiner's shape; Combiners are usually built
+// statically, so callers that want the panicking form can pair it with
+// MustValidate-style helpers of their own.
+func (c *Combiner) Validate() error {
+	if len(c.Members) == 0 {
+		return fmt.Errorf("conf: Combiner needs at least one member")
+	}
+	for i, m := range c.Members {
+		if m == nil {
+			return fmt.Errorf("conf: Combiner member %d is nil", i)
+		}
+	}
+	if c.Weights != nil && len(c.Weights) != len(c.Members) {
+		return fmt.Errorf("conf: Combiner has %d weights for %d members", len(c.Weights), len(c.Members))
+	}
+	for i, w := range c.Weights {
+		if w <= 0 {
+			return fmt.Errorf("conf: Combiner weight %d is %g, want > 0", i, w)
+		}
+		if c.Rule == CombineNoisyOR && w > 1 {
+			return fmt.Errorf("conf: Combiner noisy-OR reliability %d is %g, want (0,1]", i, w)
+		}
+	}
+	if c.Threshold < 0 {
+		return fmt.Errorf("conf: Combiner threshold %g is negative", c.Threshold)
+	}
+	return nil
+}
+
+// weight returns member i's configured or default weight.
+func (c *Combiner) weight(i int) float64 {
+	if c.Weights != nil {
+		return c.Weights[i]
+	}
+	if c.Rule == CombineNoisyOR {
+		return 0.5
+	}
+	return 1
+}
+
+// threshold returns the effective decision threshold.
+func (c *Combiner) threshold() float64 {
+	if c.Threshold > 0 {
+		return c.Threshold
+	}
+	if c.Rule == CombineNoisyOR {
+		return 0.5
+	}
+	total := 0.0
+	for i := range c.Members {
+		total += c.weight(i)
+	}
+	return total / 2
+}
+
+// Name implements Estimator. The name is canonical — rule, member
+// names, and any non-default weights/threshold — because it identifies
+// the combined estimator in ConfStats and in experiment cell addresses.
+func (c *Combiner) Name() string {
+	names := make([]string, len(c.Members))
+	for i, m := range c.Members {
+		names[i] = m.Name()
+	}
+	var b strings.Builder
+	b.WriteString(c.Rule.String())
+	b.WriteByte('(')
+	b.WriteString(strings.Join(names, ","))
+	if c.Weights != nil {
+		b.WriteString(";w=")
+		for i, w := range c.Weights {
+			if i > 0 {
+				b.WriteByte(',')
+			}
+			b.WriteString(strconv.FormatFloat(w, 'g', -1, 64))
+		}
+	}
+	if c.Threshold > 0 {
+		fmt.Fprintf(&b, ";t=%s", strconv.FormatFloat(c.Threshold, 'g', -1, 64))
+	}
+	b.WriteByte(')')
+	return b.String()
+}
+
+// Estimate implements Estimator.
+func (c *Combiner) Estimate(pc int64, info bpred.Info) bool {
+	// Evaluate every member unconditionally — no short-circuiting —
+	// so stateful members observe every branch (the And/Or contract).
+	switch c.Rule {
+	case CombineMin:
+		high := true
+		for _, m := range c.Members {
+			if !m.Estimate(pc, info) {
+				high = false
+			}
+		}
+		return high
+	case CombineWeightedVote:
+		sum := 0.0
+		for i, m := range c.Members {
+			if m.Estimate(pc, info) {
+				sum += c.weight(i)
+			}
+		}
+		return sum >= c.threshold()
+	case CombineNoisyOR:
+		doubt := 1.0 // probability every high voter is wrong
+		for i, m := range c.Members {
+			if m.Estimate(pc, info) {
+				doubt *= 1 - c.weight(i)
+			}
+		}
+		return 1-doubt >= c.threshold()
+	}
+	panic(fmt.Sprintf("conf: unknown CombineRule %d", c.Rule))
+}
+
+// Resolve implements Estimator.
+func (c *Combiner) Resolve(pc int64, info bpred.Info, correct bool) {
+	for _, m := range c.Members {
+		m.Resolve(pc, info, correct)
+	}
+}

@@ -1,0 +1,171 @@
+package conf
+
+import (
+	"strings"
+	"testing"
+
+	"specctrl/internal/bpred"
+)
+
+// scriptedEst replays a fixed estimate sequence and counts every call, so
+// the tests can verify both verdicts and the no-short-circuit contract.
+type scriptedEst struct {
+	name      string
+	out       []bool
+	estimates int
+	resolves  int
+}
+
+func (s *scriptedEst) Name() string { return s.name }
+func (s *scriptedEst) Estimate(int64, bpred.Info) bool {
+	v := s.out[s.estimates%len(s.out)]
+	s.estimates++
+	return v
+}
+func (s *scriptedEst) Resolve(int64, bpred.Info, bool) { s.resolves++ }
+
+func fixed(name string, v bool) *scriptedEst { return &scriptedEst{name: name, out: []bool{v}} }
+
+func TestCombinerMin(t *testing.T) {
+	for _, tc := range []struct {
+		a, b, c bool
+		want    bool
+	}{
+		{true, true, true, true},
+		{true, true, false, false},
+		{false, true, true, false},
+		{false, false, false, false},
+	} {
+		c := &Combiner{Rule: CombineMin, Members: []Estimator{
+			fixed("a", tc.a), fixed("b", tc.b), fixed("c", tc.c)}}
+		if got := c.Estimate(0, bpred.Info{}); got != tc.want {
+			t.Errorf("min(%v,%v,%v) = %v, want %v", tc.a, tc.b, tc.c, got, tc.want)
+		}
+	}
+}
+
+func TestCombinerWeightedVote(t *testing.T) {
+	// Default weights (1 each) and threshold (half the total = 1.5):
+	// two of three high votes carry.
+	maj := func(a, b, c bool) *Combiner {
+		return &Combiner{Rule: CombineWeightedVote, Members: []Estimator{
+			fixed("a", a), fixed("b", b), fixed("c", c)}}
+	}
+	if got := maj(true, true, false).Estimate(0, bpred.Info{}); !got {
+		t.Error("2-of-3 majority vote should be high")
+	}
+	if got := maj(true, false, false).Estimate(0, bpred.Info{}); got {
+		t.Error("1-of-3 majority vote should be low")
+	}
+	// Explicit weights: a dominant member outvotes the rest.
+	dom := &Combiner{
+		Rule:    CombineWeightedVote,
+		Members: []Estimator{fixed("a", true), fixed("b", false), fixed("c", false)},
+		Weights: []float64{3, 1, 1},
+	}
+	// a alone carries 3 >= total 5 / 2 = 2.5.
+	if got := dom.Estimate(0, bpred.Info{}); !got {
+		t.Error("weight-3 member alone should carry the vote")
+	}
+	// Explicit threshold: require unanimity weight.
+	strict := &Combiner{
+		Rule:      CombineWeightedVote,
+		Members:   []Estimator{fixed("a", true), fixed("b", true), fixed("c", false)},
+		Threshold: 3,
+	}
+	if got := strict.Estimate(0, bpred.Info{}); got {
+		t.Error("threshold 3 with 2 high votes should be low")
+	}
+}
+
+func TestCombinerNoisyOR(t *testing.T) {
+	// Default reliability 0.5, threshold 0.5: any single high voter
+	// reaches belief exactly 0.5.
+	one := &Combiner{Rule: CombineNoisyOR, Members: []Estimator{
+		fixed("a", true), fixed("b", false)}}
+	if got := one.Estimate(0, bpred.Info{}); !got {
+		t.Error("one default-reliability high voter should reach the default threshold")
+	}
+	none := &Combiner{Rule: CombineNoisyOR, Members: []Estimator{
+		fixed("a", false), fixed("b", false)}}
+	if got := none.Estimate(0, bpred.Info{}); got {
+		t.Error("no high voter should be low (belief 0)")
+	}
+	// Reliabilities 0.4 each: one voter gives 0.4 < 0.6, two give
+	// 1 - 0.6*0.6 = 0.64 >= 0.6.
+	weak := func(a, b bool) *Combiner {
+		return &Combiner{
+			Rule:      CombineNoisyOR,
+			Members:   []Estimator{fixed("a", a), fixed("b", b)},
+			Weights:   []float64{0.4, 0.4},
+			Threshold: 0.6,
+		}
+	}
+	if got := weak(true, false).Estimate(0, bpred.Info{}); got {
+		t.Error("belief 0.4 should miss threshold 0.6")
+	}
+	if got := weak(true, true).Estimate(0, bpred.Info{}); !got {
+		t.Error("belief 0.64 should reach threshold 0.6")
+	}
+}
+
+// TestCombinerNoShortCircuit pins the And/Or contract: every member is
+// evaluated on every branch and resolved on every resolution, whatever
+// the earlier members said.
+func TestCombinerNoShortCircuit(t *testing.T) {
+	for _, rule := range []CombineRule{CombineMin, CombineWeightedVote, CombineNoisyOR} {
+		a, b := fixed("a", false), fixed("b", true)
+		c := &Combiner{Rule: rule, Members: []Estimator{a, b}}
+		for i := 0; i < 5; i++ {
+			c.Estimate(0, bpred.Info{})
+			c.Resolve(0, bpred.Info{}, true)
+		}
+		if a.estimates != 5 || b.estimates != 5 {
+			t.Errorf("%v: estimates a=%d b=%d, want 5 each", rule, a.estimates, b.estimates)
+		}
+		if a.resolves != 5 || b.resolves != 5 {
+			t.Errorf("%v: resolves a=%d b=%d, want 5 each", rule, a.resolves, b.resolves)
+		}
+	}
+}
+
+func TestCombinerName(t *testing.T) {
+	c := &Combiner{Rule: CombineMin, Members: []Estimator{fixed("a", true), fixed("b", true)}}
+	if got := c.Name(); got != "min(a,b)" {
+		t.Errorf("Name() = %q, want min(a,b)", got)
+	}
+	c = &Combiner{
+		Rule:      CombineNoisyOR,
+		Members:   []Estimator{fixed("a", true), fixed("b", true)},
+		Weights:   []float64{0.4, 0.25},
+		Threshold: 0.6,
+	}
+	if got := c.Name(); got != "nor(a,b;w=0.4,0.25;t=0.6)" {
+		t.Errorf("Name() = %q, want nor(a,b;w=0.4,0.25;t=0.6)", got)
+	}
+}
+
+func TestCombinerValidate(t *testing.T) {
+	bad := []*Combiner{
+		{Rule: CombineMin},
+		{Rule: CombineMin, Members: []Estimator{nil}},
+		{Rule: CombineWeightedVote, Members: []Estimator{fixed("a", true)}, Weights: []float64{1, 2}},
+		{Rule: CombineWeightedVote, Members: []Estimator{fixed("a", true)}, Weights: []float64{0}},
+		{Rule: CombineNoisyOR, Members: []Estimator{fixed("a", true)}, Weights: []float64{1.5}},
+		{Rule: CombineMin, Members: []Estimator{fixed("a", true)}, Threshold: -1},
+	}
+	for i, c := range bad {
+		if err := c.Validate(); err == nil {
+			t.Errorf("case %d: Validate accepted %+v", i, c)
+		}
+	}
+	good := &Combiner{Rule: CombineWeightedVote,
+		Members: []Estimator{fixed("a", true), fixed("b", true)},
+		Weights: []float64{1, 2}}
+	if err := good.Validate(); err != nil {
+		t.Errorf("Validate rejected a valid combiner: %v", err)
+	}
+	if !strings.Contains((&Combiner{}).Validate().Error(), "member") {
+		t.Error("empty-combiner error should mention members")
+	}
+}

@@ -1,0 +1,41 @@
+package eager
+
+import (
+	"fmt"
+
+	"specctrl/internal/conf"
+	"specctrl/internal/isa"
+	"specctrl/internal/pipeline"
+	"specctrl/internal/policy"
+)
+
+// Measure simulates prog with fresh components from the factories and
+// applies the cost model to the measured committed-branch quadrant —
+// the simulation-backed entry point that puts eager execution behind
+// the same policy.Factories API as the gating and SMT drivers. An
+// f.Policy, when set, is installed into the measuring run (e.g. a
+// policy.EagerBoost fallback shaping the front end while the quadrants
+// are gathered); nil measures the plain machine.
+func (m Model) Measure(cfg pipeline.Config, prog *isa.Program, f policy.Factories) (Outcome, *pipeline.Stats, error) {
+	if err := m.Validate(); err != nil {
+		return Outcome{}, nil, err
+	}
+	if err := f.Validate(); err != nil {
+		return Outcome{}, nil, err
+	}
+	cfg.Estimators = []conf.Estimator{f.Estimator()}
+	cfg.Policy = f.NewPolicy()
+	sim, err := pipeline.New(cfg, prog, f.Predictor())
+	if err != nil {
+		return Outcome{}, nil, fmt.Errorf("eager measure: %w", err)
+	}
+	st, err := sim.Run()
+	if err != nil {
+		return Outcome{}, nil, fmt.Errorf("eager measure: %w", err)
+	}
+	o, err := m.Evaluate(st.CommittedQ)
+	if err != nil {
+		return Outcome{}, nil, fmt.Errorf("eager measure: %w", err)
+	}
+	return o, st, nil
+}

@@ -1,0 +1,88 @@
+package eager
+
+import (
+	"errors"
+	"testing"
+
+	"specctrl/internal/bpred"
+	"specctrl/internal/conf"
+	"specctrl/internal/isa"
+	"specctrl/internal/pipeline"
+	"specctrl/internal/policy"
+	"specctrl/internal/workload"
+)
+
+func measureConfig() pipeline.Config {
+	cfg := pipeline.DefaultConfig()
+	cfg.MaxCommitted = 100_000
+	cfg.MaxCycles = 20_000_000
+	return cfg
+}
+
+func measureFactories() policy.Factories {
+	return policy.Factories{
+		Predictor: func() bpred.Predictor { return bpred.NewGshare(12) },
+		Estimator: func() conf.Estimator { return conf.NewJRS(conf.DefaultJRS) },
+	}
+}
+
+func measureProg(t *testing.T, name string) *isa.Program {
+	t.Helper()
+	w, err := workload.ByName(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return w.Build(1 << 30)
+}
+
+func TestMeasureRunsSimulation(t *testing.T) {
+	o, st, err := DefaultModel().Measure(measureConfig(), measureProg(t, "go"), measureFactories())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Committed == 0 || st.CommittedQ.Total() == 0 {
+		t.Fatalf("measuring run made no progress: %+v", st.CommittedQ)
+	}
+	// The measured outcome must agree with evaluating the measured
+	// quadrants directly.
+	want, err := DefaultModel().Evaluate(st.CommittedQ)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if o != want {
+		t.Errorf("Measure outcome %+v != Evaluate(quadrants) %+v", o, want)
+	}
+	// JRS on a hostile workload flags real mispredictions LC, so the
+	// modeled machine must fork at least sometimes.
+	if o.Forks == 0 {
+		t.Error("JRS on go produced no forks; the measurement is vacuous")
+	}
+}
+
+func TestMeasureInstallsPolicy(t *testing.T) {
+	// An EagerBoost fallback shapes the front end during measurement:
+	// the policied run must actually gate cycles.
+	f := measureFactories()
+	f.Policy = func() pipeline.Policy {
+		return &policy.EagerBoost{Threshold: 1, Patience: 0}
+	}
+	_, st, err := DefaultModel().Measure(measureConfig(), measureProg(t, "go"), f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.GatedCycles == 0 {
+		t.Error("boost policy installed but no cycles gated")
+	}
+}
+
+func TestMeasureValidates(t *testing.T) {
+	bad := Model{MispredictPenalty: 1, ForkCost: 5}
+	if _, _, err := bad.Measure(measureConfig(), measureProg(t, "compress"), measureFactories()); err == nil {
+		t.Error("invalid model accepted")
+	}
+	var missing *policy.MissingFieldError
+	_, _, err := DefaultModel().Measure(measureConfig(), measureProg(t, "compress"), policy.Factories{})
+	if !errors.As(err, &missing) {
+		t.Errorf("empty factories: err = %v, want MissingFieldError", err)
+	}
+}

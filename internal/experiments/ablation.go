@@ -11,6 +11,7 @@ import (
 	"specctrl/internal/isa"
 	"specctrl/internal/metrics"
 	"specctrl/internal/pipeline"
+	"specctrl/internal/policy"
 	"specctrl/internal/runner"
 	"specctrl/internal/workload"
 )
@@ -232,7 +233,7 @@ func AblationGating(p Params) (*AblationGatingResult, error) {
 		p.progress("gating %s threshold %d", est.name, thr)
 		sr, err := gating.EvaluateSuite(
 			gating.Config{Threshold: thr, Pipeline: cfg},
-			progs, newPred, est.mk, order)
+			progs, policy.Factories{Predictor: newPred, Estimator: est.mk}, order)
 		if err != nil {
 			return CellResult{}, fmt.Errorf("ablation gating %s/%d: %w", est.name, thr, err)
 		}

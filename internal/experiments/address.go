@@ -7,6 +7,7 @@ import (
 
 	"specctrl/internal/cache"
 	"specctrl/internal/conf"
+	"specctrl/internal/pipeline"
 	"specctrl/internal/runner"
 )
 
@@ -16,7 +17,10 @@ import (
 //
 // v2: pipelineIdentity gained Estimators (the Name() of every
 // estimator carried in pipeline.Config.Estimators).
-const cellAddressVersion = 2
+//
+// v3: pipelineIdentity gained Policy (the Name() of the speculation-
+// control policy installed in pipeline.Config.Policy, "" when none).
+const cellAddressVersion = 3
 
 // cacheIdentity is the determinism-relevant subset of cache.Config
 // (Name is cosmetic and excluded).
@@ -59,6 +63,21 @@ type pipelineIdentity struct {
 	// spec-derived estimators on top; those are already identified by
 	// Key, so only the config-level set needs hashing here.
 	Estimators []string `json:"estimators"`
+
+	// Policy is the Name() of the speculation-control policy installed
+	// on the base pipeline config, or "" when fetch runs unpolicied.
+	// Policies perturb timing, so two configs differing only here must
+	// never share a cell (or trace) address.
+	Policy string `json:"policy"`
+}
+
+// policyName is the policy's hashable identity: its Name(), or "" when
+// no policy is installed.
+func policyName(p pipeline.Policy) string {
+	if p == nil {
+		return ""
+	}
+	return p.Name()
 }
 
 // estimatorNames flattens an estimator set to its report names for
@@ -88,6 +107,7 @@ func (p Params) pipelineID() pipelineIdentity {
 		BTBAssoc:               p.Pipeline.BTBAssoc,
 		RASDepth:               p.Pipeline.RASDepth,
 		Estimators:             estimatorNames(p.Pipeline.Estimators),
+		Policy:                 policyName(p.Pipeline.Policy),
 	}
 }
 
@@ -151,7 +171,9 @@ func (p Params) CellAddress(sp runner.Spec) string {
 
 // traceAddressVersion versions traceIdentity the way cellAddressVersion
 // versions cellIdentity.
-const traceAddressVersion = 1
+//
+// v2: pipelineIdentity gained Policy.
+const traceAddressVersion = 2
 
 // traceIdentity is the canonical identity of one recorded branch-event
 // trace: everything the estimator-visible event stream is a function
@@ -180,7 +202,9 @@ type traceIdentity struct {
 //
 // v2: unitIdentity gained SynthN and SynthWorkloads (the sweepspace
 // experiment's grid enumeration depends on both).
-const unitAddressVersion = 2
+//
+// v3: pipelineIdentity gained Policy.
+const unitAddressVersion = 3
 
 // unitIdentity is the canonical identity of one cluster work unit: a
 // shard of one experiment's grid under one parameter set. It reuses

@@ -11,6 +11,7 @@ import (
 	"specctrl/internal/eager"
 	"specctrl/internal/isa"
 	"specctrl/internal/metrics"
+	"specctrl/internal/policy"
 	"specctrl/internal/runner"
 	"specctrl/internal/smt"
 	"specctrl/internal/workload"
@@ -56,11 +57,11 @@ func SMTStudy(p Params) (*SMTResult, error) {
 		}
 	}
 	cell := func(_ context.Context, p Params, sp runner.Spec) (CellResult, error) {
-		var policy smt.Policy
+		var smtPol smt.Policy
 		found := false
 		for _, pol := range smtPolicies {
 			if pol.String() == sp.Variant {
-				policy, found = pol, true
+				smtPol, found = pol, true
 			}
 		}
 		if !found {
@@ -77,14 +78,14 @@ func SMTStudy(p Params) (*SMTResult, error) {
 		cfg := smt.Config{
 			CycleBudget: p.MaxCommitted / 4, // roughly IPC~2+ worth of work
 			Pipeline:    p.Pipeline,
-			Policy:      policy,
+			Policy:      smtPol,
 		}
 		newPred := func() bpred.Predictor { return bpred.NewGshare(p.GshareBits) }
 		newEst := func() conf.Estimator { return conf.NewJRS(conf.DefaultJRS) }
-		p.progress("smt %s policy %s", sp.Workload, policy)
-		r, err := smt.Run(cfg, progs, newPred, newEst)
+		p.progress("smt %s policy %s", sp.Workload, smtPol)
+		r, err := smt.Run(cfg, progs, policy.Factories{Predictor: newPred, Estimator: newEst})
 		if err != nil {
-			return CellResult{}, fmt.Errorf("smt %s/%s: %w", sp.Workload, policy, err)
+			return CellResult{}, fmt.Errorf("smt %s/%s: %w", sp.Workload, smtPol, err)
 		}
 		return CellResult{Extra: map[string]float64{"throughput": r.Throughput()}}, nil
 	}

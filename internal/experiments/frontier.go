@@ -1,0 +1,193 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+	"strings"
+
+	"specctrl/internal/bpred"
+	"specctrl/internal/conf"
+	"specctrl/internal/pipeline"
+	"specctrl/internal/policy"
+	"specctrl/internal/runner"
+)
+
+// The frontier experiment maps the speculation-control design space the
+// policy layer opens up: for each (policy, estimator) operating point it
+// measures how many cycles of misspeculation the policy reclaims against
+// how much throughput it costs, as suite means over the paper's
+// workloads. Pipeline gating (gate:t), variable fetch-rate throttling
+// (throttle:w0,w1,...) and patience-based gating (boost:t,p) are all
+// driven through the same pipeline.Policy installation, so their
+// operating points are directly comparable — the energy/performance
+// frontier the paper's §2.2 applications argue about.
+
+// frontierPolicies are the policy operating points the frontier sweeps,
+// as canonical policy.Parse specs (Parse round-trips Name(), so the
+// spec strings double as table labels and cell-variant keys).
+func frontierPolicies() []string {
+	return []string{
+		"gate:1", "gate:2", "gate:3",
+		"throttle:4,2,1", "throttle:4,1",
+		"boost:2,4",
+	}
+}
+
+// frontierEstimators are the confidence sources the frontier crosses
+// with every policy.
+func frontierEstimators() []struct {
+	name string
+	mk   func() conf.Estimator
+} {
+	return []struct {
+		name string
+		mk   func() conf.Estimator
+	}{
+		{"JRS(t=15)", func() conf.Estimator { return conf.NewJRS(conf.DefaultJRS) }},
+		{"SatCnt", func() conf.Estimator { return conf.SatCounters{} }},
+	}
+}
+
+// FrontierPoint is one (estimator, policy) operating point, suite means.
+type FrontierPoint struct {
+	Estimator string
+	Policy    string
+	GatedFrac float64 // share of cycles the policy withheld fetch
+	Reduction float64 // wrong-path instructions removed vs baseline
+	SpecSaved float64 // misspeculation cycle share reclaimed (points)
+	IPCLost   float64 // 1 - policied IPC / baseline IPC
+}
+
+// FrontierResult is the frontier table: per estimator, the unpolicied
+// baseline anchors the policied operating points.
+type FrontierResult struct {
+	Points []FrontierPoint
+}
+
+// frontierCell is the suite-mean measurement one frontier grid cell
+// produces (baseline cells use the same shape with zero gating).
+const (
+	frontierIPC    = "ipc"     // suite-mean IPC
+	frontierEW     = "ew"      // suite-mean wrong-path / committed
+	frontierSpecOH = "specoh"  // suite-mean misspeculation cycle share
+	frontierGated  = "gated"   // suite-mean gated cycle share
+	frontierBase   = "no-ctrl" // the baseline cell's variant suffix
+)
+
+// Frontier sweeps policies x estimators over the suite with gshare, one
+// grid cell per (estimator, policy-or-baseline). Policies perturb fetch
+// timing, so every cell simulates directly — the replay path never
+// applies here — and each cell rebuilds its own programs and components
+// per the grid isolation rules.
+func Frontier(p Params) (*FrontierResult, error) {
+	ests := frontierEstimators()
+	variants := append([]string{frontierBase}, frontierPolicies()...)
+	var gridSpecs []runner.Spec
+	for _, e := range ests {
+		for _, v := range variants {
+			gridSpecs = append(gridSpecs, runner.Spec{
+				Experiment: "frontier", Workload: "suite", Predictor: "gshare",
+				Variant: e.name + "|" + v,
+			})
+		}
+	}
+	cells, err := p.runGrid(gridSpecs, func(_ context.Context, p Params, sp runner.Spec) (CellResult, error) {
+		estName, spec, ok := strings.Cut(sp.Variant, "|")
+		if !ok {
+			return CellResult{}, fmt.Errorf("frontier: bad variant %q", sp.Variant)
+		}
+		var mk func() conf.Estimator
+		for _, e := range ests {
+			if e.name == estName {
+				mk = e.mk
+			}
+		}
+		if mk == nil {
+			return CellResult{}, fmt.Errorf("frontier: unknown estimator %q", estName)
+		}
+		var pol pipeline.Policy
+		if spec != frontierBase {
+			var err error
+			if pol, err = policy.Parse(spec); err != nil {
+				return CellResult{}, fmt.Errorf("frontier: %w", err)
+			}
+		}
+		p.progress("frontier %s %s", estName, spec)
+		var ipc, ew, specOH, gated float64
+		n := 0
+		for _, w := range suite() {
+			cfg := p.Pipeline
+			cfg.MaxCommitted = p.MaxCommitted
+			cfg.Estimators = []conf.Estimator{mk()}
+			cfg.Policy = pol
+			sim, err := pipeline.New(cfg, buildProgram(w, p.BuildIters), bpred.NewGshare(p.GshareBits))
+			if err != nil {
+				return CellResult{}, fmt.Errorf("frontier %s: %w", sp.Key(), err)
+			}
+			st, err := sim.Run()
+			if err != nil {
+				return CellResult{}, fmt.Errorf("frontier %s/%s: %w", sp.Key(), w.Name, err)
+			}
+			ipc += st.IPC()
+			if st.Committed > 0 {
+				ew += float64(st.WrongPath) / float64(st.Committed)
+			}
+			specOH += st.CycleAccounts.SpeculationOverhead()
+			gated += st.CycleAccounts.Fraction(pipeline.BucketGated)
+			n++
+		}
+		fn := float64(n)
+		return CellResult{Extra: map[string]float64{
+			frontierIPC:    ipc / fn,
+			frontierEW:     ew / fn,
+			frontierSpecOH: specOH / fn,
+			frontierGated:  gated / fn,
+		}}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	res := &FrontierResult{}
+	i := 0
+	for _, e := range ests {
+		base := cells[i].Extra
+		i++
+		for _, spec := range frontierPolicies() {
+			cell := cells[i].Extra
+			i++
+			pt := FrontierPoint{
+				Estimator: e.name,
+				Policy:    spec,
+				GatedFrac: cell[frontierGated],
+				SpecSaved: base[frontierSpecOH] - cell[frontierSpecOH],
+			}
+			if base[frontierEW] > 0 {
+				pt.Reduction = 1 - cell[frontierEW]/base[frontierEW]
+			}
+			if base[frontierIPC] > 0 {
+				pt.IPCLost = 1 - cell[frontierIPC]/base[frontierIPC]
+			}
+			res.Points = append(res.Points, pt)
+		}
+	}
+	return res, nil
+}
+
+// Render prints the frontier table.
+func (r *FrontierResult) Render() string {
+	var b strings.Builder
+	b.WriteString(header("Speculation-control frontier: cycles saved vs IPC lost (gshare, suite means)"))
+	fmt.Fprintf(&b, "%-10s %-15s | %6s %8s | %10s %9s\n",
+		"estimator", "policy", "gated", "ew-red", "spec-saved", "ipc-lost")
+	for _, pt := range r.Points {
+		fmt.Fprintf(&b, "%-10s %-15s | %5.1f%% %7.1f%% | %+9.1fpp %8.2f%%\n",
+			pt.Estimator, pt.Policy, pt.GatedFrac*100, pt.Reduction*100,
+			pt.SpecSaved*100, pt.IPCLost*100)
+	}
+	b.WriteString("Reading the table: spec-saved is the misspeculation cycle share\n")
+	b.WriteString("(wrong-path fetch + recovery) the policy reclaims, in points; the\n")
+	b.WriteString("frontier trades it against ipc-lost. gate:t stalls fetch outright,\n")
+	b.WriteString("throttle narrows it, boost waits out short low-confidence bursts.\n")
+	return b.String()
+}

@@ -31,7 +31,7 @@ var order = []string{
 	"table3", "fig6", "fig7", "fig8", "fig9", "table4", "misest", "boost",
 	"boost-mcf", "cir", "auc", "patterns", "jrsmcf", "tuned", "xinput", "smt", "eager",
 	"abl-width", "abl-spechist", "abl-gating", "abl-indirect", "abl-depth", "cost",
-	"sweepspace",
+	"sweepspace", "frontier",
 }
 
 func register(name, desc string, run func(p Params) (Renderer, error)) {
@@ -99,6 +99,8 @@ func init() {
 		func(p Params) (Renderer, error) { return AblationDepth(p) })
 	register("patterns", "section 3.2: history-pattern dominance under gshare vs SAg",
 		func(p Params) (Renderer, error) { return Patterns(p) })
+	register("frontier", "application: speculation-control policy frontier, cycles saved vs IPC lost",
+		func(p Params) (Renderer, error) { return Frontier(p) })
 	register("sweepspace", "estimator panel over generated workload profiles (-synth-n, -synth-profile)",
 		func(p Params) (Renderer, error) { return SweepSpace(p) })
 	register("smt", "application: SMT fetch policies over thread mixes",

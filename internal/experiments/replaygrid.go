@@ -33,15 +33,18 @@ import (
 
 // replayActive reports whether replay-backed evaluation applies under
 // these parameters. Direct simulation is kept for the explicit
-// ReplayOff escape hatch and for configurations whose observation
-// side channels need the real run (base-config estimators or tracers,
-// per-branch event logs, site-statistics collection).
+// ReplayOff escape hatch, for configurations whose observation side
+// channels need the real run (base-config estimators or tracers,
+// per-branch event logs, site-statistics collection), and for policied
+// pipelines: a speculation-control policy perturbs fetch timing, so the
+// estimator-visible event stream is no longer the unpolicied recording.
 func (p Params) replayActive() bool {
 	if p.Replay == ReplayOff {
 		return false
 	}
 	return len(p.Pipeline.Estimators) == 0 &&
 		p.Pipeline.Tracer == nil &&
+		p.Pipeline.Policy == nil &&
 		!p.Pipeline.RecordEvents &&
 		!p.Pipeline.CollectSiteStats
 }

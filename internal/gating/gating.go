@@ -10,23 +10,29 @@
 // squashed. The confidence estimator's SPEC and PVN govern the trade:
 // high SPEC exposes more gating opportunities, high PVN keeps the
 // slowdown low because the gated paths really were doomed.
+//
+// The gated machine is driven by a speculation-control policy installed
+// into the pipeline (pipeline.Config.Policy); Run defaults to the
+// paper's policy.Gating at Config.Threshold, and callers can substitute
+// any other policy (throttling, boosting) through policy.Factories.
 package gating
 
 import (
 	"fmt"
 	"strings"
 
-	"specctrl/internal/bpred"
 	"specctrl/internal/conf"
 	"specctrl/internal/isa"
 	"specctrl/internal/pipeline"
+	"specctrl/internal/policy"
 )
 
 // Config parameterizes a gating run.
 type Config struct {
 	// Threshold gates fetch while the number of in-flight
 	// low-confidence branches is >= Threshold. Manne et al. found small
-	// thresholds (1-2) effective.
+	// thresholds (1-2) effective. It parameterizes the default
+	// policy.Gating; a Factories.Policy override supersedes it.
 	Threshold int
 	// Pipeline is the underlying machine configuration.
 	Pipeline pipeline.Config
@@ -40,15 +46,16 @@ func (c Config) Validate() error {
 	return c.Pipeline.Validate()
 }
 
-// Result compares a gated run against its ungated baseline on the same
-// program, predictor configuration and estimator configuration.
+// Result compares a policied run against its unpolicied baseline on the
+// same program, predictor configuration and estimator configuration.
 type Result struct {
 	Baseline *pipeline.Stats
 	Gated    *pipeline.Stats
 }
 
 // ExtraWorkReduction returns the fraction of wrong-path instructions
-// eliminated by gating.
+// eliminated by gating; degenerate runs with no baseline wrong-path
+// work report 0.
 func (r *Result) ExtraWorkReduction() float64 {
 	if r.Baseline.WrongPath == 0 {
 		return 0
@@ -58,21 +65,39 @@ func (r *Result) ExtraWorkReduction() float64 {
 
 // Slowdown returns the relative execution-time increase of the gated run
 // (cycles per committed instruction, so capped runs compare fairly).
+// Degenerate runs — either side committing nothing, or a zero-cycle
+// baseline — report 0 rather than dividing by it.
 func (r *Result) Slowdown() float64 {
+	if r.Baseline.Cycles == 0 || r.Baseline.Committed == 0 || r.Gated.Committed == 0 {
+		return 0
+	}
 	base := float64(r.Baseline.Cycles) / float64(r.Baseline.Committed)
 	gated := float64(r.Gated.Cycles) / float64(r.Gated.Committed)
 	return gated/base - 1
 }
 
-// Run executes the baseline and the gated simulation. newPred and newEst
-// must build fresh instances (tables start cold in both runs).
-func Run(cfg Config, prog *isa.Program, newPred func() bpred.Predictor, newEst func() conf.Estimator) (*Result, error) {
+// ratio is a/b, or 0 when b is 0 (degenerate capped runs).
+func ratio(a, b uint64) float64 {
+	if b == 0 {
+		return 0
+	}
+	return float64(a) / float64(b)
+}
+
+// Run executes the baseline and the policied simulation from the given
+// factories (fresh instances per run; tables start cold in both). The
+// policy defaults to the paper's pipeline gating at cfg.Threshold when
+// f.Policy is nil.
+func Run(cfg Config, prog *isa.Program, f policy.Factories) (*Result, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
+	if err := f.Validate(); err != nil {
+		return nil, err
+	}
 	pcfg := cfg.Pipeline
-	pcfg.Estimators = []conf.Estimator{newEst()}
-	base, err := pipeline.New(pcfg, prog, newPred())
+	pcfg.Estimators = []conf.Estimator{f.Estimator()}
+	base, err := pipeline.New(pcfg, prog, f.Predictor())
 	if err != nil {
 		return nil, fmt.Errorf("gating baseline: %w", err)
 	}
@@ -81,22 +106,20 @@ func Run(cfg Config, prog *isa.Program, newPred func() bpred.Predictor, newEst f
 		return nil, fmt.Errorf("gating baseline: %w", err)
 	}
 
-	pcfg.Estimators = []conf.Estimator{newEst()}
-	sim, err := pipeline.New(pcfg, prog, newPred())
+	gcfg := cfg.Pipeline
+	gcfg.Estimators = []conf.Estimator{f.Estimator()}
+	if gcfg.Policy = f.NewPolicy(); gcfg.Policy == nil {
+		gcfg.Policy = policy.Gating{Threshold: cfg.Threshold}
+	}
+	sim, err := pipeline.New(gcfg, prog, f.Predictor())
 	if err != nil {
 		return nil, fmt.Errorf("gating run: %w", err)
 	}
-	for {
-		allow := sim.PendingLowConf() < cfg.Threshold
-		done, err := sim.Tick(allow)
-		if err != nil {
-			return nil, fmt.Errorf("gating run: %w", err)
-		}
-		if done {
-			break
-		}
+	gatedStats, err := sim.Run()
+	if err != nil {
+		return nil, fmt.Errorf("gating run: %w", err)
 	}
-	return &Result{Baseline: baseStats, Gated: sim.Finish()}, nil
+	return &Result{Baseline: baseStats, Gated: gatedStats}, nil
 }
 
 // SuiteRow is one benchmark's gating outcome.
@@ -116,22 +139,26 @@ type SuiteResult struct {
 	Rows      []SuiteRow
 }
 
-// EvaluateSuite runs gating over the given programs.
-func EvaluateSuite(cfg Config, progs map[string]*isa.Program, newPred func() bpred.Predictor, newEst func() conf.Estimator, order []string) (*SuiteResult, error) {
-	res := &SuiteResult{Estimator: newEst().Name(), Threshold: cfg.Threshold}
+// EvaluateSuite runs gating over the given programs with per-run fresh
+// components from the factories.
+func EvaluateSuite(cfg Config, progs map[string]*isa.Program, f policy.Factories, order []string) (*SuiteResult, error) {
+	if err := f.Validate(); err != nil {
+		return nil, err
+	}
+	res := &SuiteResult{Estimator: f.Estimator().Name(), Threshold: cfg.Threshold}
 	for _, name := range order {
 		prog, ok := progs[name]
 		if !ok {
 			return nil, fmt.Errorf("gating: missing program %q", name)
 		}
-		r, err := Run(cfg, prog, newPred, newEst)
+		r, err := Run(cfg, prog, f)
 		if err != nil {
 			return nil, fmt.Errorf("gating %s: %w", name, err)
 		}
 		res.Rows = append(res.Rows, SuiteRow{
 			Name:               name,
-			BaselineExtraWork:  float64(r.Baseline.WrongPath) / float64(r.Baseline.Committed),
-			GatedExtraWork:     float64(r.Gated.WrongPath) / float64(r.Gated.Committed),
+			BaselineExtraWork:  ratio(r.Baseline.WrongPath, r.Baseline.Committed),
+			GatedExtraWork:     ratio(r.Gated.WrongPath, r.Gated.Committed),
 			ExtraWorkReduction: r.ExtraWorkReduction(),
 			Slowdown:           r.Slowdown(),
 			GatedCycles:        r.Gated.GatedCycles,

@@ -1,6 +1,7 @@
 package gating
 
 import (
+	"errors"
 	"strings"
 	"testing"
 
@@ -8,6 +9,7 @@ import (
 	"specctrl/internal/conf"
 	"specctrl/internal/isa"
 	"specctrl/internal/pipeline"
+	"specctrl/internal/policy"
 	"specctrl/internal/workload"
 )
 
@@ -31,12 +33,16 @@ func newGshare() bpred.Predictor { return bpred.NewGshare(12) }
 
 func newJRS() conf.Estimator { return conf.NewJRS(conf.DefaultJRS) }
 
+func jrsFactories() policy.Factories {
+	return policy.Factories{Predictor: newGshare, Estimator: newJRS}
+}
+
 func TestGatingReducesExtraWork(t *testing.T) {
 	// On a hostile workload (go), gating at the threshold-2 operating
 	// point must remove a substantial share of wrong-path work at a
 	// modest slowdown (the Manne et al. trade-off).
 	cfg := Config{Threshold: 2, Pipeline: pcfg()}
-	r, err := Run(cfg, buildProg(t, "go"), newGshare, newJRS)
+	r, err := Run(cfg, buildProg(t, "go"), jrsFactories())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -51,7 +57,7 @@ func TestGatingReducesExtraWork(t *testing.T) {
 	}
 	// The aggressive threshold-1 point trades much more slowdown for
 	// much more reduction.
-	r1, err := Run(Config{Threshold: 1, Pipeline: pcfg()}, buildProg(t, "go"), newGshare, newJRS)
+	r1, err := Run(Config{Threshold: 1, Pipeline: pcfg()}, buildProg(t, "go"), jrsFactories())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -63,7 +69,7 @@ func TestGatingReducesExtraWork(t *testing.T) {
 func TestGatingPreservesArchitecturalWork(t *testing.T) {
 	// Gating changes timing only: committed counts must match.
 	cfg := Config{Threshold: 1, Pipeline: pcfg()}
-	r, err := Run(cfg, buildProg(t, "compress"), newGshare, newJRS)
+	r, err := Run(cfg, buildProg(t, "compress"), jrsFactories())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -78,11 +84,11 @@ func TestGatingPreservesArchitecturalWork(t *testing.T) {
 
 func TestHigherThresholdGatesLess(t *testing.T) {
 	prog := buildProg(t, "go")
-	r1, err := Run(Config{Threshold: 1, Pipeline: pcfg()}, prog, newGshare, newJRS)
+	r1, err := Run(Config{Threshold: 1, Pipeline: pcfg()}, prog, jrsFactories())
 	if err != nil {
 		t.Fatal(err)
 	}
-	r3, err := Run(Config{Threshold: 3, Pipeline: pcfg()}, prog, newGshare, newJRS)
+	r3, err := Run(Config{Threshold: 3, Pipeline: pcfg()}, prog, jrsFactories())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -101,12 +107,14 @@ func TestBetterEstimatorGatesBetter(t *testing.T) {
 	// Gating with a real estimator must hurt much less per unit of
 	// extra work removed.
 	prog := buildProg(t, "compress")
-	blind, err := Run(Config{Threshold: 1, Pipeline: pcfg()}, prog, newGshare,
-		func() conf.Estimator { return conf.Always{High: false} })
+	blind, err := Run(Config{Threshold: 1, Pipeline: pcfg()}, prog, policy.Factories{
+		Predictor: newGshare,
+		Estimator: func() conf.Estimator { return conf.Always{High: false} },
+	})
 	if err != nil {
 		t.Fatal(err)
 	}
-	jrs, err := Run(Config{Threshold: 1, Pipeline: pcfg()}, prog, newGshare, newJRS)
+	jrs, err := Run(Config{Threshold: 1, Pipeline: pcfg()}, prog, jrsFactories())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -122,7 +130,7 @@ func TestEvaluateSuite(t *testing.T) {
 	for _, n := range order {
 		progs[n] = buildProg(t, n)
 	}
-	res, err := EvaluateSuite(Config{Threshold: 1, Pipeline: pcfg()}, progs, newGshare, newJRS, order)
+	res, err := EvaluateSuite(Config{Threshold: 1, Pipeline: pcfg()}, progs, jrsFactories(), order)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -137,7 +145,7 @@ func TestEvaluateSuite(t *testing.T) {
 
 func TestEvaluateSuiteMissingProgram(t *testing.T) {
 	_, err := EvaluateSuite(Config{Threshold: 1, Pipeline: pcfg()},
-		map[string]*isa.Program{}, newGshare, newJRS, []string{"compress"})
+		map[string]*isa.Program{}, jrsFactories(), []string{"compress"})
 	if err == nil {
 		t.Error("missing program not reported")
 	}
@@ -149,5 +157,81 @@ func TestConfigValidate(t *testing.T) {
 	}
 	if err := (Config{Threshold: 1, Pipeline: pipeline.Config{}}).Validate(); err == nil {
 		t.Error("invalid pipeline accepted")
+	}
+}
+
+func TestDegenerateRatiosReportZero(t *testing.T) {
+	// Capped or empty runs must never divide by a zero baseline: every
+	// degenerate shape reports 0 instead of NaN/Inf.
+	cases := []struct {
+		name string
+		r    Result
+	}{
+		{"all zero", Result{Baseline: &pipeline.Stats{}, Gated: &pipeline.Stats{}}},
+		{"zero baseline cycles", Result{
+			Baseline: &pipeline.Stats{Committed: 10},
+			Gated:    &pipeline.Stats{Committed: 10, Cycles: 5},
+		}},
+		{"zero baseline committed", Result{
+			Baseline: &pipeline.Stats{Cycles: 5},
+			Gated:    &pipeline.Stats{Committed: 10, Cycles: 5},
+		}},
+		{"zero gated committed", Result{
+			Baseline: &pipeline.Stats{Committed: 10, Cycles: 5},
+			Gated:    &pipeline.Stats{Cycles: 5},
+		}},
+		{"zero baseline wrong-path", Result{
+			Baseline: &pipeline.Stats{Committed: 10, Cycles: 5},
+			Gated:    &pipeline.Stats{Committed: 10, Cycles: 5, WrongPath: 3},
+		}},
+	}
+	for _, tc := range cases {
+		if got := tc.r.Slowdown(); got != 0 {
+			t.Errorf("%s: Slowdown() = %v, want 0", tc.name, got)
+		}
+		if got := tc.r.ExtraWorkReduction(); got != 0 {
+			t.Errorf("%s: ExtraWorkReduction() = %v, want 0", tc.name, got)
+		}
+	}
+	// Sanity: a non-degenerate result still computes real ratios.
+	r := Result{
+		Baseline: &pipeline.Stats{Committed: 100, Cycles: 100, WrongPath: 40},
+		Gated:    &pipeline.Stats{Committed: 100, Cycles: 110, WrongPath: 10},
+	}
+	if got := r.Slowdown(); got < 0.099 || got > 0.101 {
+		t.Errorf("Slowdown() = %v, want ~0.10", got)
+	}
+	if got := r.ExtraWorkReduction(); got != 0.75 {
+		t.Errorf("ExtraWorkReduction() = %v, want 0.75", got)
+	}
+}
+
+func TestRunRejectsIncompleteFactories(t *testing.T) {
+	var missing *policy.MissingFieldError
+	_, err := Run(Config{Threshold: 1, Pipeline: pcfg()}, buildProg(t, "compress"),
+		policy.Factories{Predictor: newGshare})
+	if !errors.As(err, &missing) || missing.Field != "Estimator" {
+		t.Errorf("Run without estimator: err = %v, want MissingFieldError{Estimator}", err)
+	}
+	_, err = EvaluateSuite(Config{Threshold: 1, Pipeline: pcfg()},
+		map[string]*isa.Program{}, policy.Factories{Estimator: newJRS}, nil)
+	if !errors.As(err, &missing) || missing.Field != "Predictor" {
+		t.Errorf("EvaluateSuite without predictor: err = %v, want MissingFieldError{Predictor}", err)
+	}
+}
+
+func TestRunWithExplicitPolicy(t *testing.T) {
+	// A Factories.Policy override supersedes Config.Threshold: a
+	// full-width throttle gates nothing even at threshold 1.
+	f := jrsFactories()
+	f.Policy = func() pipeline.Policy {
+		return policy.Throttle{Levels: []int{16}}
+	}
+	r, err := Run(Config{Threshold: 1, Pipeline: pcfg()}, buildProg(t, "go"), f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Gated.GatedCycles != 0 {
+		t.Errorf("full-width throttle gated %d cycles, want 0", r.Gated.GatedCycles)
 	}
 }

@@ -107,6 +107,14 @@ type Config struct {
 	// content address along with every other field here.
 	Estimators []conf.Estimator
 
+	// Policy, when non-nil, is the speculation-control policy deciding
+	// the per-cycle fetch action (full rate, throttled, or gated) from
+	// live confidence state — see the Policy interface. Nil is the
+	// always-full-rate fast path: the hot loop pays a single nil-check
+	// and no allocation. Like Estimators, the policy's Name() is part of
+	// a cell's content address in experiments.CellAddress.
+	Policy Policy
+
 	// Tracer, when non-nil, receives one structured event per fetched
 	// conditional branch (the obs hook behind internal/trace's binary
 	// writer and obs.JSONL). Nil is the null sink: the hot path pays a
@@ -187,6 +195,13 @@ func (c Config) Validate() error {
 	for i, e := range c.Estimators {
 		if e == nil {
 			return &ConfigError{fmt.Sprintf("Estimators[%d]", i), "estimator is nil"}
+		}
+	}
+	if c.Policy != nil {
+		if v, ok := c.Policy.(interface{ Validate() error }); ok {
+			if err := v.Validate(); err != nil {
+				return &ConfigError{"Policy", err.Error()}
+			}
 		}
 	}
 	return nil
@@ -393,6 +408,13 @@ type Sim struct {
 	// most of their cost. estGeneric entries fall back to the interface.
 	estFast []estFast
 
+	// policy is the per-Sim speculation-control policy instance (nil =
+	// always full rate); fetchWidth is the width the current cycle's
+	// fetch group may use — cfg.FetchWidth forever when policy is nil,
+	// rewritten at the top of each Tick otherwise.
+	policy     Policy
+	fetchWidth int
+
 	state  emu.State
 	mem    *mem.Memory
 	icache *cache.Cache
@@ -475,6 +497,9 @@ func New(cfg Config, prog *isa.Program, pred bpred.Predictor) (*Sim, error) {
 		mem:    mem.NewFromImage(prog.Data),
 		icache: cache.New(cfg.ICache),
 		dcache: cache.New(cfg.DCache),
+
+		policy:     policyFor(cfg),
+		fetchWidth: cfg.FetchWidth,
 	}
 	switch p := pred.(type) {
 	case *bpred.Gshare:
@@ -847,7 +872,31 @@ func (s *Sim) onCondBranch(pc int64, outcome bool, takenTarget, notTakenTarget i
 //
 // Tick returns done=true once the program has halted and all pending
 // branches have drained, and an error if MaxCycles is exceeded.
+//
+// When Config.Policy is set, the policy is consulted here — before this
+// cycle's branch resolutions, so it sees the same pending-branch state
+// an external driver polling PendingLowConf before Tick would — and its
+// verdict composes with fetchAllowed: an externally withheld cycle
+// (fetchAllowed=false) skips the policy entirely, a policy width of 0
+// gates the cycle exactly as fetchAllowed=false would, and a partial
+// width limits this cycle's fetch group.
 func (s *Sim) Tick(fetchAllowed bool) (done bool, err error) {
+	if s.policy != nil && fetchAllowed {
+		w := s.policy.Width(FetchSignal{
+			Cycle:           s.cycle + 1,
+			PendingLowConf:  s.PendingLowConf(),
+			PendingBranches: s.pending.len(),
+			FetchWidth:      s.cfg.FetchWidth,
+		})
+		switch {
+		case w <= 0:
+			fetchAllowed = false
+		case w >= s.cfg.FetchWidth:
+			s.fetchWidth = s.cfg.FetchWidth
+		default:
+			s.fetchWidth = w
+		}
+	}
 	s.cycle++
 	s.stats.Cycles = s.cycle
 	if s.cfg.MaxCycles > 0 && s.cycle > s.cfg.MaxCycles {
@@ -986,11 +1035,12 @@ func (s *Sim) stallBucket(b CycleBucket) CycleBucket {
 	return b
 }
 
-// fetchGroup fetches and functionally executes up to FetchWidth
-// instructions, returning the cycle bucket to charge when the group
-// fetched nothing at all.
+// fetchGroup fetches and functionally executes up to fetchWidth
+// instructions — Config.FetchWidth, or less when this cycle's policy
+// verdict throttled the group — returning the cycle bucket to charge
+// when the group fetched nothing at all.
 func (s *Sim) fetchGroup() CycleBucket {
-	for slot := 0; slot < s.cfg.FetchWidth; slot++ {
+	for slot := 0; slot < s.fetchWidth; slot++ {
 		pc := s.state.PC
 		lat, hit := s.icache.Access(pc)
 		if !hit {

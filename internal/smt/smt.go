@@ -20,10 +20,10 @@ import (
 	"fmt"
 	"strings"
 
-	"specctrl/internal/bpred"
 	"specctrl/internal/conf"
 	"specctrl/internal/isa"
 	"specctrl/internal/pipeline"
+	"specctrl/internal/policy"
 )
 
 // Policy selects the fetch scheduler.
@@ -99,10 +99,15 @@ func (r *Result) Throughput() float64 {
 	return float64(r.Committed) / float64(r.Cycles)
 }
 
-// Run simulates the threads under the configured policy. Each program
-// gets a fresh predictor and estimator from the factories.
-func Run(cfg Config, progs []*isa.Program, newPred func() bpred.Predictor, newEst func() conf.Estimator) (*Result, error) {
+// Run simulates the threads under the configured fetch policy. Each
+// thread gets a fresh predictor and estimator from the factories; when
+// f.Policy is set, each thread's own pipeline additionally runs under a
+// fresh speculation-control policy, composing with the port grant.
+func Run(cfg Config, progs []*isa.Program, f policy.Factories) (*Result, error) {
 	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if err := f.Validate(); err != nil {
 		return nil, err
 	}
 	if len(progs) == 0 {
@@ -115,8 +120,9 @@ func Run(cfg Config, progs []*isa.Program, newPred func() bpred.Predictor, newEs
 	done := make([]bool, len(progs))
 	for i, p := range progs {
 		tcfg := pcfg
-		tcfg.Estimators = []conf.Estimator{newEst()}
-		sim, err := pipeline.New(tcfg, p, newPred())
+		tcfg.Estimators = []conf.Estimator{f.Estimator()}
+		tcfg.Policy = f.NewPolicy()
+		sim, err := pipeline.New(tcfg, p, f.Predictor())
 		if err != nil {
 			return nil, fmt.Errorf("smt thread %d: %w", i, err)
 		}
@@ -204,16 +210,16 @@ type Comparison struct {
 }
 
 // Compare runs the two fetch policies on the same configuration.
-func Compare(cfg Config, progs []*isa.Program, newPred func() bpred.Predictor, newEst func() conf.Estimator) (*Comparison, error) {
+func Compare(cfg Config, progs []*isa.Program, f policy.Factories) (*Comparison, error) {
 	rrCfg := cfg
 	rrCfg.Policy = RoundRobin
-	rr, err := Run(rrCfg, progs, newPred, newEst)
+	rr, err := Run(rrCfg, progs, f)
 	if err != nil {
 		return nil, err
 	}
 	cgCfg := cfg
 	cgCfg.Policy = ConfidenceGate
-	cg, err := Run(cgCfg, progs, newPred, newEst)
+	cg, err := Run(cgCfg, progs, f)
 	if err != nil {
 		return nil, err
 	}

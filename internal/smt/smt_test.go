@@ -8,6 +8,7 @@ import (
 	"specctrl/internal/conf"
 	"specctrl/internal/isa"
 	"specctrl/internal/pipeline"
+	"specctrl/internal/policy"
 	"specctrl/internal/workload"
 )
 
@@ -31,9 +32,13 @@ func progs(t *testing.T, names ...string) []*isa.Program {
 func newGshare() bpred.Predictor { return bpred.NewGshare(12) }
 func newJRS() conf.Estimator     { return conf.NewJRS(conf.DefaultJRS) }
 
+func jrsFactories() policy.Factories {
+	return policy.Factories{Predictor: newGshare, Estimator: newJRS}
+}
+
 func TestRoundRobinSharesBandwidth(t *testing.T) {
 	cfg := Config{Policy: RoundRobin, CycleBudget: 100_000, Pipeline: pcfg()}
-	r, err := Run(cfg, progs(t, "compress", "compress"), newGshare, newJRS)
+	r, err := Run(cfg, progs(t, "compress", "compress"), jrsFactories())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -58,7 +63,7 @@ func TestConfidencePolicyBeatsRoundRobin(t *testing.T) {
 	// low-confidence thread's wrong-path slots must raise aggregate
 	// throughput.
 	cfg := Config{CycleBudget: 200_000, Pipeline: pcfg()}
-	c, err := Compare(cfg, progs(t, "m88ksim", "go"), newGshare, newJRS)
+	c, err := Compare(cfg, progs(t, "m88ksim", "go"), jrsFactories())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -79,7 +84,7 @@ func TestConfidencePolicyBeatsRoundRobin(t *testing.T) {
 
 func TestSingleThreadDegenerate(t *testing.T) {
 	cfg := Config{Policy: ConfidenceGate, CycleBudget: 50_000, Pipeline: pcfg()}
-	r, err := Run(cfg, progs(t, "perl"), newGshare, newJRS)
+	r, err := Run(cfg, progs(t, "perl"), jrsFactories())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -99,14 +104,14 @@ func TestFinishedThreadsFreeTheirSlots(t *testing.T) {
 	short := w.Build(50) // halts quickly
 	long := w.Build(1 << 30)
 	cfg := Config{Policy: RoundRobin, CycleBudget: 100_000, Pipeline: pcfg()}
-	r, err := Run(cfg, []*isa.Program{short, long}, newGshare, newJRS)
+	r, err := Run(cfg, []*isa.Program{short, long}, jrsFactories())
 	if err != nil {
 		t.Fatal(err)
 	}
 	// The long thread must commit well over half of what it would get
 	// under a permanent 50/50 split.
 	half, err := Run(Config{Policy: RoundRobin, CycleBudget: 100_000, Pipeline: pcfg()},
-		[]*isa.Program{long, long}, newGshare, newJRS)
+		[]*isa.Program{long, long}, jrsFactories())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -120,14 +125,14 @@ func TestValidate(t *testing.T) {
 	if err := (Config{CycleBudget: 0, Pipeline: pcfg()}).Validate(); err == nil {
 		t.Error("zero budget accepted")
 	}
-	if _, err := Run(Config{CycleBudget: 10, Pipeline: pcfg()}, nil, newGshare, newJRS); err == nil {
+	if _, err := Run(Config{CycleBudget: 10, Pipeline: pcfg()}, nil, jrsFactories()); err == nil {
 		t.Error("no threads accepted")
 	}
 }
 
 func TestICountPolicyRuns(t *testing.T) {
 	cfg := Config{Policy: ICount, CycleBudget: 100_000, Pipeline: pcfg()}
-	r, err := Run(cfg, progs(t, "m88ksim", "go"), newGshare, newJRS)
+	r, err := Run(cfg, progs(t, "m88ksim", "go"), jrsFactories())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -141,7 +146,7 @@ func TestICountPolicyRuns(t *testing.T) {
 	// and the confidence policy must beat it: confidence sees *which*
 	// in-flight branches are doomed, not just how many there are.
 	rr, err := Run(Config{Policy: RoundRobin, CycleBudget: 100_000, Pipeline: pcfg()},
-		progs(t, "m88ksim", "go"), newGshare, newJRS)
+		progs(t, "m88ksim", "go"), jrsFactories())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -150,7 +155,7 @@ func TestICountPolicyRuns(t *testing.T) {
 			r.Throughput(), rr.Throughput())
 	}
 	cg, err := Run(Config{Policy: ConfidenceGate, CycleBudget: 100_000, Pipeline: pcfg()},
-		progs(t, "m88ksim", "go"), newGshare, newJRS)
+		progs(t, "m88ksim", "go"), jrsFactories())
 	if err != nil {
 		t.Fatal(err)
 	}

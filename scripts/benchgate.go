@@ -92,7 +92,7 @@ var suites = []suite{
 	{"./internal/experiments", "^BenchmarkSweep(Direct|Replay)$", "3x", 3, 0.10},
 	{"./internal/experiments", "^BenchmarkSweepSpace$", "3x", 3, 0.10},
 	{"./internal/synth", "^BenchmarkSynthBuild$", "1000x", 5, 0.10},
-	{"./internal/pipeline", "^BenchmarkPipelineTick(Traced|NoEstimators)?$", "8000000x", 5, 0},
+	{"./internal/pipeline", "^(BenchmarkPipelineTick(Traced|NoEstimators)?|BenchmarkPolicyOverhead(Nil|Gate))$", "8000000x", 5, 0},
 	{"./internal/obs/span", "^BenchmarkSpanOverhead$", "8000000x", 5, 0},
 	{"./internal/bpred", "^BenchmarkPredictGshare$", "20000000x", 5, 0},
 	{"./internal/conf", "^BenchmarkEstimateJRS$", "20000000x", 5, 0},

@@ -105,6 +105,24 @@ EOF
 cmp "$SMOKE/sweep.txt" "$SMOKE/sweep-direct.txt"
 grep -q 'synth:t-' "$SMOKE/sweep.txt"
 
+# Policy-layer smoke: the frontier experiment's policy cells simulate
+# directly (policies perturb timing, so replay never applies to them) —
+# the default mode must render the exact bytes of -replay off. And a
+# base-config -policy must change table3's timing-derived bytes while
+# staying byte-identical between replay modes, because an installed
+# policy forces every cell off the replay path.
+"$SMOKE/simctrl" -exp frontier -committed 60000 > "$SMOKE/frontier-local.txt"
+"$SMOKE/simctrl" -replay off -exp frontier -committed 60000 > "$SMOKE/frontier-direct.txt"
+cmp "$SMOKE/frontier-local.txt" "$SMOKE/frontier-direct.txt"
+grep -q 'gate:1' "$SMOKE/frontier-local.txt"
+"$SMOKE/simctrl" -policy gate:2 -exp table3 -committed 60000 > "$SMOKE/policied.txt"
+"$SMOKE/simctrl" -policy gate:2 -replay off -exp table3 -committed 60000 > "$SMOKE/policied-direct.txt"
+cmp "$SMOKE/policied.txt" "$SMOKE/policied-direct.txt"
+if cmp -s "$SMOKE/local.txt" "$SMOKE/policied.txt"; then
+    echo "check.sh: -policy gate:2 left table3 unchanged; the policy was not installed" >&2
+    exit 1
+fi
+
 "$SMOKE/simserved" -addr 127.0.0.1:0 -addr-file "$SMOKE/addr" \
     -cache-dir "$SMOKE/cache" -committed 60000 \
     -ingest-trace "$SMOKE/compress.spbt" 2> "$SMOKE/simserved.log" &
@@ -149,6 +167,11 @@ TRACE_HITS=$(curl -s "$URL/metrics" | awk '/^specctrl_trace_hits_total/ {print $
 grep -q 'synth:' "$SMOKE/ssweep2.txt"
 ! grep -q '(0 cached' "$SMOKE/sstats2.txt"
 ! grep -q ' 0 simulated)' "$SMOKE/sstats2.txt"
+
+# Served frontier smoke: the policy-sweep grid must come back from the
+# service byte-identical to the local run.
+"$SMOKE/simctrl" -server "$URL" -exp frontier -committed 60000 > "$SMOKE/frontier-served.txt"
+cmp "$SMOKE/frontier-local.txt" "$SMOKE/frontier-served.txt"
 
 # Graceful drain: SIGTERM must exit 0.
 kill -TERM "$SERVED_PID"
