@@ -81,30 +81,36 @@ func CellsIn(fs *flag.FlagSet) *string {
 	return fs.String(CellsInFlag, "", "comma-separated cell JSON files to reuse instead of simulating")
 }
 
-// Replay registers -replay, the estimator-evaluation mode selector.
+// Replay registers -replay, the trace-tier mode selector.
 func Replay(fs *flag.FlagSet) *string {
-	return fs.String(ReplayFlag, experiments.ReplayAuto,
-		"estimator evaluation mode: auto (record each simulation once, replay estimator sweeps) or off (simulate every cell directly)")
+	return fs.String(ReplayFlag, experiments.ReplayArch,
+		"trace-tier mode: arch (committed-stream + event-stream caching), events (event-stream caching only), or off (simulate every cell directly)")
 }
 
 // ParseReplay validates a -replay value and returns the canonical
-// Params.Replay string.
+// Params.Replay string. The legacy "auto" spelling (and the empty
+// string) canonicalize to arch, so pre-tri-state command lines keep
+// working.
 func ParseReplay(v string) (string, error) {
 	switch v {
-	case "", experiments.ReplayAuto:
-		return experiments.ReplayAuto, nil
+	case "", experiments.ReplayAuto, experiments.ReplayArch:
+		return experiments.ReplayArch, nil
+	case experiments.ReplayEvents:
+		return experiments.ReplayEvents, nil
 	case experiments.ReplayOff:
 		return experiments.ReplayOff, nil
 	}
-	return "", fmt.Errorf("-%s must be %q or %q, got %q",
-		ReplayFlag, experiments.ReplayAuto, experiments.ReplayOff, v)
+	return "", fmt.Errorf("-%s must be %q, %q or %q, got %q",
+		ReplayFlag, experiments.ReplayArch, experiments.ReplayEvents, experiments.ReplayOff, v)
 }
 
-// TraceCacheMB registers -trace-cache-mb, the in-process replay trace
-// cache budget (0 selects replay.DefaultCacheBytes).
+// TraceCacheMB registers -trace-cache-mb, the in-process replay cache
+// budget (0 selects replay.DefaultCacheBytes). The budget applies to
+// each trace tier separately — the event-stream cache and the
+// committed-stream (arch) cache.
 func TraceCacheMB(fs *flag.FlagSet) *int {
 	return fs.Int(TraceCacheMBFlag, 0,
-		"replay trace cache budget in MiB (LRU by retained bytes; 0 = default 256)")
+		"per-tier replay cache budget in MiB, applied to the event-stream and committed-stream caches (LRU by retained bytes; 0 = default 256)")
 }
 
 // PolicyFlags bundles the speculation-control policy flags shared by

@@ -124,11 +124,14 @@ func TestParseReplay(t *testing.T) {
 		in, want string
 		ok       bool
 	}{
-		{"", "auto", true},
-		{"auto", "auto", true},
+		{"", "arch", true},
+		{"auto", "arch", true},
+		{"arch", "arch", true},
+		{"events", "events", true},
 		{"off", "off", true},
 		{"on", "", false},
 		{"AUTO", "", false},
+		{"ARCH", "", false},
 	} {
 		got, err := ParseReplay(tc.in)
 		if tc.ok != (err == nil) {

@@ -123,6 +123,19 @@ func fetchResult(t *testing.T, co *Coordinator, sub serve.SubmitResponse) string
 	return res.Outputs[0].Output
 }
 
+// fetchResults returns a done job's rendered outputs keyed by
+// experiment name.
+func fetchResults(t *testing.T, co *Coordinator, sub serve.SubmitResponse) map[string]string {
+	t.Helper()
+	var res serve.ResultResponse
+	getJSON(t, co.URL()+sub.Result, &res)
+	out := make(map[string]string, len(res.Outputs))
+	for _, o := range res.Outputs {
+		out[o.Experiment] = o.Output
+	}
+	return out
+}
+
 func getJSON(t *testing.T, url string, v any) {
 	t.Helper()
 	resp, err := http.Get(url)
@@ -180,20 +193,29 @@ func TestClusterByteIdenticalToLocal(t *testing.T) {
 }
 
 // TestClusterCrossNodeCacheHits: work one node did must be another
-// node's cache hit. A table3 job warms the coordinator's tiers; then a
-// fresh worker (cold local caches, the original workers drained) runs
-// fig5 — different cells, but the same (workload, McFarling) traces —
-// so it must fetch its recordings from the coordinator's trace tier,
-// and a table3 resubmission must be served from the shared cell tier.
+// node's cache hit, on all three shared tiers. A table3 job (arch-
+// eligible: its workers record committed streams) and a fig5 job
+// (events-shaped: McFarling recordings) warm the coordinator's tiers;
+// then a fresh worker (cold local caches, the original workers
+// drained) runs misest — different cells, but the same committed
+// streams table3 recorded — and jrsmcf — different cells, the same
+// (workload, McFarling) event traces fig5 recorded — so it must fetch
+// both kinds of recording from the coordinator. Finally a table3
+// resubmission must be served from the shared cell tier.
 func TestClusterCrossNodeCacheHits(t *testing.T) {
 	co, workers := newTestCluster(t, 2, nil)
 
-	first := submitJob(t, co, `{"version":1,"experiments":["table3"]}`)
+	first := submitJob(t, co, `{"version":1,"experiments":["table3","fig5"]}`)
 	waitDone(t, co, first)
-	// table3 is replay-shaped: the recordings made on the workers were
-	// written through to the coordinator.
+	// table3 is arch-eligible: the committed streams recorded on the
+	// workers were written through to the coordinator's arch tier.
+	if co.archTracePuts.Value() == 0 {
+		t.Error("no arch traces were uploaded to the shared tier")
+	}
+	// fig5 is events-shaped: its event recordings were written through
+	// to the coordinator's event-trace tier.
 	if co.tracePuts.Value() == 0 {
-		t.Error("no traces were uploaded to the shared tier")
+		t.Error("no event traces were uploaded to the shared tier")
 	}
 
 	for _, w := range workers {
@@ -217,18 +239,25 @@ func TestClusterCrossNodeCacheHits(t *testing.T) {
 		}
 	})
 
-	second := submitJob(t, co, `{"version":1,"experiments":["fig5"]}`)
+	second := submitJob(t, co, `{"version":1,"experiments":["misest","jrsmcf"]}`)
 	waitDone(t, co, second)
-	if got, want := fetchResult(t, co, second), localRender(t, "fig5"); got != want {
-		t.Error("fig5 cluster output differs from local run")
+	if co.archTraceHits.Value() == 0 {
+		t.Error("no cross-node arch-trace hits recorded")
 	}
 	if co.traceHits.Value() == 0 {
 		t.Error("no cross-node trace-cache hits recorded")
 	}
+	res := fetchResults(t, co, second)
+	if got, want := res["misest"], localRender(t, "misest"); got != want {
+		t.Error("misest cluster output differs from local run")
+	}
+	if got, want := res["jrsmcf"], localRender(t, "jrsmcf"); got != want {
+		t.Error("jrsmcf cluster output differs from local run")
+	}
 
 	third := submitJob(t, co, `{"version":1,"experiments":["table3"]}`)
 	waitDone(t, co, third)
-	if got, want := fetchResult(t, co, third), fetchResult(t, co, first); got != want {
+	if got, want := fetchResults(t, co, third)["table3"], fetchResults(t, co, first)["table3"]; got != want {
 		t.Error("table3 resubmission differs from the first run")
 	}
 	if co.cellHits.Value() == 0 {

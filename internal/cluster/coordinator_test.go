@@ -245,9 +245,9 @@ func TestDecodeTraceRejectsGarbage(t *testing.T) {
 	for _, bad := range [][]byte{
 		nil,
 		{0, 0},
-		{0, 0, 0, 10, 'x'},                      // stats length past the end
-		{0, 0, 0, 2, '{', '}', 1, 2, 3},         // garbage trace payload
-		{0, 0, 0, 2, 'n', 'o', 1, 2, 3, 4, 5},   // bad stats JSON
+		{0, 0, 0, 10, 'x'},                    // stats length past the end
+		{0, 0, 0, 2, '{', '}', 1, 2, 3},       // garbage trace payload
+		{0, 0, 0, 2, 'n', 'o', 1, 2, 3, 4, 5}, // bad stats JSON
 	} {
 		if _, _, err := decodeTrace(bad); err == nil {
 			t.Errorf("decodeTrace(%v) accepted garbage", bad)

@@ -1,0 +1,81 @@
+package experiments
+
+import (
+	"testing"
+
+	"specctrl/internal/replay"
+)
+
+// committedExperiments returns the registered experiments whose
+// canonical semantics is the committed-stream evaluation, in
+// presentation order.
+func committedExperiments() []string {
+	var out []string
+	for _, name := range order {
+		if registry[name].Consumes == ConsumesCommitted {
+			out = append(out, name)
+		}
+	}
+	return out
+}
+
+// TestCommittedByteIdenticalAcrossModes is the differential gate on the
+// arch tier: every ConsumesCommitted experiment must render
+// byte-identically under -replay arch, -replay events, and -replay off,
+// and under parallel execution. All three modes run the same canonical
+// evaluation and differ only in how the committed stream is acquired
+// (cached recording, derivation from an event trace, fresh recording),
+// so any divergence is a bug in an acquisition path.
+//
+// The caches are shared across the subtests, exactly as one `-exp all`
+// process shares them across experiments.
+func TestCommittedByteIdenticalAcrossModes(t *testing.T) {
+	archCache := replay.NewArchCache(0, nil)
+	eventCache := replay.NewCache(0, nil)
+	for _, exp := range committedExperiments() {
+		t.Run(exp, func(t *testing.T) {
+			off := smallParams()
+			off.Replay = ReplayOff
+			want, err := Run(exp, off)
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			arch := smallParams()
+			arch.Replay = ReplayArch
+			arch.ArchCache = archCache
+			gotArch, err := Run(exp, arch)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if gotArch.Render() != want.Render() {
+				t.Errorf("arch render differs from direct:\n--- direct ---\n%s\n--- arch ---\n%s",
+					want.Render(), gotArch.Render())
+			}
+
+			events := smallParams()
+			events.Replay = ReplayEvents
+			events.TraceCache = eventCache
+			gotEvents, err := Run(exp, events)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if gotEvents.Render() != want.Render() {
+				t.Errorf("events render differs from direct:\n--- direct ---\n%s\n--- events ---\n%s",
+					want.Render(), gotEvents.Render())
+			}
+
+			wide := smallParams()
+			wide.Replay = ReplayArch
+			wide.ArchCache = archCache
+			wide.Jobs = 8
+			gotWide, err := Run(exp, wide)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if gotWide.Render() != want.Render() {
+				t.Error("arch render differs between Jobs=1 and Jobs=8")
+			}
+		})
+	}
+}

@@ -52,7 +52,11 @@ func misestCell(_ context.Context, p Params, sp runner.Spec) (CellResult, error)
 	default:
 		return CellResult{}, fmt.Errorf("misest: unknown variant %q", sp.Variant)
 	}
-	st, err := p.evalEstimators(w, spec, est)
+	eval := p.evalEstimators
+	if p.archEligible() {
+		eval = p.archEval
+	}
+	st, err := eval(w, spec, est)
 	if err != nil {
 		return CellResult{}, fmt.Errorf("misest %s/%s: %w", w.Name, spec.Name, err)
 	}

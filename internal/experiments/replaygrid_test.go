@@ -39,38 +39,71 @@ func TestReplayRenderMatchesDirect(t *testing.T) {
 	}
 }
 
-// TestReplayTraceSharedAcrossExperiments: the trace cache is keyed
+// TestReplayTraceSharedAcrossExperiments: both trace tiers are keyed
 // below the experiment, so a second experiment touching the same
-// (workload, predictor) pairs replays entirely from cache — zero new
-// recordings. This is the property that lets `-exp all` simulate each
-// pair once.
+// workloads evaluates entirely from cache — zero new recordings. This
+// is the property that lets `-exp all` simulate each (workload,
+// predictor) pair at most once, and each workload's committed stream
+// exactly once.
 func TestReplayTraceSharedAcrossExperiments(t *testing.T) {
-	cache := replay.NewCache(0, nil)
-	records := func(exp string) int {
-		p := smallParams()
-		p.TraceCache = cache
-		n := 0
-		p.Progress = func(msg string) {
-			if strings.HasPrefix(msg, "record ") {
-				n++
+	t.Run("arch", func(t *testing.T) {
+		cache := replay.NewArchCache(0, nil)
+		records := func(exp string) int {
+			p := smallParams()
+			p.ArchCache = cache
+			n := 0
+			p.Progress = func(msg string) {
+				if strings.HasPrefix(msg, "arch ") {
+					n++
+				}
 			}
+			if _, err := Run(exp, p); err != nil {
+				t.Fatal(err)
+			}
+			return n
 		}
-		if _, err := Run(exp, p); err != nil {
-			t.Fatal(err)
-		}
-		return n
-	}
 
-	if n := records("table3"); n != len(suite()) {
-		t.Fatalf("table3 recorded %d traces, want one per workload (%d)", n, len(suite()))
-	}
-	// Same workloads, same predictor: everything replays from cache.
-	if n := records("table3"); n != 0 {
-		t.Fatalf("second table3 run recorded %d traces, want 0", n)
-	}
-	if c := cache.Len(); c != len(suite()) {
-		t.Fatalf("cache holds %d traces, want %d", c, len(suite()))
-	}
+		if n := records("table3"); n != len(suite()) {
+			t.Fatalf("table3 recorded %d arch traces, want one per workload (%d)", n, len(suite()))
+		}
+		// The arch tier is keyed below the predictor too: misest sweeps
+		// gshare and McFarling cells, all served by table3's recordings.
+		if n := records("misest"); n != 0 {
+			t.Fatalf("misest after table3 recorded %d arch traces, want 0", n)
+		}
+		if c := cache.Len(); c != len(suite()) {
+			t.Fatalf("arch cache holds %d traces, want %d", c, len(suite()))
+		}
+	})
+
+	t.Run("events", func(t *testing.T) {
+		cache := replay.NewCache(0, nil)
+		records := func(exp string) int {
+			p := smallParams()
+			p.TraceCache = cache
+			n := 0
+			p.Progress = func(msg string) {
+				if strings.HasPrefix(msg, "record ") {
+					n++
+				}
+			}
+			if _, err := Run(exp, p); err != nil {
+				t.Fatal(err)
+			}
+			return n
+		}
+
+		if n := records("fig3"); n != len(suite()) {
+			t.Fatalf("fig3 recorded %d traces, want one per workload (%d)", n, len(suite()))
+		}
+		// Same workloads, same predictor: everything replays from cache.
+		if n := records("fig3"); n != 0 {
+			t.Fatalf("second fig3 run recorded %d traces, want 0", n)
+		}
+		if c := cache.Len(); c != len(suite()) {
+			t.Fatalf("trace cache holds %d traces, want %d", c, len(suite()))
+		}
+	})
 }
 
 // TestReplayDeterminismAcrossJobs: replay-shaped grids keep the
@@ -94,6 +127,39 @@ func TestReplayDeterminismAcrossJobs(t *testing.T) {
 	}
 	if r1.Render() != r8.Render() {
 		t.Fatal("fig3 replay render differs between Jobs=1 and Jobs=8")
+	}
+}
+
+// TestArchTraceAddressExcludesPredictorIdentity: the arch address is
+// per-workload — the signature takes no predictor spec (which is what
+// lets misest's per-predictor cells share table3's recordings), and
+// estimator-facing knobs must not perturb it, while anything shaping
+// the committed stream (horizon, seed, workload, the canonical
+// recorder's gshare sizing, pipeline identity) must.
+func TestArchTraceAddressExcludesPredictorIdentity(t *testing.T) {
+	base := smallParams()
+	addr := base.ArchTraceAddress("gcc")
+
+	same := base
+	same.StaticThreshold = 0.5 // estimator construction knob only
+	if same.ArchTraceAddress("gcc") != addr {
+		t.Error("StaticThreshold changed the arch trace address")
+	}
+
+	for name, mutate := range map[string]func(*Params){
+		"MaxCommitted": func(p *Params) { p.MaxCommitted++ },
+		"BaseSeed":     func(p *Params) { p.BaseSeed++ },
+		"GshareBits":   func(p *Params) { p.GshareBits++ },
+		"FetchWidth":   func(p *Params) { p.Pipeline.FetchWidth++ },
+	} {
+		p := base
+		mutate(&p)
+		if p.ArchTraceAddress("gcc") == addr {
+			t.Errorf("%s change did not change the arch trace address", name)
+		}
+	}
+	if base.ArchTraceAddress("perl") == addr {
+		t.Error("workload change did not change the arch trace address")
 	}
 }
 

@@ -1,0 +1,205 @@
+package replay
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+
+	"specctrl/internal/bpred"
+	"specctrl/internal/conf"
+	"specctrl/internal/obs"
+	"specctrl/internal/pipeline"
+)
+
+// archRecordRun simulates once with an ArchRecorder attached as the
+// run's tracer — the canonical recording configuration the experiments
+// layer uses (no estimators, committed count stamped from the finished
+// run's stats).
+func archRecordRun(t testing.TB, predName string) *ArchTrace {
+	t.Helper()
+	rec := NewArchRecorder()
+	cfg := testConfig()
+	cfg.Tracer = rec
+	sim, err := pipeline.New(cfg, testProg(), testPred(t, predName))
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := sim.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec.SetCommitted(st.Committed)
+	return rec.Trace()
+}
+
+// archSynthetic builds an n-branch arch trace without a simulator,
+// mixing forward and backward pc strides (loops jump backwards, so
+// negative deltas — including across chunk boundaries — are the normal
+// case the codec must handle).
+func archSynthetic(n int) *ArchTrace {
+	r := NewArchRecorder()
+	pc := int64(4096)
+	for i := 0; i < n; i++ {
+		switch i % 5 {
+		case 0:
+			pc += 4
+		case 1:
+			pc += 60
+		case 2:
+			pc -= 120
+		case 3:
+			pc += 4096
+		default:
+			pc += 8
+		}
+		r.Branch(obs.BranchEvent{PC: pc, Outcome: i%3 == 0})
+	}
+	r.SetCommitted(uint64(3 * n))
+	return r.Trace()
+}
+
+// TestArchRecorderMatchesDerived pins the property the events-mode
+// acquisition path relies on: deriving the committed stream from an
+// event trace of the canonical recording run (ArchFromTrace) must be
+// bit-identical — same branches, same outcomes, same encoding — to
+// what an ArchRecorder attached to that run captures directly.
+func TestArchRecorderMatchesDerived(t *testing.T) {
+	direct := archRecordRun(t, "gshare")
+	tr, base := recordRun(t, "gshare")
+	derived := ArchFromTrace(tr, base.Committed)
+
+	if direct.Branches() != derived.Branches() {
+		t.Fatalf("branch counts differ: recorder %d, derived %d", direct.Branches(), derived.Branches())
+	}
+	if direct.Committed() != derived.Committed() {
+		t.Fatalf("committed counts differ: recorder %d, derived %d", direct.Committed(), derived.Committed())
+	}
+	if !bytes.Equal(direct.Encode(), derived.Encode()) {
+		t.Fatal("recorder-captured and trace-derived arch streams encode differently")
+	}
+}
+
+// TestArchRecorderFiltersWrongPath: only correct-path branches land in
+// the stream, and outcomes carry the committed direction.
+func TestArchRecorderFiltersWrongPath(t *testing.T) {
+	r := NewArchRecorder()
+	r.Branch(obs.BranchEvent{PC: 100, Outcome: true})
+	r.Branch(obs.BranchEvent{PC: 999, Outcome: true, WrongPath: true})
+	r.Branch(obs.BranchEvent{PC: 104, Outcome: false})
+	if err := r.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	tr := r.Trace()
+	if tr.Branches() != 2 {
+		t.Fatalf("Branches = %d, want 2 (wrong-path event not filtered)", tr.Branches())
+	}
+	c := tr.chunks[0]
+	if c.pc[0] != 100 || c.pc[1] != 104 {
+		t.Fatalf("pcs = %v, want [100 104]", c.pc[:c.n])
+	}
+	if !c.taken(0) || c.taken(1) {
+		t.Fatal("outcome bits do not match the recorded directions")
+	}
+}
+
+// TestArchReplayDeterminism: two ArchReplay passes over one stream with
+// freshly constructed predictors and estimators must agree exactly, for
+// each devirtualized predictor family and the generic fallback.
+func TestArchReplayDeterminism(t *testing.T) {
+	tr := archRecordRun(t, "gshare")
+	for _, predName := range []string{"gshare", "mcfarling", "sag"} {
+		t.Run(predName, func(t *testing.T) {
+			a := ArchReplay(tr, testPred(t, predName), allFamilies(t, predName))
+			b := ArchReplay(tr, testPred(t, predName), allFamilies(t, predName))
+			if !reflect.DeepEqual(a, b) {
+				t.Fatal("repeated arch replays disagree")
+			}
+		})
+	}
+}
+
+// TestArchReplayQuadrants sanity-checks the canonical evaluation's
+// stats shape: every branch is committed, so each estimator's AllQ
+// equals its CommittedQ and totals the stream's branch count.
+func TestArchReplayQuadrants(t *testing.T) {
+	tr := archSynthetic(10_000)
+	confs := ArchReplay(tr, bpred.NewGshare(12), []conf.Estimator{
+		conf.SatCounters{}, conf.NewJRS(conf.DefaultJRS),
+	})
+	for _, cs := range confs {
+		if cs.AllQ != cs.CommittedQ {
+			t.Errorf("%s: AllQ != CommittedQ in a committed-only evaluation", cs.Name)
+		}
+		if got := cs.CommittedQ.Total(); got != uint64(tr.Branches()) {
+			t.Errorf("%s: quadrant total %d, want %d branches", cs.Name, got, tr.Branches())
+		}
+	}
+}
+
+// TestArchSitesCounts: the per-site pass accounts every branch exactly
+// once and its correct counts are consistent with a whole-stream
+// replay of the same predictor.
+func TestArchSitesCounts(t *testing.T) {
+	tr := archSynthetic(10_000)
+	sites := ArchSites(tr, bpred.NewGshare(12))
+	var total, correct uint64
+	for _, s := range sites {
+		total += s.Total
+		correct += s.Correct
+	}
+	if total != uint64(tr.Branches()) {
+		t.Fatalf("site totals sum to %d, want %d", total, tr.Branches())
+	}
+	confs := ArchReplay(tr, bpred.NewGshare(12), []conf.Estimator{conf.SatCounters{}})
+	q := confs[0].CommittedQ
+	if got := q.Chc + q.Clc; got != correct {
+		t.Fatalf("sites count %d correct predictions, replay quadrants count %d", correct, got)
+	}
+}
+
+// TestArchReplaySteadyStateAllocFree mirrors the event-tier guarantee:
+// the per-branch loop must not allocate, so allocation counts are a
+// small constant independent of stream length.
+func TestArchReplaySteadyStateAllocFree(t *testing.T) {
+	short := archSynthetic(1_000)
+	long := archSynthetic(100_000)
+	allocShort := testing.AllocsPerRun(10, func() {
+		ArchReplay(short, bpred.NewGshare(12), []conf.Estimator{conf.SatCounters{}})
+	})
+	allocLong := testing.AllocsPerRun(10, func() {
+		ArchReplay(long, bpred.NewGshare(12), []conf.Estimator{conf.SatCounters{}})
+	})
+	if allocShort != allocLong {
+		t.Fatalf("allocations grow with stream length: %.0f for 1k branches, %.0f for 100k",
+			allocShort, allocLong)
+	}
+}
+
+// BenchmarkArchRecord measures the recorder's per-branch ingest cost —
+// one committed-path Branch event, the only thing the canonical
+// recording run pays on top of an estimator-less simulation.
+func BenchmarkArchRecord(b *testing.B) {
+	b.ReportAllocs()
+	r := NewArchRecorder()
+	for i := 0; i < b.N; i++ {
+		r.Branch(obs.BranchEvent{PC: int64(4096 + i*4), Outcome: i&1 == 0})
+	}
+}
+
+// BenchmarkArchReplay measures one full-stream canonical evaluation of
+// a recorded gcc stream: gshare model plus a small mixed estimator set,
+// per replay. This is the per-cell cost an arch-eligible grid pays
+// after the one-time recording.
+func BenchmarkArchReplay(b *testing.B) {
+	tr := archRecordRun(b, "gshare")
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ArchReplay(tr, bpred.NewGshare(12), []conf.Estimator{
+			conf.NewJRS(conf.DefaultJRS),
+			conf.SatCounters{},
+			conf.NewPatternHistory(12),
+			conf.NewDistance(3),
+		})
+	}
+}

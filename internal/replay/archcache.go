@@ -1,0 +1,233 @@
+package replay
+
+import (
+	"container/list"
+	"sync"
+
+	"specctrl/internal/obs"
+)
+
+// ArchCache is the in-memory, content-addressed cache for the upstream
+// tier: committed branch-outcome streams keyed by ArchTraceAddress.
+// It mirrors Cache's discipline — retained-bytes LRU, singleflight
+// recording, first-write-wins Put, optional second-level backing — but
+// carries no stats sidecar: everything a consumer needs is in the
+// ArchTrace itself (the committed-instruction count rides inside it).
+//
+// Arch traces are an order of magnitude smaller than event traces
+// (~9 B per committed branch vs. ~18 B per fetched token including
+// wrong-path), so the same default budget holds far more workloads.
+type ArchCache struct {
+	mu      sync.Mutex
+	max     int64
+	bytes   int64
+	entries map[string]*list.Element
+	lru     *list.List // front = most recently used
+	flights map[string]*archFlight
+	backing ArchBacking
+
+	records, hits, fetches, evictions *obs.Counter
+	gauge                             *obs.Gauge
+}
+
+// archCacheEntry is one resident arch trace; the lru list owns these.
+type archCacheEntry struct {
+	addr  string
+	trace *ArchTrace
+	bytes int64
+}
+
+// archFlight is one in-progress recording; followers wait on done.
+type archFlight struct {
+	done  chan struct{}
+	trace *ArchTrace
+	err   error
+}
+
+// ArchBacking is an optional second-level store behind an ArchCache —
+// typically a cluster coordinator's arch-trace tier reached over HTTP.
+// On a local miss the cache consults Fetch before recording; after a
+// successful recording it offers the trace to Store. Both calls are
+// best-effort, exactly as for Backing: failures only cost a
+// re-recording, because the trace is a deterministic function of its
+// address.
+//
+// Implementations must be safe for concurrent use. The *ArchTrace
+// values exchanged are shared and treated as immutable.
+type ArchBacking interface {
+	// Fetch returns the arch trace stored under addr, reporting whether
+	// the backing tier had it.
+	Fetch(addr string) (*ArchTrace, bool)
+	// Store offers a freshly recorded arch trace to the backing tier.
+	Store(addr string, t *ArchTrace)
+}
+
+// SetBacking installs (or clears, with nil) the cache's second-level
+// store. Safe to call concurrently with cache use.
+func (c *ArchCache) SetBacking(b ArchBacking) {
+	c.mu.Lock()
+	c.backing = b
+	c.mu.Unlock()
+}
+
+// NewArchCache returns an arch-trace cache holding at most maxBytes
+// (DefaultCacheBytes when maxBytes <= 0). When reg is non-nil the cache
+// publishes specctrl_archtrace_{records,hits,fetches,evictions}_total
+// and the specctrl_archtrace_cache_bytes gauge, next to the event-tier
+// specctrl_trace_* family.
+func NewArchCache(maxBytes int64, reg *obs.Registry) *ArchCache {
+	if maxBytes <= 0 {
+		maxBytes = DefaultCacheBytes
+	}
+	c := &ArchCache{
+		max:     maxBytes,
+		entries: make(map[string]*list.Element),
+		lru:     list.New(),
+		flights: make(map[string]*archFlight),
+	}
+	if reg != nil {
+		c.records = reg.Counter("specctrl_archtrace_records_total", nil)
+		c.hits = reg.Counter("specctrl_archtrace_hits_total", nil)
+		c.fetches = reg.Counter("specctrl_archtrace_fetches_total", nil)
+		c.evictions = reg.Counter("specctrl_archtrace_evictions_total", nil)
+		c.gauge = reg.Gauge("specctrl_archtrace_cache_bytes", nil)
+	}
+	return c
+}
+
+// Bytes returns the currently retained byte count.
+func (c *ArchCache) Bytes() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.bytes
+}
+
+// Len returns the number of resident arch traces.
+func (c *ArchCache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.entries)
+}
+
+// GetOrRecord returns the arch trace cached under addr, running record
+// to produce it on a miss. The returned trace is shared and must be
+// treated as immutable.
+func (c *ArchCache) GetOrRecord(addr string, record func() (*ArchTrace, error)) (*ArchTrace, error) {
+	t, _, err := c.GetOrRecordOutcome(addr, record)
+	return t, err
+}
+
+// GetOrRecordOutcome is GetOrRecord plus a report of how the request
+// was satisfied, using the same Outcome vocabulary as the event-tier
+// cache: resident hit, fresh recording, wait on another caller's
+// flight, or a fetch from the backing tier.
+func (c *ArchCache) GetOrRecordOutcome(addr string, record func() (*ArchTrace, error)) (*ArchTrace, Outcome, error) {
+	c.mu.Lock()
+	if el, ok := c.entries[addr]; ok {
+		c.lru.MoveToFront(el)
+		e := el.Value.(*archCacheEntry)
+		c.mu.Unlock()
+		if c.hits != nil {
+			c.hits.Inc()
+		}
+		return e.trace, OutcomeHit, nil
+	}
+	if f, ok := c.flights[addr]; ok {
+		c.mu.Unlock()
+		<-f.done
+		if f.err == nil && c.hits != nil {
+			c.hits.Inc()
+		}
+		return f.trace, OutcomeWait, f.err
+	}
+	f := &archFlight{done: make(chan struct{})}
+	c.flights[addr] = f
+	backing := c.backing
+	c.mu.Unlock()
+
+	outcome := OutcomeRecord
+	if backing != nil {
+		if t, ok := backing.Fetch(addr); ok {
+			f.trace = t
+			outcome = OutcomeFetch
+		}
+	}
+	if outcome != OutcomeFetch {
+		f.trace, f.err = record()
+	}
+
+	c.mu.Lock()
+	delete(c.flights, addr)
+	if f.err == nil {
+		c.insertLocked(addr, f.trace)
+	}
+	c.mu.Unlock()
+	close(f.done)
+	if f.err == nil {
+		switch outcome {
+		case OutcomeFetch:
+			if c.fetches != nil {
+				c.fetches.Inc()
+			}
+		case OutcomeRecord:
+			if c.records != nil {
+				c.records.Inc()
+			}
+			if backing != nil {
+				// Best-effort write-through: a recording made here
+				// becomes every other node's fetch hit.
+				backing.Store(addr, f.trace)
+			}
+		}
+	}
+	return f.trace, outcome, f.err
+}
+
+// Get returns the arch trace resident under addr without recording on
+// a miss and without consulting the backing tier. It counts as a use
+// for LRU purposes but not as a hit in the metrics.
+func (c *ArchCache) Get(addr string) (*ArchTrace, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.entries[addr]
+	if !ok {
+		return nil, false
+	}
+	c.lru.MoveToFront(el)
+	return el.Value.(*archCacheEntry).trace, true
+}
+
+// Put inserts an arch trace produced elsewhere (e.g. uploaded by a
+// cluster worker) under addr, subject to the usual LRU budget. An
+// existing entry is left in place: first write wins.
+func (c *ArchCache) Put(addr string, t *ArchTrace) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, ok := c.entries[addr]; ok {
+		return
+	}
+	c.insertLocked(addr, t)
+}
+
+// insertLocked adds an entry and evicts from the LRU tail until the
+// budget holds again, mirroring Cache.insertLocked.
+func (c *ArchCache) insertLocked(addr string, t *ArchTrace) {
+	e := &archCacheEntry{addr: addr, trace: t, bytes: int64(t.Bytes())}
+	c.entries[addr] = c.lru.PushFront(e)
+	c.bytes += e.bytes
+	for c.bytes > c.max {
+		tail := c.lru.Back()
+		if tail == nil {
+			break
+		}
+		victim := c.lru.Remove(tail).(*archCacheEntry)
+		delete(c.entries, victim.addr)
+		c.bytes -= victim.bytes
+		if c.evictions != nil {
+			c.evictions.Inc()
+		}
+	}
+	if c.gauge != nil {
+		c.gauge.SetUint(uint64(c.bytes))
+	}
+}

@@ -1,0 +1,325 @@
+package replay
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"specctrl/internal/obs"
+)
+
+// fakeArchRecord returns a record func producing a synthetic arch trace
+// of the given size, counting invocations.
+func fakeArchRecord(calls *atomic.Int64, n int) func() (*ArchTrace, error) {
+	return func() (*ArchTrace, error) {
+		calls.Add(1)
+		return archSynthetic(n), nil
+	}
+}
+
+// fakeArchBacking is an in-memory ArchBacking implementation with call
+// counters, standing in for a cluster coordinator's arch-trace tier.
+type fakeArchBacking struct {
+	mu      sync.Mutex
+	traces  map[string]*ArchTrace
+	fetches atomic.Int64
+	stores  atomic.Int64
+}
+
+func newFakeArchBacking() *fakeArchBacking {
+	return &fakeArchBacking{traces: make(map[string]*ArchTrace)}
+}
+
+func (b *fakeArchBacking) Fetch(addr string) (*ArchTrace, bool) {
+	b.fetches.Add(1)
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	t, ok := b.traces[addr]
+	return t, ok
+}
+
+func (b *fakeArchBacking) Store(addr string, t *ArchTrace) {
+	b.stores.Add(1)
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.traces[addr] = t
+}
+
+// TestArchCacheHit: the second request for an address returns the
+// first's result without recording again.
+func TestArchCacheHit(t *testing.T) {
+	c := NewArchCache(0, nil)
+	var calls atomic.Int64
+	tr1, err := c.GetOrRecord("a", fakeArchRecord(&calls, 100))
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr2, err := c.GetOrRecord("a", fakeArchRecord(&calls, 100))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if calls.Load() != 1 {
+		t.Fatalf("recorded %d times, want 1", calls.Load())
+	}
+	if tr1 != tr2 {
+		t.Fatal("hit returned a different pointer than the recording")
+	}
+	if c.Len() != 1 || c.Bytes() <= 0 {
+		t.Fatalf("Len=%d Bytes=%d after one insert", c.Len(), c.Bytes())
+	}
+}
+
+// TestArchCacheSingleflight: concurrent requests for one address record
+// once; everyone gets the same trace.
+func TestArchCacheSingleflight(t *testing.T) {
+	c := NewArchCache(0, nil)
+	var calls atomic.Int64
+	gate := make(chan struct{})
+	record := func() (*ArchTrace, error) {
+		calls.Add(1)
+		<-gate // hold the flight open until all goroutines have queued
+		return archSynthetic(50), nil
+	}
+
+	const waiters = 8
+	var wg sync.WaitGroup
+	results := make([]*ArchTrace, waiters)
+	for i := 0; i < waiters; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			tr, err := c.GetOrRecord("addr", record)
+			if err != nil {
+				t.Error(err)
+			}
+			results[i] = tr
+		}(i)
+	}
+	// Let the flight's followers pile up, then release the recording.
+	for calls.Load() == 0 {
+	}
+	close(gate)
+	wg.Wait()
+
+	if calls.Load() != 1 {
+		t.Fatalf("recorded %d times under contention, want 1", calls.Load())
+	}
+	for i := 1; i < waiters; i++ {
+		if results[i] != results[0] {
+			t.Fatal("waiters received different traces")
+		}
+	}
+}
+
+// TestArchCacheRecordError: a failed recording is not cached and does
+// not wedge the flight — the next caller retries.
+func TestArchCacheRecordError(t *testing.T) {
+	c := NewArchCache(0, nil)
+	boom := errors.New("boom")
+	if _, err := c.GetOrRecord("a", func() (*ArchTrace, error) {
+		return nil, boom
+	}); !errors.Is(err, boom) {
+		t.Fatalf("got %v, want the recording error", err)
+	}
+	if c.Len() != 0 {
+		t.Fatal("failed recording was cached")
+	}
+	var calls atomic.Int64
+	if _, err := c.GetOrRecord("a", fakeArchRecord(&calls, 10)); err != nil {
+		t.Fatalf("retry after failure: %v", err)
+	}
+	if calls.Load() != 1 {
+		t.Fatal("retry did not re-record")
+	}
+}
+
+// TestArchCacheLRUEviction: inserts beyond the byte budget evict the
+// least recently used entries, and the specctrl_archtrace_* metrics see
+// every step.
+func TestArchCacheLRUEviction(t *testing.T) {
+	reg := obs.NewRegistry()
+	// Budget two synthetic traces, not three. (No stats footprint: arch
+	// entries carry no sidecar.)
+	one := archSynthetic(5000).Bytes()
+	c := NewArchCache(int64(2*one+one/2), reg)
+
+	var calls atomic.Int64
+	for _, addr := range []string{"a", "b"} {
+		if _, err := c.GetOrRecord(addr, fakeArchRecord(&calls, 5000)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Touch "a" so "b" is the LRU victim when "c" arrives.
+	if _, err := c.GetOrRecord("a", fakeArchRecord(&calls, 5000)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.GetOrRecord("c", fakeArchRecord(&calls, 5000)); err != nil {
+		t.Fatal(err)
+	}
+	if c.Len() != 2 {
+		t.Fatalf("Len = %d after eviction, want 2", c.Len())
+	}
+
+	// "a" and "c" resident, "b" evicted: re-requesting "b" records anew.
+	before := calls.Load()
+	for _, addr := range []string{"a", "c"} {
+		if _, err := c.GetOrRecord(addr, fakeArchRecord(&calls, 5000)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if calls.Load() != before {
+		t.Fatal("resident entries re-recorded")
+	}
+	if _, err := c.GetOrRecord("b", fakeArchRecord(&calls, 5000)); err != nil {
+		t.Fatal(err)
+	}
+	if calls.Load() != before+1 {
+		t.Fatal("evicted entry did not re-record")
+	}
+
+	if max := c.Bytes(); max > int64(2*one+one/2) {
+		t.Fatalf("cache holds %d bytes, over its %d budget", max, 2*one+one/2)
+	}
+
+	// The sequence above was: miss a, miss b, hit a, miss c (evict b),
+	// hit a, hit c, miss b (evict a) — the counters must agree.
+	dump := metricsDump(reg)
+	if got := dump["specctrl_archtrace_records_total"]; got != float64(calls.Load()) {
+		t.Errorf("records_total = %v, want %d", got, calls.Load())
+	}
+	if got := dump["specctrl_archtrace_hits_total"]; got != 3 {
+		t.Errorf("hits_total = %v, want 3", got)
+	}
+	if got := dump["specctrl_archtrace_evictions_total"]; got != 2 {
+		t.Errorf("evictions_total = %v, want 2", got)
+	}
+	if got := dump["specctrl_archtrace_cache_bytes"]; got != float64(c.Bytes()) {
+		t.Errorf("cache_bytes gauge = %v, Bytes() = %d", got, c.Bytes())
+	}
+}
+
+// TestArchCacheDefaultBudget: a zero budget selects the package
+// default.
+func TestArchCacheDefaultBudget(t *testing.T) {
+	c := NewArchCache(0, nil)
+	if c.max != DefaultCacheBytes {
+		t.Fatalf("zero budget gave max=%d, want DefaultCacheBytes", c.max)
+	}
+	if c := NewArchCache(-5, nil); c.max != DefaultCacheBytes {
+		t.Fatal("negative budget did not select the default")
+	}
+}
+
+// TestArchCacheManyAddresses smoke-tests churn well past the budget.
+func TestArchCacheManyAddresses(t *testing.T) {
+	one := archSynthetic(1000).Bytes()
+	c := NewArchCache(int64(3*one), nil)
+	var calls atomic.Int64
+	for i := 0; i < 20; i++ {
+		if _, err := c.GetOrRecord(fmt.Sprint("w", i%7), fakeArchRecord(&calls, 1000)); err != nil {
+			t.Fatal(err)
+		}
+		if c.Len() > 3 {
+			t.Fatalf("cache grew to %d entries over its 3-entry budget", c.Len())
+		}
+	}
+}
+
+// TestArchCacheBackingFetch: a local miss that the backing tier can
+// serve comes back as OutcomeFetch, without running the record
+// function, and becomes resident (the next call is a plain hit).
+func TestArchCacheBackingFetch(t *testing.T) {
+	reg := obs.NewRegistry()
+	b := newFakeArchBacking()
+	remote := archSynthetic(80)
+	b.traces["a"] = remote
+
+	c := NewArchCache(0, reg)
+	c.SetBacking(b)
+	var calls atomic.Int64
+	tr, outcome, err := c.GetOrRecordOutcome("a", fakeArchRecord(&calls, 80))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if outcome != OutcomeFetch {
+		t.Fatalf("outcome %s, want fetch", outcome)
+	}
+	if calls.Load() != 0 {
+		t.Fatalf("record ran %d times on a backing hit", calls.Load())
+	}
+	if tr != remote {
+		t.Fatal("fetch returned a different pointer than the backing tier holds")
+	}
+	// Resident now: no second Fetch.
+	_, outcome, err = c.GetOrRecordOutcome("a", fakeArchRecord(&calls, 80))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if outcome != OutcomeHit {
+		t.Fatalf("second outcome %s, want hit", outcome)
+	}
+	if b.fetches.Load() != 1 {
+		t.Fatalf("backing fetched %d times, want 1", b.fetches.Load())
+	}
+	dump := metricsDump(reg)
+	if got := dump["specctrl_archtrace_fetches_total"]; got != 1 {
+		t.Errorf("fetches_total = %v, want 1", got)
+	}
+	if got := dump["specctrl_archtrace_hits_total"]; got != 1 {
+		t.Errorf("hits_total = %v, want 1", got)
+	}
+}
+
+// TestArchCacheBackingWriteThrough: a fresh local recording is offered
+// to the backing tier, and a backing miss falls through to recording.
+func TestArchCacheBackingWriteThrough(t *testing.T) {
+	b := newFakeArchBacking()
+	c := NewArchCache(0, nil)
+	c.SetBacking(b)
+	var calls atomic.Int64
+	_, outcome, err := c.GetOrRecordOutcome("a", fakeArchRecord(&calls, 60))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if outcome != OutcomeRecord {
+		t.Fatalf("outcome %s, want record", outcome)
+	}
+	if calls.Load() != 1 {
+		t.Fatalf("record ran %d times, want 1", calls.Load())
+	}
+	if b.stores.Load() != 1 {
+		t.Fatalf("write-through stored %d times, want 1", b.stores.Load())
+	}
+	b.mu.Lock()
+	_, stored := b.traces["a"]
+	b.mu.Unlock()
+	if !stored {
+		t.Fatal("recorded trace missing from the backing tier")
+	}
+}
+
+// TestArchCacheGetPut: Get peeks without recording; Put inserts a
+// worker-uploaded trace and leaves an existing entry alone (first write
+// wins — the trace at an address is deterministic).
+func TestArchCacheGetPut(t *testing.T) {
+	c := NewArchCache(0, nil)
+	if _, ok := c.Get("a"); ok {
+		t.Fatal("Get hit an empty cache")
+	}
+	first := archSynthetic(40)
+	c.Put("a", first)
+	tr, ok := c.Get("a")
+	if !ok || tr != first {
+		t.Fatal("Get did not return the Put trace")
+	}
+	// A duplicate Put must not replace the resident entry.
+	c.Put("a", archSynthetic(40))
+	if tr2, _ := c.Get("a"); tr2 != first {
+		t.Fatal("duplicate Put replaced the resident trace")
+	}
+	if c.Len() != 1 {
+		t.Fatalf("Len=%d after duplicate Put, want 1", c.Len())
+	}
+}

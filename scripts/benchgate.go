@@ -14,10 +14,11 @@
 //
 // Min-of-count is the comparison statistic on both sides: the minimum
 // is the least noisy estimate of a benchmark's true cost on an
-// otherwise-idle machine (benchstat uses the same reasoning). A first
-// failure triggers one full re-measurement whose results are merged in
-// before the final verdict, so a transient load spike cannot fail the
-// gate on its own; suites whose noise floor is inherently above the
+// otherwise-idle machine (benchstat uses the same reasoning). A
+// failure triggers up to noiseRetries full re-measurements whose
+// results are merged in before the final verdict, so a transient load
+// spike — even one outlasting a single re-run — cannot fail the gate
+// on its own; suites whose noise floor is inherently above the
 // default tolerance carry a wider per-suite bound (see suites).
 //
 // Wall-clock baselines are machine-specific. After an intentional perf
@@ -51,13 +52,15 @@ type Entry struct {
 // the pre-optimization measurements for the record (the ≥30% wall-clock
 // improvement claim in DESIGN.md is against these numbers); PreReplay
 // likewise preserves the direct-simulation sweep cost the record/replay
-// layer's ≥2× claim is measured against. -update carries both forward
-// untouched.
+// layer's ≥2× claim is measured against, and PreArch the event-tier
+// suite cost the arch tier's ≥2× claim is measured against. -update
+// carries all three forward untouched.
 type Baseline struct {
 	Note        string           `json:"note"`
 	Benchmarks  map[string]Entry `json:"benchmarks"`
 	PreOverhaul map[string]Entry `json:"pre_overhaul_seed,omitempty"`
 	PreReplay   map[string]Entry `json:"pre_replay_seed,omitempty"`
+	PreArch     map[string]Entry `json:"pre_arch_seed,omitempty"`
 }
 
 // suite is one `go test -bench` invocation. Fixed -benchtime iteration
@@ -90,6 +93,9 @@ type suite struct {
 var suites = []suite{
 	{".", "^BenchmarkRunnerSerial$", "3x", 3, 0.10},
 	{"./internal/experiments", "^BenchmarkSweep(Direct|Replay)$", "3x", 3, 0.10},
+	{"./internal/experiments", "^BenchmarkSuite(Arch|Events)$", "3x", 3, 0.10},
+	{"./internal/replay", "^BenchmarkArchReplay$", "300x", 3, 0.10},
+	{"./internal/replay", "^BenchmarkArchRecord$", "5000000x", 5, 0},
 	{"./internal/experiments", "^BenchmarkSweepSpace$", "3x", 3, 0.10},
 	{"./internal/synth", "^BenchmarkSynthBuild$", "1000x", 5, 0.10},
 	{"./internal/pipeline", "^(BenchmarkPipelineTick(Traced|NoEstimators)?|BenchmarkPolicyOverhead(Nil|Gate))$", "8000000x", 5, 0},
@@ -97,6 +103,12 @@ var suites = []suite{
 	{"./internal/bpred", "^BenchmarkPredictGshare$", "20000000x", 5, 0},
 	{"./internal/conf", "^BenchmarkEstimateJRS$", "20000000x", 5, 0},
 }
+
+// noiseRetries bounds how many full re-measurement rounds a suspected
+// regression triggers before the gate fails. Three rounds ride out the
+// multi-minute noisy bursts shared machines exhibit while adding no
+// cost at all to a clean pass.
+const noiseRetries = 3
 
 // benchLine matches one `go test -bench -benchmem` result line, e.g.
 // "BenchmarkPipelineTick  1000000  88.62 ns/op  0 B/op  0 allocs/op"
@@ -130,17 +142,21 @@ func main() {
 		os.Exit(1)
 	}
 	failures := gate(base.Benchmarks, measured, tols, *tolerance)
-	if len(failures) > 0 {
-		// One retry: transient machine noise rarely repeats across two
-		// separate runs, a real regression always does. The merged
-		// minimum of both runs is the final measurement.
-		fmt.Fprintln(os.Stderr, "benchgate: regression suspected, re-measuring to rule out noise")
-		second, _, err := runSuites()
+	// Retries: transient machine noise rarely repeats across separate
+	// runs, a real regression always does — and on shared machines a
+	// noisy burst can outlast a single re-measurement. Each round's
+	// results are merged in as per-field minima, so extra rounds only
+	// lower the false-positive rate: a true regression never produces
+	// a sample under the bound, no matter how many rounds run.
+	for attempt := 1; len(failures) > 0 && attempt <= noiseRetries; attempt++ {
+		fmt.Fprintf(os.Stderr, "benchgate: regression suspected, re-measuring to rule out noise (%d/%d)\n",
+			attempt, noiseRetries)
+		again, _, err := runSuites()
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "benchgate:", err)
 			os.Exit(1)
 		}
-		measured = mergeMin(measured, second)
+		measured = mergeMin(measured, again)
 		failures = gate(base.Benchmarks, measured, tols, *tolerance)
 	}
 	if len(failures) > 0 {
@@ -287,6 +303,7 @@ func writeBaseline(path string, measured map[string]Entry) error {
 	if prev, err := readBaseline(path); err == nil {
 		b.PreOverhaul = prev.PreOverhaul
 		b.PreReplay = prev.PreReplay
+		b.PreArch = prev.PreArch
 	}
 	data, err := json.MarshalIndent(b, "", "  ")
 	if err != nil {

@@ -54,8 +54,9 @@ SERVED_PID=""
 COORD_PID=""
 WORKER1_PID=""
 WORKER2_PID=""
+WORKER3_PID=""
 cleanup() {
-    for pid in "$SERVED_PID" "$WORKER1_PID" "$WORKER2_PID" "$COORD_PID"; do
+    for pid in "$SERVED_PID" "$WORKER1_PID" "$WORKER2_PID" "$WORKER3_PID" "$COORD_PID"; do
         if [ -n "$pid" ]; then
             kill -TERM "$pid" 2>/dev/null || true
             wait "$pid" || true
@@ -71,10 +72,15 @@ go build -o "$SMOKE/simtrace" ./cmd/simtrace
 
 "$SMOKE/simctrl" -exp table3 -committed 60000 > "$SMOKE/local.txt"
 
-# Record/replay smoke: replay evaluation (the default) must render the
-# exact bytes of a -replay=off direct simulation.
+# Record/replay smoke: table3 is a committed-stream experiment, so all
+# three -replay modes — arch (the default), events, and off — must
+# render the exact same bytes.
 "$SMOKE/simctrl" -replay off -exp table3 -committed 60000 > "$SMOKE/direct.txt"
 cmp "$SMOKE/local.txt" "$SMOKE/direct.txt"
+"$SMOKE/simctrl" -replay arch -exp table3 -committed 60000 > "$SMOKE/arch.txt"
+cmp "$SMOKE/direct.txt" "$SMOKE/arch.txt"
+"$SMOKE/simctrl" -replay events -exp table3 -committed 60000 > "$SMOKE/events.txt"
+cmp "$SMOKE/direct.txt" "$SMOKE/events.txt"
 
 # Span-tracing smoke: -trace-out must emit a Chrome trace-event file
 # that parses with per-cell spans, -profile-cells must print the
@@ -231,11 +237,41 @@ WORKER1_PID=""
 wait "$SUBMIT_PID"
 cmp "$SMOKE/local90.txt" "$SMOKE/cluster90.txt"
 
-# Graceful teardown: the surviving worker and the coordinator drain on
-# SIGTERM and exit 0.
+# Arch-tier cross-node smoke: the chaos job's committed streams were
+# written through to the coordinator's shared arch tier. Replace the
+# fleet with one cold worker and submit misest at the same scale — the
+# arch address excludes the predictor, so the cold worker must serve
+# its units by fetching those streams from the coordinator instead of
+# re-simulating, and /metrics must show the traffic.
+"$SMOKE/simctrl" -exp misest -committed 90000 > "$SMOKE/misest-local.txt"
 kill -TERM "$WORKER2_PID"
 wait "$WORKER2_PID"
 WORKER2_PID=""
+"$SMOKE/simserved" -worker -join "$CURL" -addr 127.0.0.1:0 -node smoke-cold \
+    2> "$SMOKE/worker3.log" &
+WORKER3_PID=$!
+for _ in $(seq 1 100); do
+    curl -s "$CURL/cluster/v1/status" | grep -q 'smoke-cold' && break
+    sleep 0.1
+done
+"$SMOKE/simctrl" -server "$CURL" -exp misest -committed 90000 > "$SMOKE/misest-cluster.txt"
+cmp "$SMOKE/misest-local.txt" "$SMOKE/misest-cluster.txt"
+ARCH_PUTS=$(curl -s "$CURL/metrics" | awk '/^specctrl_cluster_archtrace_puts_total/ {print $2}')
+[ -n "$ARCH_PUTS" ] && [ "$ARCH_PUTS" -ge 1 ] || {
+    echo "check.sh: no arch traces were written through to the coordinator (got '$ARCH_PUTS')" >&2
+    exit 1
+}
+ARCH_HITS=$(curl -s "$CURL/metrics" | awk '/^specctrl_cluster_archtrace_hits_total/ {print $2}')
+[ -n "$ARCH_HITS" ] && [ "$ARCH_HITS" -ge 1 ] || {
+    echo "check.sh: the cold worker never hit the coordinator's arch tier (got '$ARCH_HITS')" >&2
+    exit 1
+}
+
+# Graceful teardown: the surviving worker and the coordinator drain on
+# SIGTERM and exit 0.
+kill -TERM "$WORKER3_PID"
+wait "$WORKER3_PID"
+WORKER3_PID=""
 kill -TERM "$COORD_PID"
 wait "$COORD_PID"
 COORD_PID=""
